@@ -1,0 +1,329 @@
+//! Image-processing benchmark applications (Table 1, domain "IP").
+//!
+//! Each builder lowers the application the way the AHA Halide-to-CoreIR
+//! flow does: the compute kernel for one output pixel is expressed as a
+//! dataflow graph over a window of input pixels, then unrolled so several
+//! output pixels are computed in parallel (the paper computes 4 camera-
+//! pipeline pixels per cycle to fill the 32×16 array).
+
+use crate::kernels::{
+    abs_diff, adder_tree, avg2, avg4, clamp, dot_const, median9_approx, normalize, tone_segment,
+};
+use crate::{AppInfo, Application, Domain};
+use apex_ir::{Graph, NodeId, Op};
+
+/// 3×3 Gaussian kernel (sum 16) used by blur-based applications.
+const GAUSS3: [u16; 9] = [1, 2, 1, 2, 4, 2, 1, 2, 1];
+
+fn window(g: &mut Graph, n: usize) -> Vec<NodeId> {
+    (0..n).map(|_| g.input()).collect()
+}
+
+/// One camera-pipeline output pixel: denoise → demosaic → white balance →
+/// colour-correction matrix → tone curve → contrast.
+///
+/// Uses every baseline-PE operation class except left shift and word-wise
+/// bitwise logic, and costs ~90 primitive operations, matching Section 5.1.
+fn camera_pixel(g: &mut Graph, w: &[NodeId; 9]) -> [NodeId; 3] {
+    // Denoise: approximate 3×3 median, blended with the centre pixel when
+    // the difference is small (16 + 4 ops).
+    let med = median9_approx(g, w);
+    let diff = abs_diff(g, w[4], med);
+    let thresh = g.constant(24);
+    let noisy = g.add(Op::Sgt, &[diff, thresh]);
+    let den = g.add(Op::Mux, &[w[4], med, noisy]);
+
+    // Demosaic: bilinear interpolation of the missing colour planes
+    // (12 ops).
+    let green = avg4(g, [w[1], w[3], w[5], w[7]]);
+    let r_raw = avg2(g, w[0], w[8]);
+    let red = avg2(g, r_raw, den);
+    let b_raw = avg2(g, w[2], w[6]);
+    let blue = avg2(g, b_raw, den);
+
+    // White balance: per-channel constant gain in Q4 (6 ops).
+    let wb = |g: &mut Graph, x: NodeId, gain: u16| -> NodeId {
+        let c = g.constant(gain);
+        let p = g.add(Op::Mul, &[x, c]);
+        normalize(g, p, 4)
+    };
+    let red = wb(g, red, 19);
+    let green = wb(g, green, 16);
+    let blue = wb(g, blue, 21);
+
+    // Colour-correction 3×3 matrix in Q4 with clamping (24 ops).
+    let ccm_row = |g: &mut Graph, r: NodeId, gr: NodeId, b: NodeId, k: [u16; 3]| -> NodeId {
+        let s = dot_const(g, &[r, gr, b], &k);
+        let n = normalize(g, s, 4);
+        clamp(g, n, 0, 255)
+    };
+    let red_c = ccm_row(g, red, green, blue, [20, 2, 1]);
+    let green_c = ccm_row(g, red, green, blue, [2, 18, 2]);
+    let blue_c = ccm_row(g, red, green, blue, [1, 3, 19]);
+
+    // Tone curve: one piecewise-linear knee per channel (18 ops).
+    let red_t = tone_segment(g, red_c, 128, 128, 8, 4);
+    let green_t = tone_segment(g, green_c, 128, 128, 8, 4);
+    let blue_t = tone_segment(g, blue_c, 128, 128, 8, 4);
+
+    // Contrast stretch about mid-grey using an arithmetic shift (12 ops).
+    let contrast = |g: &mut Graph, x: NodeId| -> NodeId {
+        let mid = g.constant(128);
+        let d = g.add(Op::Sub, &[x, mid]);
+        let amt = g.constant(4);
+        let boosted = g.add(Op::Mul, &[d, amt]);
+        let two = g.constant(2);
+        let scaled = g.add(Op::Ashr, &[boosted, two]);
+        let y = g.add(Op::Add, &[scaled, mid]);
+        clamp(g, y, 0, 255)
+    };
+    [contrast(g, red_t), contrast(g, green_t), contrast(g, blue_t)]
+}
+
+/// Camera pipeline: denoises, demosaics, colour-corrects, and tone-maps raw
+/// sensor data (paper Section 5.1; ~90 ops/pixel, 4 pixels unrolled).
+pub fn camera_pipeline() -> Application {
+    let mut g = Graph::new("camera_pipeline");
+    for _ in 0..4 {
+        let w: Vec<NodeId> = window(&mut g, 9);
+        let rgb = camera_pixel(&mut g, &w.try_into().expect("9 taps"));
+        for ch in rgb {
+            g.output(ch);
+        }
+    }
+    Application::new(
+        AppInfo {
+            name: "camera".into(),
+            domain: Domain::ImageProcessing,
+            description: "Transforms camera data into an RGB image".into(),
+            mem_tiles: 39,
+            io_tiles: 28,
+            unroll: 4,
+            output_pixels: 1920 * 1080,
+        },
+        g,
+    )
+}
+
+/// One Harris-corner response pixel over a 5×5 window.
+fn harris_pixel(g: &mut Graph, w: &[NodeId]) -> NodeId {
+    assert_eq!(w.len(), 25);
+    let at = |r: usize, c: usize| w[r * 5 + c];
+    // Gradients at the 9 interior positions.
+    let mut sxx_terms = Vec::new();
+    let mut sxy_terms = Vec::new();
+    let mut syy_terms = Vec::new();
+    for r in 1..4 {
+        for c in 1..4 {
+            let ix = g.add(Op::Sub, &[at(r, c + 1), at(r, c - 1)]);
+            let iy = g.add(Op::Sub, &[at(r + 1, c), at(r - 1, c)]);
+            sxx_terms.push(g.add(Op::Mul, &[ix, ix]));
+            sxy_terms.push(g.add(Op::Mul, &[ix, iy]));
+            syy_terms.push(g.add(Op::Mul, &[iy, iy]));
+        }
+    }
+    let sxx = adder_tree(g, &sxx_terms);
+    let sxy = adder_tree(g, &sxy_terms);
+    let syy = adder_tree(g, &syy_terms);
+    // response = det - k·trace², k = 1/16 via arithmetic shift
+    let det_a = g.add(Op::Mul, &[sxx, syy]);
+    let det_b = g.add(Op::Mul, &[sxy, sxy]);
+    let det = g.add(Op::Sub, &[det_a, det_b]);
+    let trace = g.add(Op::Add, &[sxx, syy]);
+    let tr2 = g.add(Op::Mul, &[trace, trace]);
+    let four = g.constant(4);
+    let k_tr2 = g.add(Op::Ashr, &[tr2, four]);
+    let resp = g.add(Op::Sub, &[det, k_tr2]);
+    // threshold into a corner mask value
+    let th = g.constant(512);
+    let is_corner = g.add(Op::Sgt, &[resp, th]);
+    let zero = g.constant(0);
+    g.add(Op::Mux, &[zero, resp, is_corner])
+}
+
+/// Harris corner detection (Table 1).
+pub fn harris() -> Application {
+    let mut g = Graph::new("harris");
+    for _ in 0..2 {
+        let w = window(&mut g, 25);
+        let r = harris_pixel(&mut g, &w);
+        g.output(r);
+    }
+    Application::new(
+        AppInfo {
+            name: "harris".into(),
+            domain: Domain::ImageProcessing,
+            description: "Identifies corners within an image".into(),
+            mem_tiles: 17,
+            io_tiles: 10,
+            unroll: 2,
+            output_pixels: 1920 * 1080,
+        },
+        g,
+    )
+}
+
+/// One Gaussian-blur pixel: 3×3 constant convolution normalized by 16.
+pub(crate) fn gaussian_pixel_kernel(g: &mut Graph, w: &[NodeId]) -> NodeId {
+    let s = dot_const(g, w, &GAUSS3);
+    normalize(g, s, 4)
+}
+
+/// Gaussian blur (Table 1).
+pub fn gaussian() -> Application {
+    let mut g = Graph::new("gaussian");
+    for _ in 0..8 {
+        let w = window(&mut g, 9);
+        let b = gaussian_pixel_kernel(&mut g, &w);
+        g.output(b);
+    }
+    Application::new(
+        AppInfo {
+            name: "gaussian".into(),
+            domain: Domain::ImageProcessing,
+            description: "Blurs an image".into(),
+            mem_tiles: 14,
+            io_tiles: 42,
+            unroll: 8,
+            output_pixels: 1920 * 1080,
+        },
+        g,
+    )
+}
+
+/// One unsharp-mask pixel: x + gain·(x − blur(x)), with an adaptive bypass
+/// for flat regions.
+fn unsharp_pixel(g: &mut Graph, w: &[NodeId]) -> NodeId {
+    let blur = gaussian_pixel_kernel(g, w);
+    let center = w[4];
+    let high = g.add(Op::Sub, &[center, blur]);
+    let gain = g.constant(6);
+    let amplified = g.add(Op::Mul, &[high, gain]);
+    let two = g.constant(2);
+    let scaled = g.add(Op::Ashr, &[amplified, two]);
+    let sharp = g.add(Op::Add, &[center, scaled]);
+    let clamped = clamp(g, sharp, 0, 255);
+    // flat-region bypass: keep the original when |x - blur| is tiny
+    let act = abs_diff(g, center, blur);
+    let th = g.constant(2);
+    let edgy = g.add(Op::Ugt, &[act, th]);
+    g.add(Op::Mux, &[center, clamped, edgy])
+}
+
+/// Unsharp masking (Table 1).
+pub fn unsharp() -> Application {
+    let mut g = Graph::new("unsharp");
+    for _ in 0..8 {
+        let w = window(&mut g, 9);
+        let s = unsharp_pixel(&mut g, &w);
+        g.output(s);
+    }
+    Application::new(
+        AppInfo {
+            name: "unsharp".into(),
+            domain: Domain::ImageProcessing,
+            description: "Sharpens an image".into(),
+            mem_tiles: 39,
+            io_tiles: 27,
+            unroll: 8,
+            output_pixels: 1920 * 1080,
+        },
+        g,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_ir::{evaluate, OpKind, Value};
+
+    #[test]
+    fn camera_matches_paper_op_budget() {
+        let app = camera_pipeline();
+        // ~90 primitive ops per pixel, 4 pixels (Section 5.1)
+        let per_pixel = app.graph.compute_op_count() / 4;
+        assert!(
+            (80..=100).contains(&per_pixel),
+            "camera pipeline should cost ~90 ops/pixel, got {per_pixel}"
+        );
+    }
+
+    #[test]
+    fn camera_avoids_shl_and_bitwise_logic() {
+        // "It uses all the operations in the baseline PE except for left
+        // shift and bitwise logical operations" (Section 5.1).
+        let app = camera_pipeline();
+        let h = app.graph.op_histogram();
+        for k in [OpKind::Shl, OpKind::And, OpKind::Or, OpKind::Xor, OpKind::Lut] {
+            assert!(!h.contains_key(&k), "camera should not use {k:?}");
+        }
+        for k in [OpKind::Mul, OpKind::Add, OpKind::Sub, OpKind::Ashr, OpKind::Mux] {
+            assert!(h.contains_key(&k), "camera should use {k:?}");
+        }
+    }
+
+    #[test]
+    fn camera_flat_grey_stays_grey() {
+        let app = camera_pipeline();
+        let n = app.graph.primary_inputs().len();
+        let out = evaluate(&app.graph, &vec![Value::Word(128); n]);
+        // mid-grey is a fixed point of denoise/demosaic and sits at the
+        // tone-curve knee and contrast midpoint; white balance scales
+        // channels, so just require a sane in-range image
+        for v in out {
+            let v = v.word();
+            assert!(v <= 255, "camera output {v} out of 8-bit range");
+        }
+    }
+
+    #[test]
+    fn harris_flat_image_has_no_corners() {
+        let app = harris();
+        let n = app.graph.primary_inputs().len();
+        let out = evaluate(&app.graph, &vec![Value::Word(77); n]);
+        for v in out {
+            assert_eq!(v.word(), 0, "flat image must produce zero response");
+        }
+    }
+
+    #[test]
+    fn gaussian_preserves_constant_images() {
+        let app = gaussian();
+        let n = app.graph.primary_inputs().len();
+        for level in [0u16, 13, 255] {
+            let out = evaluate(&app.graph, &vec![Value::Word(level); n]);
+            for v in &out {
+                assert_eq!(v.word(), level, "blur of constant {level} image");
+            }
+        }
+    }
+
+    #[test]
+    fn unsharp_is_identity_on_flat_regions() {
+        let app = unsharp();
+        let n = app.graph.primary_inputs().len();
+        let out = evaluate(&app.graph, &vec![Value::Word(99); n]);
+        for v in out {
+            assert_eq!(v.word(), 99);
+        }
+    }
+
+    #[test]
+    fn unsharp_amplifies_edges() {
+        let app = unsharp();
+        // first window: bright centre on dark background
+        let n = app.graph.primary_inputs().len();
+        let mut inputs = vec![Value::Word(10); n];
+        inputs[4] = Value::Word(200);
+        let out = evaluate(&app.graph, &inputs);
+        assert!(out[0].word() > 200, "sharpened edge should overshoot");
+    }
+
+    #[test]
+    fn all_ip_graphs_validate() {
+        for app in [camera_pipeline(), harris(), gaussian(), unsharp()] {
+            assert!(app.graph.validate().is_ok(), "{}", app.info.name);
+            assert!(app.graph.compute_op_count() > 0);
+        }
+    }
+}

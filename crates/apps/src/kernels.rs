@@ -1,0 +1,271 @@
+//! Shared dataflow-graph construction helpers.
+//!
+//! These mirror the computational idioms the Halide compiler produces when
+//! lowering image-processing and ML kernels to CoreIR: constant-weight
+//! multiply trees, balanced adder reductions, clamps, and averaging by
+//! power-of-two shifts.
+
+use apex_ir::{Graph, NodeId, Op};
+
+/// Balanced binary adder tree over `terms`.
+///
+/// # Panics
+/// Panics if `terms` is empty.
+pub fn adder_tree(g: &mut Graph, terms: &[NodeId]) -> NodeId {
+    assert!(!terms.is_empty(), "adder tree needs at least one term");
+    let mut level: Vec<NodeId> = terms.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            match pair {
+                [a, b] => next.push(g.add(Op::Add, &[*a, *b])),
+                [a] => next.push(*a),
+                _ => unreachable!(),
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Constant-weight dot product: `sum_i inputs[i] * weights[i]`.
+///
+/// Weights become [`Op::Const`] nodes, matching the convolution-with-fixed-
+/// kernel structure of Fig. 3 in the paper.
+///
+/// # Panics
+/// Panics if lengths differ or are zero.
+pub fn dot_const(g: &mut Graph, inputs: &[NodeId], weights: &[u16]) -> NodeId {
+    assert_eq!(inputs.len(), weights.len(), "dot product length mismatch");
+    let prods: Vec<NodeId> = inputs
+        .iter()
+        .zip(weights)
+        .map(|(&x, &w)| {
+            let c = g.constant(w);
+            g.add(Op::Mul, &[x, c])
+        })
+        .collect();
+    adder_tree(g, &prods)
+}
+
+/// Normalizes a weighted sum by a power of two: `x >> shift`.
+pub fn normalize(g: &mut Graph, x: NodeId, shift: u16) -> NodeId {
+    let c = g.constant(shift);
+    g.add(Op::Lshr, &[x, c])
+}
+
+/// Clamps `x` into `[lo, hi]` (signed) using constant registers.
+pub fn clamp(g: &mut Graph, x: NodeId, lo: u16, hi: u16) -> NodeId {
+    let lo_c = g.constant(lo);
+    let hi_c = g.constant(hi);
+    let lower = g.add(Op::Smax, &[x, lo_c]);
+    g.add(Op::Smin, &[lower, hi_c])
+}
+
+/// Rectified linear unit: `max(x, 0)` (signed).
+pub fn relu(g: &mut Graph, x: NodeId) -> NodeId {
+    let zero = g.constant(0);
+    g.add(Op::Smax, &[x, zero])
+}
+
+/// ReLU6: `min(max(x, 0), 6 << frac_bits)` — the MobileNet activation.
+pub fn relu6(g: &mut Graph, x: NodeId, frac_bits: u16) -> NodeId {
+    clamp(g, x, 0, 6 << frac_bits)
+}
+
+/// Absolute difference `|a - b|`, the stereo/SAD idiom.
+pub fn abs_diff(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
+    let d = g.add(Op::Sub, &[a, b]);
+    g.add(Op::Abs, &[d])
+}
+
+/// Average of two values with rounding-free shift: `(a + b) >> 1`.
+pub fn avg2(g: &mut Graph, a: NodeId, b: NodeId) -> NodeId {
+    let s = g.add(Op::Add, &[a, b]);
+    normalize(g, s, 1)
+}
+
+/// Average of four values: `(a + b + c + d) >> 2`.
+pub fn avg4(g: &mut Graph, vals: [NodeId; 4]) -> NodeId {
+    let s = adder_tree(g, &vals);
+    normalize(g, s, 2)
+}
+
+/// Signed-minimum reduction tree.
+///
+/// # Panics
+/// Panics if `terms` is empty.
+pub fn min_tree(g: &mut Graph, terms: &[NodeId]) -> NodeId {
+    reduce(g, terms, Op::Umin)
+}
+
+/// Signed-maximum reduction tree.
+///
+/// # Panics
+/// Panics if `terms` is empty.
+pub fn max_tree(g: &mut Graph, terms: &[NodeId]) -> NodeId {
+    reduce(g, terms, Op::Umax)
+}
+
+fn reduce(g: &mut Graph, terms: &[NodeId], op: Op) -> NodeId {
+    assert!(!terms.is_empty(), "reduction needs at least one term");
+    let mut level = terms.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            match pair {
+                [a, b] => next.push(g.add(op, &[*a, *b])),
+                [a] => next.push(*a),
+                _ => unreachable!(),
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// 3×3 median approximation used by denoising stages: the median of the
+/// min, max, and centre of the window's row medians (a standard shear-sort
+/// style approximation that lowers to min/max networks).
+pub fn median9_approx(g: &mut Graph, w: &[NodeId; 9]) -> NodeId {
+    let row_med = |g: &mut Graph, a: NodeId, b: NodeId, c: NodeId| -> NodeId {
+        // median(a,b,c) = max(min(a,b), min(max(a,b), c))
+        let mn = g.add(Op::Umin, &[a, b]);
+        let mx = g.add(Op::Umax, &[a, b]);
+        let m2 = g.add(Op::Umin, &[mx, c]);
+        g.add(Op::Umax, &[mn, m2])
+    };
+    let m0 = row_med(g, w[0], w[1], w[2]);
+    let m1 = row_med(g, w[3], w[4], w[5]);
+    let m2 = row_med(g, w[6], w[7], w[8]);
+    row_med(g, m0, m1, m2)
+}
+
+/// Piecewise-linear tone-curve segment: `if x > knee { base + ((x - knee) * slope) >> shift } else { x }`.
+///
+/// This is how the camera pipeline's colour curve lowers: comparisons
+/// selecting between linear segments.
+pub fn tone_segment(
+    g: &mut Graph,
+    x: NodeId,
+    knee: u16,
+    base: u16,
+    slope: u16,
+    shift: u16,
+) -> NodeId {
+    let knee_c = g.constant(knee);
+    let above = g.add(Op::Sgt, &[x, knee_c]);
+    let delta = g.add(Op::Sub, &[x, knee_c]);
+    let slope_c = g.constant(slope);
+    let scaled = g.add(Op::Mul, &[delta, slope_c]);
+    let shifted = normalize(g, scaled, shift);
+    let base_c = g.constant(base);
+    let seg = g.add(Op::Add, &[shifted, base_c]);
+    g.add(Op::Mux, &[x, seg, above])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_ir::{evaluate, Value};
+
+    fn eval1(g: &Graph, inputs: &[u16]) -> u16 {
+        let vals: Vec<Value> = inputs.iter().map(|&w| Value::Word(w)).collect();
+        evaluate(g, &vals)[0].word()
+    }
+
+    #[test]
+    fn adder_tree_sums() {
+        let mut g = Graph::new("t");
+        let ins: Vec<NodeId> = (0..5).map(|_| g.input()).collect();
+        let s = adder_tree(&mut g, &ins);
+        g.output(s);
+        assert_eq!(eval1(&g, &[1, 2, 3, 4, 5]), 15);
+    }
+
+    #[test]
+    fn dot_const_weighted_sum() {
+        let mut g = Graph::new("t");
+        let ins: Vec<NodeId> = (0..3).map(|_| g.input()).collect();
+        let s = dot_const(&mut g, &ins, &[1, 2, 3]);
+        g.output(s);
+        assert_eq!(eval1(&g, &[10, 10, 10]), 60);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let mut g = Graph::new("t");
+        let x = g.input();
+        let c = clamp(&mut g, x, 0, 255);
+        g.output(c);
+        assert_eq!(eval1(&g, &[300]), 255);
+        assert_eq!(eval1(&g, &[(-7i16) as u16]), 0);
+        assert_eq!(eval1(&g, &[42]), 42);
+    }
+
+    #[test]
+    fn relu6_saturates() {
+        let mut g = Graph::new("t");
+        let x = g.input();
+        let r = relu6(&mut g, x, 4); // Q
+        g.output(r);
+        assert_eq!(eval1(&g, &[200]), 96);
+        assert_eq!(eval1(&g, &[(-3i16) as u16]), 0);
+        assert_eq!(eval1(&g, &[50]), 50);
+    }
+
+    #[test]
+    fn abs_diff_symmetry() {
+        let mut g = Graph::new("t");
+        let a = g.input();
+        let b = g.input();
+        let d = abs_diff(&mut g, a, b);
+        g.output(d);
+        assert_eq!(eval1(&g, &[10, 4]), 6);
+        assert_eq!(eval1(&g, &[4, 10]), 6);
+    }
+
+    #[test]
+    fn median9_of_constant_window_is_constant() {
+        let mut g = Graph::new("t");
+        let w: Vec<NodeId> = (0..9).map(|_| g.input()).collect();
+        let m = median9_approx(&mut g, &w.clone().try_into().unwrap());
+        g.output(m);
+        assert_eq!(eval1(&g, &[7; 9]), 7);
+    }
+
+    #[test]
+    fn median9_rejects_outlier() {
+        let mut g = Graph::new("t");
+        let w: Vec<NodeId> = (0..9).map(|_| g.input()).collect();
+        let m = median9_approx(&mut g, &w.clone().try_into().unwrap());
+        g.output(m);
+        // one hot pixel in a flat window is removed
+        assert_eq!(eval1(&g, &[5, 5, 5, 5, 900, 5, 5, 5, 5]), 5);
+    }
+
+    #[test]
+    fn tone_segment_is_identity_below_knee() {
+        let mut g = Graph::new("t");
+        let x = g.input();
+        let y = tone_segment(&mut g, x, 128, 128, 8, 4);
+        g.output(y);
+        assert_eq!(eval1(&g, &[100]), 100);
+        // above the knee: 128 + ((200-128)*8)>>4 = 128 + 36
+        assert_eq!(eval1(&g, &[200]), 164);
+    }
+
+    #[test]
+    fn min_max_trees() {
+        let mut g = Graph::new("t");
+        let ins: Vec<NodeId> = (0..4).map(|_| g.input()).collect();
+        let mn = min_tree(&mut g, &ins);
+        let mx = max_tree(&mut g, &ins);
+        g.output(mn);
+        g.output(mx);
+        let vals: Vec<Value> = [3u16, 9, 1, 5].iter().map(|&w| Value::Word(w)).collect();
+        let out = evaluate(&g, &vals);
+        assert_eq!(out[0].word(), 1);
+        assert_eq!(out[1].word(), 9);
+    }
+}

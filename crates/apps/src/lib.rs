@@ -1,0 +1,211 @@
+//! # apex-apps — application benchmark suite
+//!
+//! This crate is our substitute for the Halide applications and the
+//! Halide-to-CoreIR compiler in the APEX paper's flow (DESIGN.md §3): each
+//! benchmark of Table 1 is lowered by hand into an [`apex_ir::Graph`] with
+//! the same operation mix, window structure, and unrolling the paper
+//! describes, plus the three "unseen" applications of Section 5.2 used to
+//! show domain (rather than application) specialization.
+//!
+//! # Examples
+//!
+//! ```
+//! use apex_apps::{analyzed_apps, Domain};
+//!
+//! let apps = analyzed_apps();
+//! assert_eq!(apps.len(), 6);
+//! assert_eq!(apps.iter().filter(|a| a.info.domain == Domain::ImageProcessing).count(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod image;
+mod kernels;
+mod ml;
+mod reference;
+mod unseen;
+
+pub use image::{camera_pipeline, gaussian, harris, unsharp};
+pub use reference::{run_3x3, Image};
+pub use ml::{mobilenet_layer, resnet_layer};
+pub use unseen::{fast_corner, laplacian_pyramid, stereo};
+
+/// Re-exported graph-construction helpers, useful for building custom
+/// applications to feed through the DSE flow.
+pub mod builders {
+    pub use crate::kernels::{
+        abs_diff, adder_tree, avg2, avg4, clamp, dot_const, max_tree, median9_approx, min_tree,
+        normalize, relu, relu6, tone_segment,
+    };
+}
+
+use apex_ir::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Application domain (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Image processing ("IP").
+    ImageProcessing,
+    /// Machine learning ("ML").
+    MachineLearning,
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Domain::ImageProcessing => write!(f, "IP"),
+            Domain::MachineLearning => write!(f, "ML"),
+        }
+    }
+}
+
+/// Workload metadata accompanying an application graph.
+///
+/// `mem_tiles` and `io_tiles` describe the buffering the application's
+/// memory schedule requires; they come from the paper's Table 3 (they are
+/// constant across PE variants there, i.e. a property of the application,
+/// not of the PE under exploration).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppInfo {
+    /// Short identifier (e.g. "camera").
+    pub name: String,
+    /// Application domain.
+    pub domain: Domain,
+    /// One-line description (Table 1).
+    pub description: String,
+    /// Memory tiles the application's buffering requires.
+    pub mem_tiles: usize,
+    /// I/O tiles used at the array boundary.
+    pub io_tiles: usize,
+    /// Output elements computed in parallel by the unrolled graph.
+    pub unroll: usize,
+    /// Total output elements per frame/layer (for runtime computation).
+    pub output_pixels: u64,
+}
+
+/// A benchmark application: metadata plus its unrolled dataflow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Application {
+    /// Workload metadata.
+    pub info: AppInfo,
+    /// The unrolled compute dataflow graph.
+    pub graph: Graph,
+}
+
+impl Application {
+    /// Bundles metadata with a graph.
+    pub fn new(info: AppInfo, graph: Graph) -> Self {
+        Application { info, graph }
+    }
+
+    /// Cycles needed to stream one frame/layer through the fully
+    /// pipelined array at one window per cycle: outputs / unroll.
+    pub fn steady_state_cycles(&self) -> u64 {
+        self.info.output_pixels / self.info.unroll as u64
+    }
+}
+
+/// The six applications analyzed by the paper's DSE (Table 1).
+pub fn analyzed_apps() -> Vec<Application> {
+    vec![
+        camera_pipeline(),
+        harris(),
+        gaussian(),
+        unsharp(),
+        resnet_layer(),
+        mobilenet_layer(),
+    ]
+}
+
+/// The four image-processing applications used to build PE IP.
+pub fn ip_apps() -> Vec<Application> {
+    vec![camera_pipeline(), harris(), gaussian(), unsharp()]
+}
+
+/// The two machine-learning applications used to build PE ML.
+pub fn ml_apps() -> Vec<Application> {
+    vec![resnet_layer(), mobilenet_layer()]
+}
+
+/// Applications *not* analyzed during PE IP creation (Section 5.2's
+/// domain-generalization study, Fig. 13).
+pub fn unseen_apps() -> Vec<Application> {
+    vec![laplacian_pyramid(), stereo(), fast_corner()]
+}
+
+/// Looks an application up by its short name, across all nine benchmarks.
+pub fn by_name(name: &str) -> Option<Application> {
+    analyzed_apps()
+        .into_iter()
+        .chain(unseen_apps())
+        .find(|a| a.info.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table1() {
+        let apps = analyzed_apps();
+        let names: Vec<&str> = apps.iter().map(|a| a.info.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["camera", "harris", "gaussian", "unsharp", "resnet", "mobilenet"]
+        );
+        assert!(apps
+            .iter()
+            .take(4)
+            .all(|a| a.info.domain == Domain::ImageProcessing));
+        assert!(apps
+            .iter()
+            .skip(4)
+            .all(|a| a.info.domain == Domain::MachineLearning));
+    }
+
+    #[test]
+    fn every_app_graph_is_valid_and_nontrivial() {
+        for app in analyzed_apps().into_iter().chain(unseen_apps()) {
+            assert!(app.graph.validate().is_ok(), "{}", app.info.name);
+            assert!(
+                app.graph.compute_op_count() >= 20,
+                "{} too small",
+                app.info.name
+            );
+            assert!(!app.graph.primary_outputs().is_empty());
+        }
+    }
+
+    #[test]
+    fn by_name_finds_all_apps() {
+        for name in [
+            "camera",
+            "harris",
+            "gaussian",
+            "unsharp",
+            "resnet",
+            "mobilenet",
+            "laplacian",
+            "stereo",
+            "fast",
+        ] {
+            assert!(by_name(name).is_some(), "{name}");
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn steady_state_cycles_accounts_for_unroll() {
+        let app = camera_pipeline();
+        assert_eq!(app.steady_state_cycles(), 1920 * 1080 / 4);
+    }
+
+    #[test]
+    fn unrolled_graphs_scale_with_unroll_factor() {
+        let g1 = gaussian();
+        let per_pixel = g1.graph.compute_op_count() / g1.info.unroll;
+        assert!((15..=20).contains(&per_pixel), "3x3 conv is ~18 ops");
+    }
+}

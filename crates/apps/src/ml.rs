@@ -1,0 +1,177 @@
+//! Machine-learning benchmark applications (Table 1, domain "ML").
+//!
+//! The paper evaluates one ResNet layer and one MobileNet layer. Halide
+//! lowers these to heavily unrolled fixed-point multiply-accumulate trees
+//! with ReLU-family activations and requantization shifts; we build the
+//! same structure directly.
+
+use crate::kernels::{adder_tree, normalize, relu, relu6};
+use crate::{AppInfo, Application, Domain};
+use apex_ir::{Graph, NodeId, Op};
+
+/// Deterministic small weights for synthetic layers (the values do not
+/// affect DSE structure, only golden-model outputs).
+fn weight(i: usize) -> u16 {
+    // small signed-looking weights in [1, 9]
+    ((i * 7 + 3) % 9 + 1) as u16
+}
+
+/// One output element of a 3×3 convolution over `c_in` input channels:
+/// MAC tree + bias + requantization + ReLU.
+fn conv_output(g: &mut Graph, taps: &[NodeId], bias: u16) -> NodeId {
+    let prods: Vec<NodeId> = taps
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let w = g.constant(weight(i));
+            g.add(Op::Mul, &[x, w])
+        })
+        .collect();
+    let acc = adder_tree(g, &prods);
+    let b = g.constant(bias);
+    let biased = g.add(Op::Add, &[acc, b]);
+    let quant = normalize(g, biased, 4);
+    relu(g, quant)
+}
+
+/// ResNet residual-block layer slice: 3×3 convolution over two input
+/// channels producing three output elements, plus the residual add.
+pub fn resnet_layer() -> Application {
+    let mut g = Graph::new("resnet");
+    const C_IN: usize = 2;
+    const OUTPUTS: usize = 3;
+    for _ in 0..OUTPUTS {
+        // 3×3 window per input channel
+        let taps: Vec<NodeId> = (0..9 * C_IN).map(|_| g.input()).collect();
+        let conv = conv_output(&mut g, &taps, 8);
+        // residual connection
+        let skip = g.input();
+        let sum = g.add(Op::Add, &[conv, skip]);
+        let out = relu(&mut g, sum);
+        g.output(out);
+    }
+    Application::new(
+        AppInfo {
+            name: "resnet".into(),
+            domain: Domain::MachineLearning,
+            description: "Residual neural network layer".into(),
+            mem_tiles: 24,
+            io_tiles: 11,
+            unroll: OUTPUTS,
+            output_pixels: 56 * 56 * 64,
+        },
+        g,
+    )
+}
+
+/// MobileNet layer slice: 3×3 depthwise convolution on two channels
+/// followed by a 1×1 pointwise combination, both with ReLU6.
+pub fn mobilenet_layer() -> Application {
+    let mut g = Graph::new("mobilenet");
+    const PIXELS: usize = 2;
+    for _ in 0..PIXELS {
+        let mut dw_outs = Vec::new();
+        for ch in 0..2 {
+            let taps: Vec<NodeId> = (0..9).map(|_| g.input()).collect();
+            let prods: Vec<NodeId> = taps
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| {
+                    let w = g.constant(weight(i + ch * 9));
+                    g.add(Op::Mul, &[x, w])
+                })
+                .collect();
+            let acc = adder_tree(&mut g, &prods);
+            let quant = normalize(&mut g, acc, 4);
+            dw_outs.push(relu6(&mut g, quant, 4));
+        }
+        // pointwise 1×1 across the two depthwise outputs
+        let w0 = g.constant(5);
+        let w1 = g.constant(3);
+        let p0 = g.add(Op::Mul, &[dw_outs[0], w0]);
+        let p1 = g.add(Op::Mul, &[dw_outs[1], w1]);
+        let acc = g.add(Op::Add, &[p0, p1]);
+        let quant = normalize(&mut g, acc, 3);
+        let out = relu6(&mut g, quant, 4);
+        g.output(out);
+    }
+    Application::new(
+        AppInfo {
+            name: "mobilenet".into(),
+            domain: Domain::MachineLearning,
+            description: "Neural network layer for low-power devices".into(),
+            mem_tiles: 52,
+            io_tiles: 17,
+            unroll: PIXELS,
+            output_pixels: 112 * 112 * 32,
+        },
+        g,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_ir::{evaluate, OpKind, Value};
+
+    #[test]
+    fn resnet_zero_input_gives_bias_only() {
+        let app = resnet_layer();
+        let n = app.graph.primary_inputs().len();
+        let out = evaluate(&app.graph, &vec![Value::Word(0); n]);
+        // bias 8 >> 4 = 0, skip 0 → relu(0) = 0
+        for v in out {
+            assert_eq!(v.word(), 0);
+        }
+    }
+
+    #[test]
+    fn resnet_residual_passes_through() {
+        let app = resnet_layer();
+        let pis = app.graph.primary_inputs();
+        let mut inputs = vec![Value::Word(0); pis.len()];
+        // skip inputs are the last input of each group of 19
+        // (9*2 conv taps + 1 skip); with zero conv taps the output is the
+        // skip value itself.
+        for chunk_end in (0..3).map(|i| (i + 1) * 19 - 1) {
+            inputs[chunk_end] = Value::Word(42);
+        }
+        let out = evaluate(&app.graph, &inputs);
+        for v in out {
+            assert_eq!(v.word(), 42);
+        }
+    }
+
+    #[test]
+    fn ml_apps_are_mac_dominated() {
+        for app in [resnet_layer(), mobilenet_layer()] {
+            let h = app.graph.op_histogram();
+            let muls = h.get(&OpKind::Mul).copied().unwrap_or(0);
+            let adds = h.get(&OpKind::Add).copied().unwrap_or(0);
+            let total = app.graph.compute_op_count();
+            assert!(
+                muls + adds >= total / 2,
+                "{}: ML layers should be MAC-dominated ({muls}+{adds} of {total})",
+                app.info.name
+            );
+        }
+    }
+
+    #[test]
+    fn mobilenet_saturates_at_relu6() {
+        let app = mobilenet_layer();
+        let n = app.graph.primary_inputs().len();
+        let out = evaluate(&app.graph, &vec![Value::Word(255); n]);
+        for v in out {
+            assert_eq!(v.word(), 6 << 4, "relu6 ceiling in Q4");
+        }
+    }
+
+    #[test]
+    fn ml_graphs_validate() {
+        for app in [resnet_layer(), mobilenet_layer()] {
+            assert!(app.graph.validate().is_ok());
+            assert!(app.graph.primary_outputs().len() >= 2);
+        }
+    }
+}

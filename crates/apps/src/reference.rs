@@ -1,0 +1,248 @@
+//! Image-level reference execution: slides a window-based application
+//! across a whole image through the IR interpreter, producing the golden
+//! output image. This is how the benchmark graphs connect back to actual
+//! pixels — and how image-level invariants (impulse responses, flat-field
+//! behaviour) get tested.
+
+use crate::Application;
+use apex_ir::{evaluate, Value};
+
+/// A simple 16-bit grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<u16>,
+}
+
+impl Image {
+    /// Creates a constant-valued image.
+    pub fn filled(width: usize, height: usize, value: u16) -> Self {
+        Image {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
+    }
+
+    /// Builds an image from a function of (x, y).
+    pub fn from_fn(width: usize, height: usize, f: impl Fn(usize, usize) -> u16) -> Self {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Image {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel access with edge clamping (the usual boundary condition of
+    /// the Halide benchmarks).
+    pub fn at(&self, x: isize, y: isize) -> u16 {
+        let x = x.clamp(0, self.width as isize - 1) as usize;
+        let y = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[y * self.width + x]
+    }
+
+    /// Sets a pixel.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, v: u16) {
+        assert!(x < self.width && y < self.height);
+        self.data[y * self.width + x] = v;
+    }
+
+    /// The raw pixel data, row-major.
+    pub fn data(&self) -> &[u16] {
+        &self.data
+    }
+}
+
+/// Runs a 3×3-window application over an image.
+///
+/// Works for any application whose unrolled graph takes `unroll × 9` word
+/// inputs and produces `k` word outputs per unrolled pixel (gaussian,
+/// unsharp, laplacian: k = 1; camera: k = 3). Every unrolled copy is fed
+/// the same window and the first copy's outputs are taken, so the result
+/// is the per-pixel kernel applied at every position.
+///
+/// Returns one output image per kernel output.
+///
+/// # Panics
+/// Panics if the application's input count is not a multiple of 9.
+pub fn run_3x3(app: &Application, input: &Image) -> Vec<Image> {
+    let n_inputs = app.graph.primary_inputs().len();
+    assert_eq!(
+        n_inputs % 9,
+        0,
+        "{} is not a 3x3-window application",
+        app.info.name
+    );
+    let unroll = n_inputs / 9;
+    let outs_total = app.graph.primary_outputs().len();
+    let outs_per_pixel = outs_total / unroll;
+    let mut outputs =
+        vec![Image::filled(input.width(), input.height(), 0); outs_per_pixel];
+    for y in 0..input.height() as isize {
+        for x in 0..input.width() as isize {
+            let mut window = Vec::with_capacity(9);
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    window.push(Value::Word(input.at(x + dx, y + dy)));
+                }
+            }
+            let mut inputs = Vec::with_capacity(n_inputs);
+            for _ in 0..unroll {
+                inputs.extend_from_slice(&window);
+            }
+            let result = evaluate(&app.graph, &inputs);
+            for (k, img) in outputs.iter_mut().enumerate() {
+                img.set(x as usize, y as usize, result[k].word());
+            }
+        }
+    }
+    outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{camera_pipeline, gaussian, laplacian_pyramid, unsharp};
+
+    #[test]
+    fn gaussian_impulse_response_is_the_kernel() {
+        let app = gaussian();
+        let mut img = Image::filled(9, 9, 0);
+        img.set(4, 4, 160); // 160/16 = 10 per kernel unit
+        let out = &run_3x3(&app, &img)[0];
+        // 3x3 gaussian [1 2 1; 2 4 2; 1 2 1]/16 scaled by 160
+        let expect = [
+            (3, 3, 10),
+            (4, 3, 20),
+            (5, 3, 10),
+            (3, 4, 20),
+            (4, 4, 40),
+            (5, 4, 20),
+            (3, 5, 10),
+            (4, 5, 20),
+            (5, 5, 10),
+        ];
+        for (x, y, v) in expect {
+            assert_eq!(out.at(x, y), v, "impulse response at ({x},{y})");
+        }
+        assert_eq!(out.at(0, 0), 0, "far field untouched");
+    }
+
+    #[test]
+    fn gaussian_preserves_flat_fields_imagewide() {
+        let app = gaussian();
+        let img = Image::filled(12, 7, 77);
+        let out = &run_3x3(&app, &img)[0];
+        assert!(out.data().iter().all(|&v| v == 77));
+    }
+
+    #[test]
+    fn unsharp_overshoots_on_a_step_edge() {
+        let app = unsharp();
+        let img = Image::from_fn(16, 8, |x, _| if x < 8 { 20 } else { 180 });
+        let out = &run_3x3(&app, &img)[0];
+        // bright side of the edge overshoots above 180, dark side dips
+        let bright_edge = out.at(8, 4);
+        let dark_edge = out.at(7, 4);
+        assert!(bright_edge > 180, "overshoot: {bright_edge}");
+        assert!(dark_edge < 20, "undershoot: {dark_edge}");
+        // flat interior is untouched
+        assert_eq!(out.at(1, 4), 20);
+        assert_eq!(out.at(14, 4), 180);
+    }
+
+    #[test]
+    fn laplacian_responds_only_at_edges() {
+        let app = laplacian_pyramid();
+        let img = Image::from_fn(16, 8, |x, _| if x < 8 { 50 } else { 90 });
+        let out = &run_3x3(&app, &img)[0];
+        assert_eq!(out.at(2, 3), 0, "flat region has zero laplacian");
+        assert_ne!(out.at(8, 3), 0, "edge produces a band-pass response");
+    }
+
+    #[test]
+    fn camera_produces_three_planes_in_range() {
+        let app = camera_pipeline();
+        let img = Image::from_fn(8, 6, |x, y| ((x * 37 + y * 11) % 200) as u16);
+        let planes = run_3x3(&app, &img);
+        assert_eq!(planes.len(), 3, "RGB output");
+        for p in &planes {
+            assert!(p.data().iter().all(|&v| v <= 255), "8-bit range");
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::gaussian;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn gaussian_output_stays_within_window_bounds(
+            pixels in prop::collection::vec(0u16..256, 36)
+        ) {
+            // a normalized blur is a convex combination (up to truncation):
+            // every output pixel lies within [min, max] of its 3x3 window
+            let img = Image::from_fn(6, 6, |x, y| pixels[y * 6 + x]);
+            let out = &run_3x3(&gaussian(), &img)[0];
+            for y in 0..6isize {
+                for x in 0..6isize {
+                    let mut lo = u16::MAX;
+                    let mut hi = 0u16;
+                    for dy in -1..=1 {
+                        for dx in -1..=1 {
+                            let v = img.at(x + dx, y + dy);
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                        }
+                    }
+                    let o = out.at(x, y);
+                    prop_assert!(o >= lo.saturating_sub(1) && o <= hi,
+                        "({x},{y}): {o} outside [{lo},{hi}]");
+                }
+            }
+        }
+
+        #[test]
+        fn blur_reduces_total_variation(pixels in prop::collection::vec(0u16..256, 48)) {
+            let img = Image::from_fn(8, 6, |x, y| pixels[y * 8 + x]);
+            let out = &run_3x3(&gaussian(), &img)[0];
+            let tv = |im: &Image| -> u64 {
+                let mut t = 0u64;
+                for y in 0..6isize {
+                    for x in 0..7isize {
+                        t += u64::from(im.at(x, y).abs_diff(im.at(x + 1, y)));
+                    }
+                }
+                t
+            };
+            // smoothing never increases horizontal total variation by more
+            // than the truncation slack (1 LSB per pixel pair)
+            prop_assert!(tv(out) <= tv(&img) + 42);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Image-processing applications *not* used during PE IP's application
+//! analysis (Section 5.2): Laplacian pyramid, stereo disparity, and FAST
+//! corner detection. These demonstrate that APEX-generated PEs specialize
+//! to a *domain* rather than to individual applications (Fig. 13).
+
+use crate::image::gaussian_pixel_kernel;
+use crate::kernels::{abs_diff, adder_tree, clamp};
+use crate::{AppInfo, Application, Domain};
+use apex_ir::{Graph, NodeId, Op};
+
+fn window(g: &mut Graph, n: usize) -> Vec<NodeId> {
+    (0..n).map(|_| g.input()).collect()
+}
+
+/// One Laplacian-pyramid level element: `L = x - blur(x)` with clamping
+/// into the representable band.
+fn laplacian_pixel(g: &mut Graph, w: &[NodeId]) -> NodeId {
+    let blur = gaussian_pixel_kernel(g, w);
+    let lap = g.add(Op::Sub, &[w[4], blur]);
+    clamp(g, lap, (-128i16) as u16, 127)
+}
+
+/// Laplacian pyramid level (unseen app 1).
+pub fn laplacian_pyramid() -> Application {
+    let mut g = Graph::new("laplacian");
+    for _ in 0..6 {
+        let w = window(&mut g, 9);
+        let l = laplacian_pixel(&mut g, &w);
+        g.output(l);
+    }
+    Application::new(
+        AppInfo {
+            name: "laplacian".into(),
+            domain: Domain::ImageProcessing,
+            description: "Linear invertible pyramid image representation".into(),
+            mem_tiles: 20,
+            io_tiles: 24,
+            unroll: 6,
+            output_pixels: 1920 * 1080,
+        },
+        g,
+    )
+}
+
+/// One stereo-disparity pixel: SAD over a 3×3 window for four candidate
+/// disparities, then an argmin network.
+fn stereo_pixel(g: &mut Graph, left: &[NodeId], rights: &[&[NodeId]]) -> NodeId {
+    let mut best_cost: Option<NodeId> = None;
+    let mut best_disp: Option<NodeId> = None;
+    for (d, right) in rights.iter().enumerate() {
+        let diffs: Vec<NodeId> = left
+            .iter()
+            .zip(right.iter())
+            .map(|(&l, &r)| abs_diff(g, l, r))
+            .collect();
+        let sad = adder_tree(g, &diffs);
+        let disp = g.constant(d as u16);
+        match (best_cost, best_disp) {
+            (None, None) => {
+                best_cost = Some(sad);
+                best_disp = Some(disp);
+            }
+            (Some(bc), Some(bd)) => {
+                let better = g.add(Op::Ult, &[sad, bc]);
+                best_cost = Some(g.add(Op::Mux, &[bc, sad, better]));
+                best_disp = Some(g.add(Op::Mux, &[bd, disp, better]));
+            }
+            _ => unreachable!(),
+        }
+    }
+    best_disp.expect("at least one disparity")
+}
+
+/// Stereo depth-map extraction (unseen app 2).
+pub fn stereo() -> Application {
+    let mut g = Graph::new("stereo");
+    const DISPARITIES: usize = 4;
+    for _ in 0..2 {
+        let left = window(&mut g, 9);
+        let rights: Vec<Vec<NodeId>> = (0..DISPARITIES).map(|_| window(&mut g, 9)).collect();
+        let right_refs: Vec<&[NodeId]> = rights.iter().map(Vec::as_slice).collect();
+        let d = stereo_pixel(&mut g, &left, &right_refs);
+        g.output(d);
+    }
+    Application::new(
+        AppInfo {
+            name: "stereo".into(),
+            domain: Domain::ImageProcessing,
+            description: "Transforms left/right image pair into a depth map".into(),
+            mem_tiles: 18,
+            io_tiles: 12,
+            unroll: 2,
+            output_pixels: 1920 * 1080,
+        },
+        g,
+    )
+}
+
+/// One FAST-corner pixel: compare 8 ring pixels against centre ± threshold
+/// and detect a contiguous bright or dark arc of length 4 with bit logic.
+fn fast_pixel(g: &mut Graph, center: NodeId, ring: &[NodeId]) -> NodeId {
+    let t = g.constant(16);
+    let hi = g.add(Op::Add, &[center, t]);
+    let lo = g.add(Op::Sub, &[center, t]);
+    let bright: Vec<NodeId> = ring.iter().map(|&p| g.add(Op::Sgt, &[p, hi])).collect();
+    let dark: Vec<NodeId> = ring.iter().map(|&p| g.add(Op::Slt, &[p, lo])).collect();
+    let arc_any = |g: &mut Graph, bits: &[NodeId]| -> NodeId {
+        let n = bits.len();
+        let mut arcs = Vec::new();
+        for s in 0..n {
+            let a = g.add(Op::BitAnd, &[bits[s], bits[(s + 1) % n]]);
+            let b = g.add(Op::BitAnd, &[bits[(s + 2) % n], bits[(s + 3) % n]]);
+            arcs.push(g.add(Op::BitAnd, &[a, b]));
+        }
+        let mut acc = arcs[0];
+        for &x in &arcs[1..] {
+            acc = g.add(Op::BitOr, &[acc, x]);
+        }
+        acc
+    };
+    let b_arc = arc_any(g, &bright);
+    let d_arc = arc_any(g, &dark);
+    let corner = g.add(Op::BitOr, &[b_arc, d_arc]);
+    let one = g.constant(1);
+    let zero = g.constant(0);
+    g.add(Op::Mux, &[zero, one, corner])
+}
+
+/// FAST corner detection (unseen app 3).
+pub fn fast_corner() -> Application {
+    let mut g = Graph::new("fast");
+    for _ in 0..2 {
+        let center = g.input();
+        let ring = window(&mut g, 8);
+        let c = fast_pixel(&mut g, center, &ring);
+        g.output(c);
+    }
+    Application::new(
+        AppInfo {
+            name: "fast".into(),
+            domain: Domain::ImageProcessing,
+            description: "Identifies corners using the FAST ring test".into(),
+            mem_tiles: 12,
+            io_tiles: 8,
+            unroll: 2,
+            output_pixels: 1920 * 1080,
+        },
+        g,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_ir::{evaluate, Value};
+
+    #[test]
+    fn laplacian_of_constant_image_is_zero() {
+        let app = laplacian_pyramid();
+        let n = app.graph.primary_inputs().len();
+        let out = evaluate(&app.graph, &vec![Value::Word(55); n]);
+        for v in out {
+            assert_eq!(v.word(), 0);
+        }
+    }
+
+    #[test]
+    fn stereo_identical_images_pick_disparity_zero() {
+        let app = stereo();
+        let pis = app.graph.primary_inputs();
+        // per pixel: 9 left taps then 4×9 right taps
+        let mut inputs = Vec::with_capacity(pis.len());
+        for _pixel in 0..2 {
+            let left: Vec<u16> = (0..9).map(|i| 40 + i * 3).collect();
+            inputs.extend(left.iter().map(|&v| Value::Word(v)));
+            for d in 0..4u16 {
+                // disparity 0 matches exactly; others are offset
+                inputs.extend(left.iter().map(|&v| Value::Word(v + d * 11)));
+            }
+        }
+        let out = evaluate(&app.graph, &inputs);
+        for v in out {
+            assert_eq!(v.word(), 0, "exact match is at disparity 0");
+        }
+    }
+
+    #[test]
+    fn fast_flags_bright_ring() {
+        let app = fast_corner();
+        let pis = app.graph.primary_inputs();
+        // centre dark, entire ring bright → contiguous arc exists
+        let mut inputs = Vec::with_capacity(pis.len());
+        for _pixel in 0..2 {
+            inputs.push(Value::Word(10)); // centre
+            inputs.extend(std::iter::repeat(Value::Word(200)).take(8));
+        }
+        let out = evaluate(&app.graph, &inputs);
+        for v in out {
+            assert_eq!(v.word(), 1);
+        }
+    }
+
+    #[test]
+    fn fast_rejects_flat_patch() {
+        let app = fast_corner();
+        let n = app.graph.primary_inputs().len();
+        let out = evaluate(&app.graph, &vec![Value::Word(90); n]);
+        for v in out {
+            assert_eq!(v.word(), 0);
+        }
+    }
+
+    #[test]
+    fn unseen_graphs_validate() {
+        for app in [laplacian_pyramid(), stereo(), fast_corner()] {
+            assert!(app.graph.validate().is_ok(), "{}", app.info.name);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # apex-bench — benchmark harness
+//!
+//! Two Criterion bench suites:
+//!
+//! * `paper_results` — regenerates **every table and figure** of the
+//!   paper's Section 5 (printed to stdout as the reproduction artifact)
+//!   and benchmarks a representative slice of the flow behind each one;
+//! * `algorithms` — micro-benchmarks of every algorithmic stage (mining,
+//!   MIS, merging, clique, rule synthesis, mapping, pipelining,
+//!   placement, routing, bitstream, Verilog emission, simulation).
+//!
+//! ```bash
+//! cargo bench -p apex-bench
+//! ```

@@ -1,0 +1,444 @@
+//! Configuration bitstream generation (paper Section 4, step 3c).
+//!
+//! Packs every tile's configuration: PE tiles get their datapath
+//! configuration (op selects, mux selects, constants) in the same bit
+//! layout the Verilog emitter uses; switch boxes get one entry per routed
+//! hop (input side/track → output side/track); connection boxes get the
+//! selected track per PE input.
+
+use crate::fabric::{Fabric, TileId};
+use crate::place::Placement;
+use crate::route::Routing;
+use apex_ir::Op;
+use apex_map::{NetKind, Netlist};
+use apex_merge::{DatapathConfig, MergedDatapath};
+use apex_rewrite::RuleSet;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of a single tile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TileConfig {
+    /// A PE tile: packed datapath configuration bits.
+    Pe {
+        /// Packed little-endian configuration bits.
+        bits: Vec<u8>,
+    },
+    /// A switch box: routed crossings `(from_tile, to_tile, track)`.
+    Sb {
+        /// Crossings through this tile.
+        crossings: Vec<(TileId, TileId, u8)>,
+    },
+    /// A memory or I/O tile streaming a number of values.
+    Stream {
+        /// Values streamed per cycle.
+        streams: u8,
+    },
+}
+
+/// The full-array bitstream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitstream {
+    /// Per-tile configuration (only configured tiles appear).
+    pub tiles: BTreeMap<TileId, Vec<TileConfig>>,
+    /// Total configuration bits.
+    pub total_bits: usize,
+}
+
+/// Packs a datapath configuration into bits, mirroring the layout of
+/// `apex_pe::config_bits` / the Verilog emitter.
+pub fn pack_config(dp: &MergedDatapath, cfg: &DatapathConfig) -> Vec<u8> {
+    let mut bits: Vec<bool> = Vec::new();
+    let push_val = |bits: &mut Vec<bool>, value: u64, width: usize| {
+        for k in 0..width {
+            bits.push((value >> k) & 1 == 1);
+        }
+    };
+    let width_for = |choices: usize| -> usize {
+        if choices <= 1 {
+            0
+        } else {
+            (usize::BITS - (choices - 1).leading_zeros()) as usize
+        }
+    };
+    for (i, node) in dp.nodes.iter().enumerate() {
+        let nc = cfg.node_cfg.get(i).and_then(Option::as_ref);
+        // op select
+        let op_idx = nc
+            .and_then(|nc| {
+                node.ops.iter().position(|o| match (o, &nc.op) {
+                    (Op::Const(_), Op::Const(_)) => true,
+                    (Op::BitConst(_), Op::BitConst(_)) => true,
+                    (Op::Lut(_), Op::Lut(_)) => true,
+                    (a, b) => a == b,
+                })
+            })
+            .unwrap_or(0);
+        push_val(&mut bits, op_idx as u64, width_for(node.ops.len()));
+        // payloads
+        for (k, op) in node.ops.iter().enumerate() {
+            let active = nc.filter(|_| k == op_idx);
+            match op {
+                Op::Const(_) => {
+                    let v = match active.map(|nc| nc.op) {
+                        Some(Op::Const(v)) => v,
+                        _ => 0,
+                    };
+                    push_val(&mut bits, u64::from(v), 16);
+                }
+                Op::BitConst(_) => {
+                    let v = matches!(active.map(|nc| nc.op), Some(Op::BitConst(true)));
+                    push_val(&mut bits, u64::from(v), 1);
+                }
+                Op::Lut(_) => {
+                    let v = match active.map(|nc| nc.op) {
+                        Some(Op::Lut(t)) => t,
+                        _ => 0,
+                    };
+                    push_val(&mut bits, u64::from(v), 8);
+                }
+                _ => {}
+            }
+        }
+        // port selects
+        for (p, cands) in node.port_candidates.iter().enumerate() {
+            let sel = nc
+                .and_then(|nc| nc.port_sel.get(p))
+                .copied()
+                .unwrap_or(0);
+            push_val(&mut bits, u64::from(sel), width_for(cands.len()));
+        }
+    }
+    // output selections
+    let total_sources = dp.nodes.len() + dp.word_inputs + dp.bit_inputs;
+    let w = width_for(total_sources);
+    for o in 0..dp.word_outputs {
+        let v = cfg
+            .word_out_sel
+            .get(o)
+            .map(|s| source_index(dp, *s))
+            .unwrap_or(0);
+        push_val(&mut bits, v as u64, w);
+    }
+    for o in 0..dp.bit_outputs {
+        let v = cfg
+            .bit_out_sel
+            .get(o)
+            .map(|s| source_index(dp, *s))
+            .unwrap_or(0);
+        push_val(&mut bits, v as u64, w);
+    }
+    // pack into bytes
+    let mut bytes = vec![0u8; bits.len().div_ceil(8)];
+    for (k, b) in bits.iter().enumerate() {
+        if *b {
+            bytes[k / 8] |= 1 << (k % 8);
+        }
+    }
+    bytes
+}
+
+/// Decodes a packed configuration back into a [`DatapathConfig`].
+///
+/// The inverse of [`pack_config`]: node activity cannot be recovered from
+/// bits alone (an inactive node and an active node configured to op 0 with
+/// zero selections pack identically), so `template` supplies the activity
+/// mask — everything else (op selects, payloads, mux selections, output
+/// selections) is taken from `bytes`. Used by the fabric-simulation path
+/// to prove the bitstream is faithful: decode-then-simulate must equal
+/// the golden model.
+///
+/// # Panics
+/// Panics if `bytes` is shorter than the datapath's configuration width.
+pub fn unpack_config(
+    dp: &MergedDatapath,
+    bytes: &[u8],
+    template: &DatapathConfig,
+) -> DatapathConfig {
+    let mut pos = 0usize;
+    let mut take = |width: usize| -> u64 {
+        let mut v = 0u64;
+        for k in 0..width {
+            let bit = pos + k;
+            assert!(bit / 8 < bytes.len(), "bitstream too short");
+            if (bytes[bit / 8] >> (bit % 8)) & 1 == 1 {
+                v |= 1 << k;
+            }
+        }
+        pos += width;
+        v
+    };
+    let width_for = |choices: usize| -> usize {
+        if choices <= 1 {
+            0
+        } else {
+            (usize::BITS - (choices - 1).leading_zeros()) as usize
+        }
+    };
+    let mut cfg = template.clone();
+    for (i, node) in dp.nodes.iter().enumerate() {
+        let op_idx = take(width_for(node.ops.len())) as usize;
+        // payloads, in op order; only the selected op's payload applies
+        let mut decoded_op = *node.ops.get(op_idx).unwrap_or(&node.ops[0]);
+        for (k, op) in node.ops.iter().enumerate() {
+            match op {
+                Op::Const(_) => {
+                    let v = take(16) as u16;
+                    if k == op_idx {
+                        decoded_op = Op::Const(v);
+                    }
+                }
+                Op::BitConst(_) => {
+                    let v = take(1) == 1;
+                    if k == op_idx {
+                        decoded_op = Op::BitConst(v);
+                    }
+                }
+                Op::Lut(_) => {
+                    let v = take(8) as u8;
+                    if k == op_idx {
+                        decoded_op = Op::Lut(v);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut sels = Vec::with_capacity(node.port_candidates.len());
+        for cands in &node.port_candidates {
+            sels.push(take(width_for(cands.len())) as u32);
+        }
+        if let Some(nc) = cfg.node_cfg[i].as_mut() {
+            nc.op = decoded_op;
+            for (p, sel) in nc.port_sel.iter_mut().enumerate() {
+                *sel = sels[p];
+            }
+        }
+    }
+    let total_sources = dp.nodes.len() + dp.word_inputs + dp.bit_inputs;
+    let w = width_for(total_sources);
+    for o in 0..dp.word_outputs {
+        let v = take(w) as usize;
+        if let Some(slot) = cfg.word_out_sel.get_mut(o) {
+            *slot = index_source(dp, v);
+        }
+    }
+    for o in 0..dp.bit_outputs {
+        let v = take(w) as usize;
+        if let Some(slot) = cfg.bit_out_sel.get_mut(o) {
+            *slot = index_source(dp, v);
+        }
+    }
+    cfg
+}
+
+fn index_source(dp: &MergedDatapath, k: usize) -> apex_merge::DpSource {
+    if k < dp.word_inputs {
+        apex_merge::DpSource::WordInput(k as u16)
+    } else if k < dp.word_inputs + dp.bit_inputs {
+        apex_merge::DpSource::BitInput((k - dp.word_inputs) as u16)
+    } else {
+        apex_merge::DpSource::Node((k - dp.word_inputs - dp.bit_inputs) as u32)
+    }
+}
+
+fn source_index(dp: &MergedDatapath, s: apex_merge::DpSource) -> usize {
+    match s {
+        apex_merge::DpSource::WordInput(k) => k as usize,
+        apex_merge::DpSource::BitInput(k) => dp.word_inputs + k as usize,
+        apex_merge::DpSource::Node(j) => dp.word_inputs + dp.bit_inputs + j as usize,
+    }
+}
+
+/// Generates the array bitstream for a placed-and-routed design.
+pub fn generate_bitstream(
+    netlist: &Netlist,
+    rules: &RuleSet,
+    dp: &MergedDatapath,
+    fabric: &Fabric,
+    placement: &Placement,
+    routing: &Routing,
+) -> Bitstream {
+    let mut tiles: BTreeMap<TileId, Vec<TileConfig>> = BTreeMap::new();
+    let mut total_bits = 0usize;
+
+    for (i, node) in netlist.nodes.iter().enumerate() {
+        let Some(tile) = placement.tile_of_node[i] else {
+            continue;
+        };
+        match &node.kind {
+            NetKind::Pe(inst) => {
+                let rule = &rules.rules[inst.rule as usize];
+                let cfg = rule.instantiate(&inst.payloads);
+                let bits = pack_config(dp, &cfg);
+                total_bits += bits.len() * 8;
+                tiles.entry(tile).or_default().push(TileConfig::Pe { bits });
+            }
+            NetKind::Fifo(d) => {
+                // FIFO depth is a small config word on the tile's RF
+                total_bits += 8;
+                tiles
+                    .entry(tile)
+                    .or_default()
+                    .push(TileConfig::Stream { streams: *d });
+            }
+            NetKind::WordInput | NetKind::BitInput | NetKind::WordOutput | NetKind::BitOutput => {
+                total_bits += 4;
+                tiles
+                    .entry(tile)
+                    .or_default()
+                    .push(TileConfig::Stream { streams: 1 });
+            }
+            _ => {}
+        }
+    }
+
+    // switch-box crossings: one track per distinct signal per link,
+    // assigned deterministically in routing order
+    let mut track_of: BTreeMap<(usize, bool, u32), u8> = BTreeMap::new();
+    let mut next_track: BTreeMap<(usize, bool), u8> = BTreeMap::new();
+    let mut sb: BTreeMap<TileId, Vec<(TileId, TileId, u8)>> = BTreeMap::new();
+    for r in &routing.routes {
+        for w in r.path.windows(2) {
+            let link = fabric.link(w[0], w[1]);
+            let t = *track_of.entry((link, r.word, r.producer)).or_insert_with(|| {
+                let n = next_track.entry((link, r.word)).or_insert(0);
+                let t = *n;
+                *n = n.wrapping_add(1) % fabric.config.word_tracks as u8;
+                t
+            });
+            sb.entry(w[0]).or_default().push((w[0], w[1], t));
+        }
+    }
+    for (tile, crossings) in sb {
+        // each crossing: 2 bits side + ~3 bits track, in + out
+        total_bits += crossings.len() * 10;
+        tiles
+            .entry(tile)
+            .or_default()
+            .push(TileConfig::Sb { crossings });
+    }
+
+    Bitstream { tiles, total_bits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricConfig;
+    use crate::place::{place, PlaceOptions};
+    use crate::route::{route, RouteOptions};
+    use apex_map::map_application;
+    use apex_pe::baseline_pe;
+    use apex_rewrite::standard_ruleset;
+
+    #[test]
+    fn bitstream_is_deterministic_and_nonempty() {
+        let app = apex_apps::gaussian();
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+        let d = map_application(&app.graph, &pe.datapath, &rules).unwrap();
+        let fabric = Fabric::new(FabricConfig::default());
+        let placement = place(&d.netlist, &fabric, &PlaceOptions::default()).unwrap();
+        let routing =
+            route(&d.netlist, &rules, &fabric, &placement, &RouteOptions::default()).unwrap();
+        let b1 = generate_bitstream(&d.netlist, &rules, &pe.datapath, &fabric, &placement, &routing);
+        let b2 = generate_bitstream(&d.netlist, &rules, &pe.datapath, &fabric, &placement, &routing);
+        assert_eq!(b1, b2);
+        assert!(b1.total_bits > 0);
+        // every PE instance contributed a PE tile config
+        let pe_cfgs: usize = b1
+            .tiles
+            .values()
+            .flatten()
+            .filter(|t| matches!(t, TileConfig::Pe { .. }))
+            .count();
+        assert_eq!(pe_cfgs, d.netlist.pe_count());
+    }
+
+    #[test]
+    fn pack_config_width_matches_cost_model() {
+        let pe = baseline_pe();
+        // an empty configuration still packs to the full config width
+        let cfg = apex_merge::DatapathConfig {
+            name: "empty".into(),
+            node_cfg: vec![None; pe.datapath.nodes.len()],
+            word_out_sel: vec![],
+            bit_out_sel: vec![],
+            word_input_map: vec![],
+            bit_input_map: vec![],
+            node_map: vec![],
+        };
+        let bytes = pack_config(&pe.datapath, &cfg);
+        let expected = apex_pe::config_bits(&pe.datapath);
+        assert_eq!(bytes.len(), expected.div_ceil(8));
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_every_stored_config() {
+        use apex_ir::{Graph, Op};
+        use apex_merge::{merge_all, MergeOptions};
+        use apex_tech::TechModel;
+        // a merged two-config datapath exercises op selects, payloads,
+        // mux selections, and output selections
+        let mut g1 = Graph::new("mac");
+        let (a, b, c) = {
+            let a = g1.input();
+            let b = g1.input();
+            let c = g1.input();
+            (a, b, c)
+        };
+        let m = g1.add(Op::Mul, &[a, b]);
+        let s = g1.add(Op::Add, &[m, c]);
+        g1.output(s);
+        let mut g2 = Graph::new("scale");
+        let x = g2.input();
+        let w = g2.constant(7);
+        let p = g2.add(Op::Mul, &[x, w]);
+        let d = g2.add(Op::Sub, &[p, x]);
+        g2.output(d);
+        let (dp, _) = merge_all(&[g1, g2], &TechModel::default(), &MergeOptions::default());
+        for cfg in &dp.configs {
+            let bytes = pack_config(&dp, cfg);
+            let decoded = unpack_config(&dp, &bytes, cfg);
+            assert_eq!(&decoded, cfg, "decode(encode(cfg)) == cfg");
+        }
+    }
+
+    #[test]
+    fn decoded_bitstream_simulates_identically() {
+        use apex_ir::{Graph, Op};
+        let mut g = Graph::new("aff");
+        let x = g.input();
+        let w = g.constant(13);
+        let b = g.constant(5);
+        let m = g.add(Op::Mul, &[x, w]);
+        let s = g.add(Op::Add, &[m, b]);
+        g.output(s);
+        let dp = apex_merge::MergedDatapath::from_graph(&g);
+        let cfg = &dp.configs[0];
+        let decoded = unpack_config(&dp, &pack_config(&dp, cfg), cfg);
+        for input in [0u16, 1, 99, 40_000] {
+            let (a, _) = dp.evaluate(cfg, &[input], &[]).unwrap();
+            let (b2, _) = dp.evaluate(&decoded, &[input], &[]).unwrap();
+            assert_eq!(a, b2);
+        }
+    }
+
+    #[test]
+    fn distinct_constants_give_distinct_bitstreams() {
+        use apex_ir::{Graph, Op};
+        let mut g = Graph::new("scale");
+        let a = g.input();
+        let c = g.constant(7);
+        let m = g.add(Op::Mul, &[a, c]);
+        g.output(m);
+        let dp = apex_merge::MergedDatapath::from_graph(&g);
+        let mut cfg2 = dp.configs[0].clone();
+        for nc in cfg2.node_cfg.iter_mut().flatten() {
+            if matches!(nc.op, Op::Const(_)) {
+                nc.op = Op::Const(9);
+            }
+        }
+        assert_ne!(pack_config(&dp, &dp.configs[0]), pack_config(&dp, &cfg2));
+    }
+}

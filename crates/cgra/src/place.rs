@@ -1,0 +1,426 @@
+//! Placement: assigning netlist nodes to fabric tiles.
+//!
+//! PE instances take PE tiles, register-file FIFOs take the register file
+//! of a PE tile (shared with a PE instance if need be), application inputs
+//! stream from memory tiles, outputs drain to I/O tiles, and pipeline
+//! registers live in switch boxes along the routes (so they are not
+//! placed here). A deterministic greedy seed is refined by simulated
+//! annealing on total Manhattan wirelength.
+
+use crate::fabric::{Fabric, TileId, TileKind};
+use apex_map::{NetKind, Netlist};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Placement classes of netlist nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PlaceClass {
+    /// PE compute slot (one per PE tile).
+    PeSlot,
+    /// Register-file slot (one per PE tile, independent of the PE slot).
+    RfSlot,
+    /// Memory streaming slot (two per memory tile — one per SRAM bank).
+    MemSlot,
+    /// I/O slot (two per I/O tile).
+    IoSlot,
+}
+
+/// What class a netlist node needs, or `None` for nodes that live in the
+/// interconnect (registers) .
+pub fn place_class(kind: &NetKind) -> Option<PlaceClass> {
+    match kind {
+        NetKind::Pe(_) => Some(PlaceClass::PeSlot),
+        NetKind::Fifo(_) => Some(PlaceClass::RfSlot),
+        NetKind::WordInput | NetKind::BitInput => Some(PlaceClass::MemSlot),
+        NetKind::WordOutput | NetKind::BitOutput => Some(PlaceClass::IoSlot),
+        NetKind::Reg | NetKind::BitReg => None,
+    }
+}
+
+/// A placement: netlist node → tile (placed nodes only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Tile per netlist node (`None` for interconnect registers).
+    pub tile_of_node: Vec<Option<TileId>>,
+    /// Total Manhattan wirelength of the collapsed netlist edges.
+    pub wirelength: usize,
+}
+
+/// Placement failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// Not enough slots of a class.
+    Capacity {
+        /// The exhausted class.
+        class: PlaceClass,
+        /// Nodes needing the class.
+        needed: usize,
+        /// Slots available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::Capacity {
+                class,
+                needed,
+                available,
+            } => write!(
+                f,
+                "fabric capacity exceeded for {class:?}: need {needed}, have {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// Placement options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaceOptions {
+    /// Simulated-annealing moves.
+    pub moves: usize,
+    /// RNG seed (placement is fully deterministic for a given seed).
+    pub seed: u64,
+    /// Initial annealing temperature (in wirelength units).
+    pub start_temp: f64,
+}
+
+impl Default for PlaceOptions {
+    fn default() -> Self {
+        PlaceOptions {
+            moves: 40_000,
+            seed: 0xA5EED,
+            start_temp: 8.0,
+        }
+    }
+}
+
+/// Follows an input reference through interconnect registers back to the
+/// placeable producer, counting the registers traversed.
+pub fn trace_through_regs(netlist: &Netlist, mut node: u32) -> (u32, u32) {
+    let mut regs = 0;
+    loop {
+        match &netlist.nodes[node as usize].kind {
+            NetKind::Reg | NetKind::BitReg => {
+                regs += 1;
+                node = netlist.nodes[node as usize].inputs[0].node;
+            }
+            _ => return (node, regs),
+        }
+    }
+}
+
+/// Edges of the collapsed netlist (registers folded into the wire).
+pub fn placement_edges(netlist: &Netlist) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    for (i, node) in netlist.nodes.iter().enumerate() {
+        if place_class(&node.kind).is_none() {
+            continue;
+        }
+        for r in &node.inputs {
+            let (src, _regs) = trace_through_regs(netlist, r.node);
+            edges.push((src, i as u32));
+        }
+    }
+    edges
+}
+
+struct Slots {
+    /// slot → tile
+    tiles: Vec<TileId>,
+    /// slot → occupying node
+    occupant: Vec<Option<u32>>,
+}
+
+impl Slots {
+    fn for_class(fabric: &Fabric, class: PlaceClass) -> Slots {
+        let tiles: Vec<TileId> = match class {
+            PlaceClass::PeSlot | PlaceClass::RfSlot => fabric.tiles_of(TileKind::Pe),
+            PlaceClass::MemSlot => {
+                let mut v = Vec::new();
+                for t in fabric.tiles_of(TileKind::Mem) {
+                    v.push(t);
+                    v.push(t); // two banks
+                }
+                v
+            }
+            PlaceClass::IoSlot => {
+                let mut v = Vec::new();
+                for t in fabric.tiles_of(TileKind::Io) {
+                    v.push(t);
+                    v.push(t);
+                }
+                v
+            }
+        };
+        let n = tiles.len();
+        Slots {
+            tiles,
+            occupant: vec![None; n],
+        }
+    }
+}
+
+/// Places a netlist on the fabric.
+///
+/// # Errors
+/// Fails if any placement class runs out of slots.
+pub fn place(
+    netlist: &Netlist,
+    fabric: &Fabric,
+    options: &PlaceOptions,
+) -> Result<Placement, PlaceError> {
+    let classes = [
+        PlaceClass::PeSlot,
+        PlaceClass::RfSlot,
+        PlaceClass::MemSlot,
+        PlaceClass::IoSlot,
+    ];
+    let mut slots: BTreeMap<PlaceClass, Slots> = classes
+        .iter()
+        .map(|&c| (c, Slots::for_class(fabric, c)))
+        .collect();
+
+    // capacity check
+    for &class in &classes {
+        let needed = netlist
+            .nodes
+            .iter()
+            .filter(|n| place_class(&n.kind) == Some(class))
+            .count();
+        let available = slots[&class].tiles.len();
+        if needed > available {
+            return Err(PlaceError::Capacity {
+                class,
+                needed,
+                available,
+            });
+        }
+    }
+
+    let edges = placement_edges(netlist);
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); netlist.nodes.len()];
+    for &(a, b) in &edges {
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+    }
+
+    // greedy seed: topological sweep, each node to the free slot nearest
+    // the centroid of its already-placed neighbours
+    let order = netlist.topo_order().expect("acyclic netlist");
+    let mut tile_of: Vec<Option<TileId>> = vec![None; netlist.nodes.len()];
+    let mut slot_of: Vec<Option<(PlaceClass, usize)>> = vec![None; netlist.nodes.len()];
+    for &u in &order {
+        let Some(class) = place_class(&netlist.nodes[u as usize].kind) else {
+            continue;
+        };
+        let placed_neigh: Vec<TileId> = adj[u as usize]
+            .iter()
+            .filter_map(|&v| tile_of[v as usize])
+            .collect();
+        let s = slots.get_mut(&class).expect("class exists");
+        let mut best: Option<(usize, usize)> = None; // (cost, slot)
+        for (k, occ) in s.occupant.iter().enumerate() {
+            if occ.is_some() {
+                continue;
+            }
+            let cost: usize = if placed_neigh.is_empty() {
+                // spread unconstrained nodes deterministically
+                fabric.distance(s.tiles[k], fabric.at(fabric.config.height / 2, 0))
+            } else {
+                placed_neigh
+                    .iter()
+                    .map(|&t| fabric.distance(s.tiles[k], t))
+                    .sum()
+            };
+            if best.is_none_or(|(bc, _)| cost < bc) {
+                best = Some((cost, k));
+            }
+        }
+        let (_, k) = best.expect("capacity checked");
+        s.occupant[k] = Some(u);
+        tile_of[u as usize] = Some(s.tiles[k]);
+        slot_of[u as usize] = Some((class, k));
+    }
+
+    // simulated annealing refinement
+    let mut seed = options.seed | 1;
+    let mut rand = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let dist = |a: Option<TileId>, b: Option<TileId>| -> usize {
+        match (a, b) {
+            (Some(a), Some(b)) => fabric.distance(a, b),
+            _ => 0,
+        }
+    };
+    let cost_of = |u: u32, tile_of: &[Option<TileId>]| -> usize {
+        adj[u as usize]
+            .iter()
+            .map(|&v| dist(tile_of[u as usize], tile_of[v as usize]))
+            .sum()
+    };
+    let placeable: Vec<u32> = (0..netlist.nodes.len() as u32)
+        .filter(|&u| slot_of[u as usize].is_some())
+        .collect();
+    let total_cost = |tile_of: &[Option<TileId>]| -> usize {
+        edges
+            .iter()
+            .map(|&(a, b)| dist(tile_of[a as usize], tile_of[b as usize]))
+            .sum()
+    };
+    let mut current = total_cost(&tile_of);
+    let mut best_tiles = tile_of.clone();
+    let mut best_cost = current;
+    if !placeable.is_empty() {
+        for step in 0..options.moves {
+            let temp = options.start_temp
+                * (1.0 - step as f64 / options.moves as f64).max(0.0001);
+            let u = placeable[(rand() as usize) % placeable.len()];
+            let (class, ku) = slot_of[u as usize].expect("placeable");
+            let s = slots.get_mut(&class).expect("class");
+            let kv = (rand() as usize) % s.tiles.len();
+            if kv == ku {
+                continue;
+            }
+            let v = s.occupant[kv];
+            if v == Some(u) {
+                continue;
+            }
+            // compute delta
+            let before = cost_of(u, &tile_of) + v.map_or(0, |v| cost_of(v, &tile_of));
+            let mut trial = tile_of.clone();
+            trial[u as usize] = Some(s.tiles[kv]);
+            if let Some(v) = v {
+                trial[v as usize] = Some(s.tiles[ku]);
+            }
+            let after = cost_of(u, &trial) + v.map_or(0, |v| cost_of(v, &trial));
+            let delta = after as f64 - before as f64;
+            let accept = delta <= 0.0 || {
+                let p = (-delta / temp).exp();
+                ((rand() >> 11) as f64 / (1u64 << 53) as f64) < p
+            };
+            if accept {
+                current = (current as f64 + delta) as usize;
+                tile_of = trial;
+                s.occupant[ku] = v;
+                s.occupant[kv] = Some(u);
+                slot_of[u as usize] = Some((class, kv));
+                if let Some(v) = v {
+                    slot_of[v as usize] = Some((class, ku));
+                }
+                if current < best_cost {
+                    best_cost = current;
+                    best_tiles = tile_of.clone();
+                }
+            }
+        }
+    }
+
+    let wirelength = total_cost(&best_tiles);
+    Ok(Placement {
+        tile_of_node: best_tiles,
+        wirelength,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricConfig;
+    use apex_map::map_application;
+    use apex_pe::baseline_pe;
+    use apex_rewrite::standard_ruleset;
+
+    fn mapped_gaussian() -> (Netlist, apex_rewrite::RuleSet) {
+        let app = apex_apps::gaussian();
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+        let d = map_application(&app.graph, &pe.datapath, &rules).unwrap();
+        (d.netlist, rules)
+    }
+
+    #[test]
+    fn gaussian_places_on_default_fabric() {
+        let (netlist, _) = mapped_gaussian();
+        let fabric = Fabric::new(FabricConfig::default());
+        let p = place(&netlist, &fabric, &PlaceOptions::default()).unwrap();
+        // every placeable node has a tile of the right kind
+        for (i, node) in netlist.nodes.iter().enumerate() {
+            match place_class(&node.kind) {
+                Some(PlaceClass::PeSlot | PlaceClass::RfSlot) => {
+                    assert_eq!(fabric.kind(p.tile_of_node[i].unwrap()), TileKind::Pe);
+                }
+                Some(PlaceClass::MemSlot) => {
+                    assert_eq!(fabric.kind(p.tile_of_node[i].unwrap()), TileKind::Mem);
+                }
+                Some(PlaceClass::IoSlot) => {
+                    assert_eq!(fabric.kind(p.tile_of_node[i].unwrap()), TileKind::Io);
+                }
+                None => assert!(p.tile_of_node[i].is_none()),
+            }
+        }
+    }
+
+    #[test]
+    fn pe_slots_are_exclusive() {
+        let (netlist, _) = mapped_gaussian();
+        let fabric = Fabric::new(FabricConfig::default());
+        let p = place(&netlist, &fabric, &PlaceOptions::default()).unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, node) in netlist.nodes.iter().enumerate() {
+            if matches!(node.kind, NetKind::Pe(_)) {
+                assert!(seen.insert(p.tile_of_node[i].unwrap()), "PE tile reused");
+            }
+        }
+    }
+
+    #[test]
+    fn annealing_does_not_worsen_the_seed() {
+        let (netlist, _) = mapped_gaussian();
+        let fabric = Fabric::new(FabricConfig::default());
+        let seed_only = place(
+            &netlist,
+            &fabric,
+            &PlaceOptions {
+                moves: 0,
+                ..PlaceOptions::default()
+            },
+        )
+        .unwrap();
+        let annealed = place(&netlist, &fabric, &PlaceOptions::default()).unwrap();
+        assert!(
+            annealed.wirelength <= seed_only.wirelength,
+            "annealed {} vs seed {}",
+            annealed.wirelength,
+            seed_only.wirelength
+        );
+    }
+
+    #[test]
+    fn capacity_errors_are_reported() {
+        let (netlist, _) = mapped_gaussian();
+        let fabric = Fabric::new(FabricConfig {
+            width: 4,
+            height: 4,
+            ..FabricConfig::default()
+        });
+        let err = place(&netlist, &fabric, &PlaceOptions::default()).unwrap_err();
+        assert!(matches!(err, PlaceError::Capacity { .. }));
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let (netlist, _) = mapped_gaussian();
+        let fabric = Fabric::new(FabricConfig::default());
+        let a = place(&netlist, &fabric, &PlaceOptions::default()).unwrap();
+        let b = place(&netlist, &fabric, &PlaceOptions::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

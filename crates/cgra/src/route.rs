@@ -1,0 +1,463 @@
+//! Routing: negotiated-congestion maze routing over the switch-box
+//! track graph (a PathFinder-style rip-up-and-reroute loop), plus the
+//! post-route verification that stands in for the paper's Verilog
+//! simulation of the configured fabric.
+
+use crate::fabric::{Fabric, TileId};
+use crate::place::{place_class, trace_through_regs, Placement};
+use apex_ir::ValueType;
+use apex_map::Netlist;
+use apex_rewrite::RuleSet;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// One routed point-to-point connection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutedEdge {
+    /// Consuming netlist node.
+    pub consumer: u32,
+    /// Input slot of the consumer.
+    pub slot: usize,
+    /// Producing (placeable) netlist node after folding registers.
+    pub producer: u32,
+    /// Tile path from producer to consumer (inclusive; length 1 when they
+    /// share a tile).
+    pub path: Vec<TileId>,
+    /// Pipeline registers this connection must absorb in switch boxes.
+    pub regs: u32,
+    /// Whether the connection is 16-bit (`false` = 1-bit track).
+    pub word: bool,
+}
+
+impl RoutedEdge {
+    /// Number of tile-to-tile hops.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// A complete routing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Routing {
+    /// All routed connections.
+    pub routes: Vec<RoutedEdge>,
+    /// Registers that could not be absorbed by switch boxes along their
+    /// route (route shorter than the register count); these are modelled
+    /// as stacked SB registers and should stay near zero.
+    pub overflow_regs: usize,
+    /// Rip-up/reroute iterations used.
+    pub iterations: usize,
+}
+
+impl Routing {
+    /// Total hops across all connections.
+    pub fn total_hops(&self) -> usize {
+        self.routes.iter().map(RoutedEdge::hops).sum()
+    }
+
+    /// Hops counted per *distinct signal* per link: fanout branches of a
+    /// net share the wire, so this (not [`Routing::total_hops`]) is the
+    /// physically switching wire count used for energy accounting.
+    pub fn signal_hops(&self, fabric: &crate::fabric::Fabric) -> usize {
+        let mut seen: std::collections::BTreeSet<(usize, bool, u32)> =
+            std::collections::BTreeSet::new();
+        for r in &self.routes {
+            for w in r.path.windows(2) {
+                seen.insert((fabric.link(w[0], w[1]), r.word, r.producer));
+            }
+        }
+        seen.len()
+    }
+
+    /// Registers physically absorbed in switch boxes.
+    pub fn sb_regs(&self) -> usize {
+        self.routes.iter().map(|r| r.regs as usize).sum()
+    }
+}
+
+/// Routing failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// Congestion could not be resolved within the iteration budget.
+    Congested {
+        /// Links still over capacity.
+        overused_links: usize,
+    },
+    /// A connection's endpoints were not placed.
+    Unplaced {
+        /// The offending consumer.
+        node: u32,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Congested { overused_links } => {
+                write!(f, "unresolved congestion on {overused_links} links")
+            }
+            RouteError::Unplaced { node } => write!(f, "node {node} is not placed"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Routing options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteOptions {
+    /// Maximum rip-up/reroute rounds.
+    pub max_iterations: usize,
+    /// History-cost increment per overused link per round.
+    pub history_increment: f64,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        RouteOptions {
+            max_iterations: 10,
+            history_increment: 2.0,
+        }
+    }
+}
+
+/// The connections that need routes: every input edge of a placed node,
+/// with interconnect registers folded onto the wire.
+pub fn connections(netlist: &Netlist, rules: &RuleSet) -> Vec<(u32, usize, u32, u32, bool)> {
+    let mut out = Vec::new();
+    for (i, node) in netlist.nodes.iter().enumerate() {
+        if place_class(&node.kind).is_none() {
+            continue;
+        }
+        let in_tys = netlist.input_types(i as u32, rules);
+        for (slot, r) in node.inputs.iter().enumerate() {
+            let (producer, regs) = trace_through_regs(netlist, r.node);
+            let word = in_tys[slot] == ValueType::Word;
+            out.push((i as u32, slot, producer, regs, word));
+        }
+    }
+    out
+}
+
+/// Routes a placed netlist.
+///
+/// # Errors
+/// Fails when congestion cannot be resolved or endpoints are unplaced.
+pub fn route(
+    netlist: &Netlist,
+    rules: &RuleSet,
+    fabric: &Fabric,
+    placement: &Placement,
+    options: &RouteOptions,
+) -> Result<Routing, RouteError> {
+    let conns = connections(netlist, rules);
+    // usage and history per (link, word?) — sparse maps keyed by link id
+    let mut history: BTreeMap<(usize, bool), f64> = BTreeMap::new();
+    let mut routes: Vec<RoutedEdge> = Vec::new();
+
+    for round in 0..options.max_iterations {
+        let iterations = round + 1;
+        // a link carries one track per *distinct signal*: fanout branches
+        // of the same producer share the wire for free
+        let mut usage: BTreeMap<(usize, bool), std::collections::BTreeSet<u32>> = BTreeMap::new();
+        routes.clear();
+        for &(consumer, slot, producer, regs, word) in &conns {
+            let src = placement.tile_of_node[producer as usize]
+                .ok_or(RouteError::Unplaced { node: producer })?;
+            let dst = placement.tile_of_node[consumer as usize]
+                .ok_or(RouteError::Unplaced { node: consumer })?;
+            let capacity = if word {
+                fabric.config.word_tracks
+            } else {
+                fabric.config.bit_tracks
+            };
+            let path =
+                shortest_path(fabric, src, dst, word, producer, capacity, &usage, &history);
+            for w in path.windows(2) {
+                let l = fabric.link(w[0], w[1]);
+                usage.entry((l, word)).or_default().insert(producer);
+            }
+            routes.push(RoutedEdge {
+                consumer,
+                slot,
+                producer,
+                path,
+                regs,
+                word,
+            });
+        }
+        // congestion check: distinct signals per link vs track count
+        let overused: Vec<(usize, bool)> = usage
+            .iter()
+            .filter(|(&(_, word), signals)| {
+                signals.len()
+                    > if word {
+                        fabric.config.word_tracks
+                    } else {
+                        fabric.config.bit_tracks
+                    }
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        if overused.is_empty() {
+            let overflow_regs = routes
+                .iter()
+                .map(|r| (r.regs as usize).saturating_sub(r.hops()))
+                .sum();
+            return Ok(Routing {
+                routes,
+                overflow_regs,
+                iterations,
+            });
+        }
+        for k in overused {
+            *history.entry(k).or_insert(0.0) += options.history_increment;
+        }
+    }
+    // final count of overused links
+    let mut usage: BTreeMap<(usize, bool), std::collections::BTreeSet<u32>> = BTreeMap::new();
+    for r in &routes {
+        for w in r.path.windows(2) {
+            usage
+                .entry((fabric.link(w[0], w[1]), r.word))
+                .or_default()
+                .insert(r.producer);
+        }
+    }
+    let overused_links = usage
+        .iter()
+        .filter(|(&(_, word), signals)| {
+            signals.len()
+                > if word {
+                    fabric.config.word_tracks
+                } else {
+                    fabric.config.bit_tracks
+                }
+        })
+        .count();
+    Err(RouteError::Congested { overused_links })
+}
+
+/// Dijkstra over tiles with congestion-aware link costs. Links already
+/// carrying this producer's signal are nearly free (wire reuse).
+#[allow(clippy::too_many_arguments)]
+fn shortest_path(
+    fabric: &Fabric,
+    src: TileId,
+    dst: TileId,
+    word: bool,
+    producer: u32,
+    capacity: usize,
+    usage: &BTreeMap<(usize, bool), std::collections::BTreeSet<u32>>,
+    history: &BTreeMap<(usize, bool), f64>,
+) -> Vec<TileId> {
+    if src == dst {
+        return vec![src];
+    }
+    let n = fabric.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<TileId>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    dist[src.0 as usize] = 0.0;
+    heap.push(Reverse((0, src.0)));
+    while let Some(Reverse((d_milli, u))) = heap.pop() {
+        let u_t = TileId(u);
+        let d = d_milli as f64 / 1000.0;
+        if d > dist[u as usize] + 1e-9 {
+            continue;
+        }
+        if u_t == dst {
+            break;
+        }
+        for v in fabric.neighbours(u_t) {
+            let l = fabric.link(u_t, v);
+            let signals = usage.get(&(l, word));
+            let carries_me = signals.is_some_and(|s| s.contains(&producer));
+            let used = signals.map_or(0, std::collections::BTreeSet::len);
+            let cost = if carries_me {
+                0.05 // the wire already exists; branch at the switch box
+            } else {
+                let congestion = if used >= capacity {
+                    5.0 * (used - capacity + 1) as f64
+                } else {
+                    0.2 * used as f64 / capacity as f64
+                };
+                let hist = history.get(&(l, word)).copied().unwrap_or(0.0);
+                1.0 + congestion + hist
+            };
+            let nd = d + cost;
+            if nd + 1e-9 < dist[v.0 as usize] {
+                dist[v.0 as usize] = nd;
+                prev[v.0 as usize] = Some(u_t);
+                heap.push(Reverse(((nd * 1000.0) as u64, v.0)));
+            }
+        }
+    }
+    // reconstruct
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = prev[cur.0 as usize].expect("grid is connected");
+        path.push(cur);
+    }
+    path.reverse();
+    path
+}
+
+/// Post-route verification — our substitute for simulating the configured
+/// CGRA Verilog with VCS (paper Section 4, step 3c): checks that every
+/// netlist connection has a contiguous route between the placed endpoint
+/// tiles and that no link exceeds its track capacity.
+///
+/// # Errors
+/// Returns a description of the first inconsistency.
+pub fn verify_routed(
+    netlist: &Netlist,
+    rules: &RuleSet,
+    fabric: &Fabric,
+    placement: &Placement,
+    routing: &Routing,
+) -> Result<(), String> {
+    let conns = connections(netlist, rules);
+    if conns.len() != routing.routes.len() {
+        return Err(format!(
+            "expected {} routes, found {}",
+            conns.len(),
+            routing.routes.len()
+        ));
+    }
+    let mut usage: BTreeMap<(usize, bool), std::collections::BTreeSet<u32>> = BTreeMap::new();
+    for r in &routing.routes {
+        let src = placement.tile_of_node[r.producer as usize]
+            .ok_or_else(|| format!("producer {} unplaced", r.producer))?;
+        let dst = placement.tile_of_node[r.consumer as usize]
+            .ok_or_else(|| format!("consumer {} unplaced", r.consumer))?;
+        if r.path.first() != Some(&src) || r.path.last() != Some(&dst) {
+            return Err(format!(
+                "route {}→{} does not connect its endpoints",
+                r.producer, r.consumer
+            ));
+        }
+        for w in r.path.windows(2) {
+            if fabric.distance(w[0], w[1]) != 1 {
+                return Err("route hops between non-adjacent tiles".into());
+            }
+            usage
+                .entry((fabric.link(w[0], w[1]), r.word))
+                .or_default()
+                .insert(r.producer);
+        }
+    }
+    for (&(_, word), signals) in &usage {
+        let cap = if word {
+            fabric.config.word_tracks
+        } else {
+            fabric.config.bit_tracks
+        };
+        if signals.len() > cap {
+            return Err(format!("link over capacity: {} > {cap}", signals.len()));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricConfig;
+    use crate::place::{place, PlaceOptions};
+    use apex_map::map_application;
+    use apex_pe::baseline_pe;
+    use apex_rewrite::standard_ruleset;
+
+    fn routed_gaussian() -> (Netlist, RuleSet, Fabric, Placement, Routing) {
+        let app = apex_apps::gaussian();
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+        let d = map_application(&app.graph, &pe.datapath, &rules).unwrap();
+        let fabric = Fabric::new(FabricConfig::default());
+        let placement = place(&d.netlist, &fabric, &PlaceOptions::default()).unwrap();
+        let routing = route(&d.netlist, &rules, &fabric, &placement, &RouteOptions::default())
+            .unwrap();
+        (d.netlist, rules, fabric, placement, routing)
+    }
+
+    #[test]
+    fn gaussian_routes_within_capacity() {
+        let (netlist, rules, fabric, placement, routing) = routed_gaussian();
+        verify_routed(&netlist, &rules, &fabric, &placement, &routing).unwrap();
+        assert!(routing.total_hops() > 0);
+        assert_eq!(routing.overflow_regs, 0);
+    }
+
+    #[test]
+    fn route_count_matches_connection_count() {
+        let (netlist, rules, _, _, routing) = routed_gaussian();
+        assert_eq!(routing.routes.len(), connections(&netlist, &rules).len());
+    }
+
+    #[test]
+    fn paths_are_shortest_when_uncongested() {
+        let (_, _, fabric, _, routing) = routed_gaussian();
+        // at least half the routes should be at Manhattan distance (light
+        // congestion on a 32x16 array)
+        let tight = routing
+            .routes
+            .iter()
+            .filter(|r| r.hops() == fabric.distance(r.path[0], *r.path.last().unwrap()))
+            .count();
+        assert!(tight * 2 >= routing.routes.len());
+    }
+
+    #[test]
+    fn congestion_fails_gracefully_on_tiny_fabrics() {
+        // a 2-wide fabric with 1 track cannot carry gaussian
+        let app = apex_apps::gaussian();
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+        let d = map_application(&app.graph, &pe.datapath, &rules).unwrap();
+        let fabric = Fabric::new(FabricConfig {
+            width: 30,
+            height: 10,
+            word_tracks: 1,
+            bit_tracks: 1,
+            ..FabricConfig::default()
+        });
+        match place(&d.netlist, &fabric, &PlaceOptions::default()) {
+            Err(_) => {} // capacity error is acceptable
+            Ok(placement) => {
+                let r = route(
+                    &d.netlist,
+                    &rules,
+                    &fabric,
+                    &placement,
+                    &RouteOptions {
+                        max_iterations: 2,
+                        ..RouteOptions::default()
+                    },
+                );
+                // either it squeezes through or reports congestion cleanly
+                if let Err(e) = r {
+                    assert!(matches!(e, RouteError::Congested { .. }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_tile_connection_has_empty_route() {
+        let f = Fabric::new(FabricConfig::default());
+        let p = shortest_path(
+            &f,
+            f.at(1, 1),
+            f.at(1, 1),
+            true,
+            0,
+            5,
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+        );
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Full-flow evaluation of a PE variant on an application: map →
+//! (optionally) pipeline → place → route → report, producing the numbers
+//! behind every table and figure of the paper's Section 5.
+
+use crate::variant::PeVariant;
+use apex_apps::Application;
+use apex_cgra::{
+    achieved_period, cgra_area, cgra_energy_per_cycle, gather_stats, place, route,
+    verify_routed, AreaBreakdown, EnergyBreakdown, Fabric, FabricConfig, OutputTiming,
+    PlaceError, PlaceOptions, PnrStats, RouteError, RouteOptions,
+};
+use apex_map::{map_application, MapError, MapStats};
+use apex_pipeline::{
+    auto_pipeline, pipeline_application, AppPipelineOptions, AppPipelineReport,
+    PePipelineOptions,
+};
+use apex_tech::TechModel;
+
+/// Evaluation options for the whole backend flow.
+#[derive(Debug, Clone, Default)]
+pub struct EvalOptions {
+    /// Fabric parameters.
+    pub fabric: FabricConfig,
+    /// Placement parameters.
+    pub place: PlaceOptions,
+    /// Routing parameters.
+    pub route: RouteOptions,
+    /// PE pipelining parameters.
+    pub pe_pipeline: PePipelineOptions,
+    /// Application pipelining parameters.
+    pub app_pipeline: AppPipelineOptions,
+    /// Apply automated PE + application pipelining (Fig. 16's
+    /// "post-pipelining").
+    pub pipelined: bool,
+}
+
+/// Backend failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Instruction selection failed.
+    Map(MapError),
+    /// Placement failed.
+    Place(PlaceError),
+    /// Routing failed.
+    Route(RouteError),
+    /// Post-route verification failed (a flow bug).
+    Verify(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Map(e) => write!(f, "mapping: {e}"),
+            EvalError::Place(e) => write!(f, "placement: {e}"),
+            EvalError::Route(e) => write!(f, "routing: {e}"),
+            EvalError::Verify(e) => write!(f, "verification: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Complete evaluation of one (variant, application) pair.
+#[derive(Debug, Clone)]
+pub struct AppEvaluation {
+    /// Application name.
+    pub app: String,
+    /// Variant name.
+    pub variant: String,
+    /// Mapping statistics (`#PE` etc.).
+    pub mapping: MapStats,
+    /// Application pipelining report (zeros when `pipelined` is off).
+    pub pipelining: AppPipelineReport,
+    /// PE pipeline depth used (1 = combinational).
+    pub pe_stages: u32,
+    /// Post-place-and-route utilization (Table 3 row).
+    pub pnr: PnrStats,
+    /// CGRA area breakdown (Fig. 15).
+    pub area: AreaBreakdown,
+    /// CGRA energy per steady-state cycle (Fig. 15).
+    pub energy_per_cycle: EnergyBreakdown,
+    /// Achieved clock period, ns.
+    pub period_ns: f64,
+    /// Cycles to process one frame/layer.
+    pub runtime_cycles: u64,
+    /// PE-core-only totals (Fig. 11 / Fig. 14): area µm².
+    pub pe_core_area: f64,
+    /// PE-core-only energy per frame, nJ.
+    pub pe_core_energy_nj: f64,
+}
+
+impl AppEvaluation {
+    /// Runtime for one frame/layer, milliseconds.
+    pub fn runtime_ms(&self) -> f64 {
+        self.runtime_cycles as f64 * self.period_ns * 1e-6
+    }
+
+    /// Total CGRA energy for one frame/layer, microjoules.
+    pub fn total_energy_uj(&self) -> f64 {
+        self.energy_per_cycle.total() * self.runtime_cycles as f64 * 1e-6
+    }
+
+    /// The paper's Table 2 metric: frames per millisecond per mm².
+    pub fn perf_per_mm2(&self) -> f64 {
+        let frames_per_ms = 1.0 / self.runtime_ms();
+        let mm2 = self.area.total() * 1e-6;
+        frames_per_ms / mm2
+    }
+
+    /// Performance per mm² using PE area only (Table 2 uses total PE
+    /// area).
+    pub fn perf_per_pe_mm2(&self) -> f64 {
+        let frames_per_ms = 1.0 / self.runtime_ms();
+        let mm2 = self.pe_core_area * 1e-6;
+        frames_per_ms / mm2
+    }
+}
+
+/// Quick post-mapping estimate (no place-and-route): PE count, total PE
+/// area (µm²), and PE energy per cycle (pJ) — the minutes-scale signal the
+/// paper uses to decide which PEs to investigate further (Section 5.3.1).
+///
+/// # Errors
+/// Propagates mapping failures.
+pub fn post_mapping_estimate(
+    variant: &PeVariant,
+    app: &Application,
+    tech: &TechModel,
+) -> Result<(usize, f64, f64), EvalError> {
+    let design =
+        map_application(&app.graph, &variant.spec.datapath, &variant.rules).map_err(EvalError::Map)?;
+    let pe_area = variant.spec.area(tech).total();
+    let mut energy = 0.0;
+    for node in &design.netlist.nodes {
+        if let apex_map::NetKind::Pe(inst) = &node.kind {
+            let rule = &variant.rules.rules[inst.rule as usize];
+            energy += variant.spec.energy(&rule.instantiate(&inst.payloads), tech);
+        }
+    }
+    Ok((
+        design.stats.pe_count,
+        design.stats.pe_count as f64 * pe_area,
+        energy,
+    ))
+}
+
+/// Runs the full backend for one variant and application.
+///
+/// # Errors
+/// Propagates mapping, placement, routing, or verification failures.
+pub fn evaluate_app(
+    variant: &PeVariant,
+    app: &Application,
+    tech: &TechModel,
+    options: &EvalOptions,
+) -> Result<AppEvaluation, EvalError> {
+    let design =
+        map_application(&app.graph, &variant.spec.datapath, &variant.rules).map_err(EvalError::Map)?;
+
+    // PE pipelining (paper Section 4.2)
+    let mut spec = variant.spec.clone();
+    let mut pipelining = AppPipelineReport {
+        regs_inserted: 0,
+        fifos_inserted: 0,
+        latency: 0,
+    };
+    let mut netlist = design.netlist.clone();
+    if options.pipelined {
+        auto_pipeline(&mut spec, tech, &options.pe_pipeline);
+        // post-pipelining designs also register every PE output, so PEs
+        // present at least one cycle of latency to the interconnect
+        let lat = spec.latency() + 1;
+        let (pipelined_netlist, report) = pipeline_application(
+            &design.netlist,
+            &variant.rules,
+            lat,
+            &options.app_pipeline,
+        );
+        netlist = pipelined_netlist;
+        pipelining = report;
+    }
+
+    let fabric = Fabric::new(options.fabric.clone());
+    let placement = place(&netlist, &fabric, &options.place).map_err(EvalError::Place)?;
+    let routing =
+        route(&netlist, &variant.rules, &fabric, &placement, &options.route).map_err(EvalError::Route)?;
+    verify_routed(&netlist, &variant.rules, &fabric, &placement, &routing)
+        .map_err(EvalError::Verify)?;
+
+    let pnr = gather_stats(&netlist, &fabric, &placement, &routing);
+    let area = cgra_area(&netlist, &pnr, &spec, tech);
+    let energy = cgra_energy_per_cycle(&netlist, &variant.rules, &pnr, &spec, tech);
+    let timing = if options.pipelined {
+        OutputTiming::Registered
+    } else {
+        OutputTiming::Combinational
+    };
+    let period = achieved_period(&routing, &spec, tech, timing).max(tech.clock_period_ns);
+    let runtime_cycles = app.steady_state_cycles() + u64::from(pipelining.latency);
+
+    let pe_core_area = pnr.pe_tiles as f64 * spec.area(tech).total();
+    let pe_core_energy_nj = energy.pe * runtime_cycles as f64 * 1e-3;
+
+    Ok(AppEvaluation {
+        app: app.info.name.clone(),
+        variant: variant.spec.name.clone(),
+        mapping: design.stats,
+        pipelining,
+        pe_stages: spec.pipeline.as_ref().map_or(1, |p| p.stages),
+        pnr,
+        area,
+        energy_per_cycle: energy,
+        period_ns: period,
+        runtime_cycles,
+        pe_core_area,
+        pe_core_energy_nj,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::{baseline_variant, pe1_variant};
+    use apex_apps::gaussian;
+
+    #[test]
+    fn gaussian_evaluates_on_baseline_end_to_end() {
+        let app = gaussian();
+        let tech = TechModel::default();
+        let v = baseline_variant(&[&app]);
+        let eval = evaluate_app(&v, &app, &tech, &EvalOptions::default()).unwrap();
+        assert!(eval.pnr.pe_tiles > 0);
+        assert!(eval.area.total() > 0.0);
+        assert!(eval.energy_per_cycle.total() > 0.0);
+        assert!(eval.runtime_ms() > 0.0);
+        assert!(eval.perf_per_mm2() > 0.0);
+    }
+
+    #[test]
+    fn pe1_beats_baseline_on_area_and_energy() {
+        let app = gaussian();
+        let tech = TechModel::default();
+        let base = evaluate_app(
+            &baseline_variant(&[&app]),
+            &app,
+            &tech,
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        let pe1 = evaluate_app(
+            &pe1_variant("pe1_gauss", &[&app], &[&app]),
+            &app,
+            &tech,
+            &EvalOptions::default(),
+        )
+        .unwrap();
+        assert!(pe1.pe_core_area < base.pe_core_area);
+        assert!(pe1.energy_per_cycle.pe < base.energy_per_cycle.pe);
+    }
+
+    #[test]
+    fn pipelining_improves_clock_at_area_cost() {
+        let app = gaussian();
+        let tech = TechModel::default();
+        let v = baseline_variant(&[&app]);
+        let flat = evaluate_app(&v, &app, &tech, &EvalOptions::default()).unwrap();
+        let piped = evaluate_app(
+            &v,
+            &app,
+            &tech,
+            &EvalOptions {
+                pipelined: true,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(piped.period_ns <= flat.period_ns);
+        assert!(piped.runtime_cycles >= flat.runtime_cycles, "fill latency");
+    }
+}

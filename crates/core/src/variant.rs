@@ -1,0 +1,509 @@
+//! PE variant construction — the heart of APEX's design-space exploration
+//! (paper Sections 3 and 5).
+//!
+//! Every variant starts from the baseline PE restricted to the operations
+//! the target applications actually use ("PE 1"); increasingly specialized
+//! variants merge frequent subgraphs into it in decreasing order of their
+//! maximal-independent-set size ("PE 2", "PE 3", …, "PE Spec"), and
+//! domain variants ("PE IP", "PE ML") merge subgraphs from every
+//! application of the domain.
+
+use apex_apps::Application;
+use apex_ir::{Graph, Op, OpKind};
+use apex_merge::{merge_graph, MergeOptions};
+use apex_mining::{mine, MinedSubgraph, MinerConfig};
+use apex_pe::{baseline_pe, baseline_pe_with_ops, PeSpec};
+use apex_rewrite::{standard_ruleset, RuleSet, SynthesisReport};
+use apex_tech::TechModel;
+use std::collections::BTreeSet;
+
+/// A PE design point: specification, the subgraphs merged into it, and the
+/// rewrite rules for mapping the evaluation applications.
+#[derive(Debug, Clone)]
+pub struct PeVariant {
+    /// The PE specification (unpipelined; the evaluator pipelines a copy).
+    pub spec: PeSpec,
+    /// Datapath graphs of the merged subgraphs (aligned with
+    /// `spec.datapath.configs`).
+    pub sources: Vec<Graph>,
+    /// Verified rewrite rules for the evaluation applications.
+    pub rules: RuleSet,
+    /// Rule-synthesis report (missing ops ⇒ some app is unmappable).
+    pub synthesis: SynthesisReport,
+}
+
+/// Operation kinds an application suite requires of a PE, with
+/// hardware-class completion: a comparator executes every compare flavour
+/// and a logic unit every bitwise op, so requesting one member of those
+/// classes provides the whole class (they share the same silicon).
+pub fn required_op_kinds(apps: &[&Application]) -> BTreeSet<OpKind> {
+    let mut kinds: BTreeSet<OpKind> = BTreeSet::new();
+    for app in apps {
+        for (_, node) in app.graph.iter() {
+            let op = node.op();
+            if op.is_compute() {
+                kinds.insert(op.kind());
+            }
+        }
+    }
+    kinds.insert(OpKind::Const);
+    const CMP: [OpKind; 10] = [
+        OpKind::Eq,
+        OpKind::Neq,
+        OpKind::Slt,
+        OpKind::Sle,
+        OpKind::Sgt,
+        OpKind::Sge,
+        OpKind::Ult,
+        OpKind::Ule,
+        OpKind::Ugt,
+        OpKind::Uge,
+    ];
+    if CMP.iter().any(|k| kinds.contains(k)) {
+        kinds.extend(CMP);
+    }
+    const LOGIC: [OpKind; 4] = [OpKind::And, OpKind::Or, OpKind::Xor, OpKind::Not];
+    if LOGIC.iter().any(|k| kinds.contains(k)) {
+        kinds.extend(LOGIC);
+    }
+    const MINMAX: [OpKind; 4] = [OpKind::Smin, OpKind::Smax, OpKind::Umin, OpKind::Umax];
+    if MINMAX.iter().any(|k| kinds.contains(k)) {
+        kinds.extend(MINMAX);
+    }
+    // bit ops execute on the 3-input LUT
+    const BIT: [OpKind; 5] = [
+        OpKind::BitAnd,
+        OpKind::BitOr,
+        OpKind::BitXor,
+        OpKind::BitNot,
+        OpKind::BitMux,
+    ];
+    if BIT.iter().any(|k| kinds.contains(k)) {
+        for k in BIT {
+            kinds.remove(&k);
+        }
+        kinds.insert(OpKind::Lut);
+        kinds.insert(OpKind::BitConst);
+    }
+    kinds
+}
+
+/// The general-purpose baseline PE with rules for the given applications
+/// (the paper's comparison baseline, Fig. 1).
+pub fn baseline_variant(eval_apps: &[&Application]) -> PeVariant {
+    let spec = baseline_pe();
+    finish(spec, Vec::new(), eval_apps)
+}
+
+/// "PE 1": the baseline restricted to the operations the applications
+/// need, APEX-generated (no legacy control overhead).
+pub fn pe1_variant(name: &str, analysis_apps: &[&Application], eval_apps: &[&Application]) -> PeVariant {
+    let kinds = required_op_kinds(analysis_apps);
+    let spec = baseline_pe_with_ops(name, &kinds);
+    finish(spec, Vec::new(), eval_apps)
+}
+
+/// How candidate subgraphs are ranked before taking the top `per_app`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionRank {
+    /// Utilizable-MIS × (fused ops − 1): the PEs actually saved. Our
+    /// refinement of the paper's ranking.
+    #[default]
+    SavingsPotential,
+    /// Raw MIS size, the paper's first-cut ranking. Over-weights tiny
+    /// pairs — useful to reproduce the over-merging effect of Fig. 12.
+    MisSize,
+}
+
+/// Selection policy for subgraphs to merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubgraphSelection {
+    /// Subgraphs taken per analysis application (in rank order).
+    pub per_app: usize,
+    /// Minimum number of non-constant operations a subgraph must fuse
+    /// (constant-only pairs are already covered by constant folding).
+    pub min_fused_ops: usize,
+    /// Minimum MIS size to consider.
+    pub min_mis: usize,
+    /// Ranking used to order the candidates.
+    pub rank: SelectionRank,
+    /// Maximum routed data inputs a subgraph PE may need. Every PE input
+    /// costs a connection box in each tile (the paper's I/O design-space
+    /// axis, Fig. 2), so input-hungry subgraphs are excluded; constants
+    /// fold into registers and do not count (Fig. 2c).
+    pub max_data_inputs: usize,
+}
+
+impl Default for SubgraphSelection {
+    fn default() -> Self {
+        SubgraphSelection {
+            per_app: 2,
+            min_fused_ops: 2,
+            min_mis: 4,
+            rank: SelectionRank::SavingsPotential,
+            max_data_inputs: 4,
+        }
+    }
+}
+
+/// Mines an application and returns its interesting subgraphs ranked by
+/// *PE savings potential*: the number of non-overlapping, fully
+/// utilizable occurrences times the operations each one fuses beyond the
+/// first. Plain MIS order (the paper's first-cut ranking) over-weights
+/// tiny pairs and subgraphs whose intermediates the application still
+/// needs elsewhere.
+pub fn select_subgraphs(
+    app: &Application,
+    miner: &MinerConfig,
+    selection: &SubgraphSelection,
+) -> Vec<MinedSubgraph> {
+    let mined = mine(&app.graph, miner);
+    let mut scored: Vec<(usize, MinedSubgraph)> = mined
+        .into_iter()
+        .filter_map(|m| {
+            let fused = m
+                .pattern
+                .labels()
+                .iter()
+                .filter(|l| !matches!(l, OpKind::Const | OpKind::BitConst))
+                .count();
+            if fused < selection.min_fused_ops {
+                return None;
+            }
+            let materialized = materialize_with_consts(&app.graph, &m);
+            let data_inputs = materialized
+                .node_ids()
+                .filter(|&i| materialized.op(i) == Op::Input)
+                .count();
+            if data_inputs > selection.max_data_inputs {
+                return None;
+            }
+            let umis = m.utilizable_mis(&app.graph);
+            if umis < selection.min_mis {
+                return None;
+            }
+            let score = match selection.rank {
+                SelectionRank::SavingsPotential => umis * (fused - 1),
+                SelectionRank::MisSize => m.mis_size,
+            };
+            Some((score, m))
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.0.cmp(&a.0)
+            .then_with(|| a.1.pattern.canonical_code().cmp(&b.1.pattern.canonical_code()))
+    });
+    scored
+        .into_iter()
+        .take(selection.per_app)
+        .map(|(_, m)| m)
+        .collect()
+}
+
+/// Builds a specialized variant: PE 1 for the analysis applications, plus
+/// the selected frequent subgraphs merged in MIS order.
+///
+/// `extra_kinds` force-in additional operation kinds (e.g. keeping the
+/// bit-operation LUT in a domain PE so unseen applications still map).
+pub fn specialized_variant(
+    name: &str,
+    analysis_apps: &[&Application],
+    eval_apps: &[&Application],
+    miner: &MinerConfig,
+    selection: &SubgraphSelection,
+    merge_opts: &MergeOptions,
+    tech: &TechModel,
+    extra_kinds: &BTreeSet<OpKind>,
+) -> PeVariant {
+    let mut kinds = required_op_kinds(analysis_apps);
+    kinds.extend(extra_kinds.iter().copied());
+    let base = baseline_pe_with_ops(name, &kinds);
+    let mut dp = base.datapath;
+
+    // collect candidate subgraphs across all analysis apps, dedup by the
+    // canonical code of the *materialized* datapath (two apps can mine the
+    // same op pattern yet fold different constants or share inputs
+    // differently — those are different PE rules), order by MIS size
+    // mining is independent per application: fan out across threads
+    let per_app: Vec<Vec<MinedSubgraph>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = analysis_apps
+            .iter()
+            .map(|app| scope.spawn(move || select_subgraphs(app, miner, selection)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("miner thread panicked"))
+            .collect()
+    });
+    let mut chosen: Vec<(String, Graph, usize)> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (app, mined) in analysis_apps.iter().zip(per_app) {
+        for (k, m) in mined.into_iter().enumerate() {
+            let mut g = materialize_with_consts(&app.graph, &m);
+            let (mat_pattern, _) =
+                apex_mining::Pattern::from_occurrence(&g, &g.compute_nodes());
+            if !seen.insert(mat_pattern.canonical_code()) {
+                continue;
+            }
+            g.set_name(format!("{}_{}{}", app.info.name, "sg", k));
+            chosen.push((app.info.name.clone(), g, m.mis_size));
+        }
+    }
+    chosen.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.1.name().cmp(b.1.name())));
+
+    let mut sources = Vec::new();
+    for (_, g, _) in chosen {
+        let (next, _) = merge_graph(&dp, &g, tech, merge_opts);
+        dp = next;
+        sources.push(g);
+    }
+    dp.name = name.to_owned();
+    let spec = PeSpec::new(name, dp, false);
+    finish(spec, sources, eval_apps)
+}
+
+/// Builds the ladder of increasingly specialized variants for one
+/// application (the paper's PE 1, PE 2, …, Fig. 11): variant `k` merges
+/// the top `k` subgraphs.
+pub fn specialization_ladder(
+    app: &Application,
+    steps: usize,
+    miner: &MinerConfig,
+    merge_opts: &MergeOptions,
+    tech: &TechModel,
+) -> Vec<PeVariant> {
+    let mut out = Vec::new();
+    for k in 0..=steps {
+        let selection = SubgraphSelection {
+            per_app: k,
+            ..SubgraphSelection::default()
+        };
+        let name = format!("pe{}_{}", k + 1, app.info.name);
+        let v = specialized_variant(
+            &name,
+            &[app],
+            &[app],
+            miner,
+            &selection,
+            merge_opts,
+            tech,
+            &BTreeSet::new(),
+        );
+        out.push(v);
+    }
+    out
+}
+
+/// Materializes a mined subgraph as a datapath from its representative
+/// occurrence: the constant producers it folds come along (a pattern that
+/// leaves kernel weights outside would force standalone constant PEs at
+/// mapping time), and values feeding several nodes arrive on one shared
+/// input port (keeping the PE's connection-box count down, Fig. 2).
+pub(crate) fn materialize_with_consts(graph: &Graph, m: &MinedSubgraph) -> Graph {
+    let mut nodes: BTreeSet<apex_ir::NodeId> = m.representative.iter().copied().collect();
+    for &n in &m.representative {
+        for &src in graph.node(n).inputs() {
+            if matches!(graph.op(src), Op::Const(_) | Op::BitConst(_)) {
+                nodes.insert(src);
+            }
+        }
+    }
+    let set: Vec<apex_ir::NodeId> = nodes.into_iter().collect();
+    let (g, _) = graph.extract_subgraph(&set, "sg");
+    g
+}
+
+/// Builds "PE Spec" for an application using the paper's stopping rule:
+/// keep merging subgraphs (in rank order) while the *CGRA-level* cost
+/// still improves; stop at "the most specialized PE possible without
+/// increasing the area or energy of the application running on the CGRA"
+/// (Section 5). CGRA-level matters: deeper merging grows each PE but
+/// frees tiles, switch boxes, and connection boxes.
+pub fn most_specialized_variant(
+    app: &Application,
+    miner: &MinerConfig,
+    merge_opts: &MergeOptions,
+    tech: &TechModel,
+    max_steps: usize,
+) -> PeVariant {
+    let mut options = crate::evaluate::EvalOptions::default();
+    options.place.moves = 4_000;
+    let mut best: Option<(PeVariant, f64, f64)> = None;
+    for k in 0..=max_steps {
+        let v = specialized_variant(
+            &format!("pe_spec_{}", app.info.name),
+            &[app],
+            &[app],
+            miner,
+            &SubgraphSelection {
+                per_app: k,
+                ..SubgraphSelection::default()
+            },
+            merge_opts,
+            tech,
+            &BTreeSet::new(),
+        );
+        let Ok(eval) = crate::evaluate::evaluate_app(&v, app, tech, &options) else {
+            break;
+        };
+        let (area, energy) = (eval.area.total(), eval.energy_per_cycle.total());
+        match &best {
+            None => best = Some((v, area, energy)),
+            Some((_, ba, be)) => {
+                // tolerate sub-percent noise from placement
+                if area <= ba * 1.005 && energy <= be * 1.005 {
+                    best = Some((v, area.min(*ba), energy.min(*be)));
+                } else {
+                    break; // more merging starts costing area/energy
+                }
+            }
+        }
+    }
+    best.expect("k = 0 always evaluates").0
+}
+
+fn finish(spec: PeSpec, sources: Vec<Graph>, eval_apps: &[&Application]) -> PeVariant {
+    let graphs: Vec<&Graph> = eval_apps.iter().map(|a| &a.graph).collect();
+    let (rules, synthesis) = standard_ruleset(&spec.datapath, &sources, &graphs);
+    PeVariant {
+        spec,
+        sources,
+        rules,
+        synthesis,
+    }
+}
+
+/// Checks a variant can express everything its applications need.
+pub fn variant_is_complete(v: &PeVariant) -> bool {
+    v.synthesis.missing.is_empty()
+}
+
+/// Convenience: the set of ops an application graph uses, as concrete ops.
+pub fn ops_used(graph: &Graph) -> BTreeSet<Op> {
+    graph
+        .iter()
+        .filter(|(_, n)| n.op().is_compute())
+        .map(|(_, n)| n.op())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_apps::{camera_pipeline, gaussian, ip_apps};
+
+    #[test]
+    fn required_kinds_complete_comparator_class() {
+        let cam = camera_pipeline();
+        let kinds = required_op_kinds(&[&cam]);
+        // camera uses sgt; class completion brings in ult etc.
+        assert!(kinds.contains(&OpKind::Sgt));
+        assert!(kinds.contains(&OpKind::Ult));
+        // but never left shift or word bitwise logic (Section 5.1)
+        assert!(!kinds.contains(&OpKind::Shl));
+        assert!(!kinds.contains(&OpKind::And));
+    }
+
+    #[test]
+    fn pe1_is_smaller_than_baseline_and_complete() {
+        let tech = TechModel::default();
+        let cam = camera_pipeline();
+        let base = baseline_variant(&[&cam]);
+        let pe1 = pe1_variant("pe1_camera", &[&cam], &[&cam]);
+        assert!(variant_is_complete(&base), "{:?}", base.synthesis.missing);
+        assert!(variant_is_complete(&pe1), "{:?}", pe1.synthesis.missing);
+        assert!(
+            pe1.spec.area(&tech).total() < 0.7 * base.spec.area(&tech).total()
+        );
+    }
+
+    #[test]
+    fn specialized_variant_gains_complex_rules() {
+        let tech = TechModel::default();
+        let g = gaussian();
+        let v = specialized_variant(
+            "pe_spec_gaussian",
+            &[&g],
+            &[&g],
+            &MinerConfig::default(),
+            &SubgraphSelection::default(),
+            &MergeOptions::default(),
+            &tech,
+            &BTreeSet::new(),
+        );
+        assert!(variant_is_complete(&v), "{:?}", v.synthesis.missing);
+        assert!(!v.sources.is_empty(), "subgraphs were merged");
+        // at least one rule covers 3+ ops
+        assert!(v.rules.rules.iter().any(|r| r.ops_covered >= 3));
+    }
+
+    #[test]
+    fn ladder_is_increasingly_specialized() {
+        let tech = TechModel::default();
+        let g = gaussian();
+        let ladder = specialization_ladder(
+            &g,
+            2,
+            &MinerConfig::default(),
+            &MergeOptions::default(),
+            &tech,
+        );
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder[0].sources.len(), 0, "PE 1 merges nothing");
+        assert!(ladder[2].sources.len() >= ladder[1].sources.len());
+        for v in &ladder {
+            assert!(variant_is_complete(v), "{}: {:?}", v.spec.name, v.synthesis.missing);
+        }
+    }
+
+    #[test]
+    fn most_specialized_variant_never_loses_to_pe1() {
+        let tech = TechModel::default();
+        let g = gaussian();
+        let spec = most_specialized_variant(
+            &g,
+            &MinerConfig::default(),
+            &MergeOptions::default(),
+            &tech,
+            3,
+        );
+        let pe1 = pe1_variant("pe1_gauss", &[&g], &[&g]);
+        let mut options = crate::evaluate::EvalOptions::default();
+        options.place.moves = 4_000;
+        let spec_eval = crate::evaluate::evaluate_app(&spec, &g, &tech, &options).unwrap();
+        let pe1_eval = crate::evaluate::evaluate_app(&pe1, &g, &tech, &options).unwrap();
+        // the stopping rule guarantees CGRA-level monotone improvement
+        assert!(
+            spec_eval.area.total() <= pe1_eval.area.total() * 1.01,
+            "{} vs {}",
+            spec_eval.area.total(),
+            pe1_eval.area.total()
+        );
+        assert!(
+            spec_eval.energy_per_cycle.total() <= pe1_eval.energy_per_cycle.total() * 1.01
+        );
+        assert!(variant_is_complete(&spec));
+    }
+
+    #[test]
+    fn ip_variant_builds_from_all_four_apps() {
+        let tech = TechModel::default();
+        let apps = ip_apps();
+        let refs: Vec<&Application> = apps.iter().collect();
+        let v = specialized_variant(
+            "pe_ip",
+            &refs,
+            &refs,
+            &MinerConfig::default(),
+            &SubgraphSelection {
+                per_app: 1,
+                ..SubgraphSelection::default()
+            },
+            &MergeOptions::default(),
+            &tech,
+            &BTreeSet::new(),
+        );
+        assert!(variant_is_complete(&v), "{:?}", v.synthesis.missing);
+        assert!(!v.sources.is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! Prints the reproduced tables and figures of the APEX paper.
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    args.retain(|a| a != "--csv");
+    for (name, gen) in apex_eval::all_experiments() {
+        if !args.is_empty() && !args.iter().any(|f| f == name) {
+            continue;
+        }
+        eprintln!("[running {name} ...]");
+        let t0 = std::time::Instant::now();
+        let table = gen();
+        if csv {
+            println!("# {name}");
+            print!("{}", table.to_csv());
+        } else {
+            println!("{table}");
+        }
+        eprintln!("[{name} done in {:.1?}]", t0.elapsed());
+    }
+}

@@ -1,0 +1,213 @@
+//! Shared, lazily-built experiment context: the applications, the PE
+//! variants of Section 5, and the evaluation options. Variants are cached
+//! so the many experiments (and benches) that share them build each one
+//! once per process.
+
+use apex_apps::{analyzed_apps, ip_apps, ml_apps, unseen_apps, Application};
+use apex_core::{
+    baseline_variant, evaluate_app, specialization_ladder, specialized_variant, AppEvaluation,
+    EvalOptions, PeVariant, SubgraphSelection,
+};
+use apex_ir::OpKind;
+use apex_merge::MergeOptions;
+use apex_mining::MinerConfig;
+use apex_tech::TechModel;
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+/// Faster backend knobs for experiment sweeps: fewer annealing moves and
+/// a slightly smaller miner budget. Results stay deterministic.
+pub fn eval_options(pipelined: bool) -> EvalOptions {
+    let mut o = EvalOptions::default();
+    o.place.moves = 8_000;
+    o.pipelined = pipelined;
+    o
+}
+
+/// The technology model all experiments share.
+pub fn tech() -> &'static TechModel {
+    static TECH: OnceLock<TechModel> = OnceLock::new();
+    TECH.get_or_init(TechModel::default)
+}
+
+fn miner() -> MinerConfig {
+    MinerConfig {
+        max_patterns: 500,
+        ..MinerConfig::default()
+    }
+}
+
+/// All nine applications (six analyzed + three unseen).
+pub fn all_apps() -> &'static Vec<Application> {
+    static APPS: OnceLock<Vec<Application>> = OnceLock::new();
+    APPS.get_or_init(|| {
+        let mut v = analyzed_apps();
+        v.extend(unseen_apps());
+        v
+    })
+}
+
+/// Looks up an application by name from the shared set.
+pub fn app(name: &str) -> &'static Application {
+    all_apps()
+        .iter()
+        .find(|a| a.info.name == name)
+        .unwrap_or_else(|| panic!("unknown app {name}"))
+}
+
+/// The baseline PE with rules for every application.
+pub fn baseline() -> &'static PeVariant {
+    static V: OnceLock<PeVariant> = OnceLock::new();
+    V.get_or_init(|| {
+        let refs: Vec<&Application> = all_apps().iter().collect();
+        baseline_variant(&refs)
+    })
+}
+
+/// PE IP: specialized for the four image-processing applications, but
+/// evaluated on (and given rules for) the unseen applications too. The
+/// baseline's bit-operation LUT is retained so predicate logic from
+/// outside the analysis set still maps (DESIGN.md §3).
+pub fn pe_ip() -> &'static PeVariant {
+    static V: OnceLock<PeVariant> = OnceLock::new();
+    V.get_or_init(|| {
+        let analysis = ip_apps();
+        let arefs: Vec<&Application> = analysis.iter().collect();
+        let eval: Vec<&Application> = all_apps()
+            .iter()
+            .filter(|a| a.info.domain == apex_apps::Domain::ImageProcessing)
+            .collect();
+        let extra: BTreeSet<OpKind> =
+            [OpKind::Lut, OpKind::BitConst, OpKind::Abs].into_iter().collect();
+        specialized_variant(
+            "pe_ip",
+            &arefs,
+            &eval,
+            &miner(),
+            &SubgraphSelection::default(),
+            &MergeOptions::default(),
+            tech(),
+            &extra,
+        )
+    })
+}
+
+/// PE IP2: one more subgraph from each application than PE IP (Fig. 12's
+/// over-merged variant).
+pub fn pe_ip2() -> &'static PeVariant {
+    static V: OnceLock<PeVariant> = OnceLock::new();
+    V.get_or_init(|| {
+        let analysis = ip_apps();
+        let arefs: Vec<&Application> = analysis.iter().collect();
+        specialized_variant(
+            "pe_ip2",
+            &arefs,
+            &arefs,
+            &miner(),
+            &SubgraphSelection {
+                per_app: 6,
+                min_mis: 2,
+                rank: apex_core::SelectionRank::MisSize,
+                ..SubgraphSelection::default()
+            },
+            &MergeOptions::default(),
+            tech(),
+            &BTreeSet::new(),
+        )
+    })
+}
+
+/// PE IP3: unbalanced — specializes more for camera pipeline than for the
+/// other applications (Fig. 12).
+pub fn pe_ip3() -> &'static PeVariant {
+    static V: OnceLock<PeVariant> = OnceLock::new();
+    V.get_or_init(|| {
+        let analysis = ip_apps();
+        let arefs: Vec<&Application> = analysis.iter().collect();
+        // camera: deep selection, others: a single subgraph
+        let mut chosen: Vec<&Application> = Vec::new();
+        chosen.push(arefs[0]); // camera, weighted by repeating
+        chosen.push(arefs[0]);
+        chosen.push(arefs[0]);
+        chosen.extend(&arefs[1..]);
+        specialized_variant(
+            "pe_ip3",
+            &chosen,
+            &arefs,
+            &miner(),
+            &SubgraphSelection {
+                per_app: 1,
+                ..SubgraphSelection::default()
+            },
+            &MergeOptions::default(),
+            tech(),
+            &BTreeSet::new(),
+        )
+    })
+}
+
+/// PE ML: specialized for the two machine-learning layers.
+pub fn pe_ml() -> &'static PeVariant {
+    static V: OnceLock<PeVariant> = OnceLock::new();
+    V.get_or_init(|| {
+        let analysis = ml_apps();
+        let arefs: Vec<&Application> = analysis.iter().collect();
+        specialized_variant(
+            "pe_ml",
+            &arefs,
+            &arefs,
+            &miner(),
+            &SubgraphSelection {
+                per_app: 2,
+                ..SubgraphSelection::default()
+            },
+            &MergeOptions::default(),
+            tech(),
+            &BTreeSet::new(),
+        )
+    })
+}
+
+/// PE Spec: the most specialized per-application PE.
+pub fn pe_spec(app_name: &str) -> &'static PeVariant {
+    static V: OnceLock<std::sync::Mutex<std::collections::BTreeMap<String, &'static PeVariant>>> =
+        OnceLock::new();
+    let cache = V.get_or_init(|| std::sync::Mutex::new(std::collections::BTreeMap::new()));
+    let mut guard = cache.lock().expect("unpoisoned");
+    if let Some(v) = guard.get(app_name) {
+        return v;
+    }
+    let a = app(app_name);
+    // the paper's stopping rule: most specialized without increasing the
+    // application's area or energy
+    let v = apex_core::most_specialized_variant(a, &miner(), &MergeOptions::default(), tech(), 4);
+    let leaked: &'static PeVariant = Box::leak(Box::new(v));
+    guard.insert(app_name.to_owned(), leaked);
+    leaked
+}
+
+/// The camera-pipeline specialization ladder (PE 1 … PE 4, Fig. 11 /
+/// Table 2).
+pub fn camera_ladder() -> &'static Vec<PeVariant> {
+    static V: OnceLock<Vec<PeVariant>> = OnceLock::new();
+    V.get_or_init(|| {
+        specialization_ladder(
+            app("camera"),
+            3,
+            &miner(),
+            &MergeOptions::default(),
+            tech(),
+        )
+    })
+}
+
+/// Evaluates a variant on an application with shared options, panicking
+/// with context on flow failures (experiments treat them as fatal).
+pub fn run(variant: &PeVariant, application: &Application, pipelined: bool) -> AppEvaluation {
+    evaluate_app(variant, application, tech(), &eval_options(pipelined)).unwrap_or_else(|e| {
+        panic!(
+            "evaluating {} on {}: {e}",
+            application.info.name, variant.spec.name
+        )
+    })
+}

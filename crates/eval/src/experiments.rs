@@ -1,0 +1,428 @@
+//! One generator per table and figure of the paper's Section 5.
+//!
+//! Each function regenerates its table/figure from the live flow (mining,
+//! merging, rule synthesis, mapping, pipelining, place-and-route) and
+//! returns a [`Table`] whose rows mirror the paper's. Absolute values
+//! differ from the paper's testbed; EXPERIMENTS.md records the
+//! paper-vs-measured comparison for every row.
+
+use crate::baselines::{asic, fpga, simba};
+use crate::context::{
+    all_apps, app, baseline, camera_ladder, pe_ip, pe_ip2, pe_ip3, pe_ml, pe_spec,
+    run, tech,
+};
+use crate::table::Table;
+use apex_apps::{ip_apps, ml_apps, unseen_apps, Application, Domain};
+use apex_core::{select_subgraphs, PeVariant, SubgraphSelection};
+use apex_map::{map_application, NetKind};
+use apex_mining::MinerConfig;
+
+/// Table 1: the applications used for DSE evaluation.
+pub fn table1() -> Table {
+    let mut t = Table::new(
+        "Table 1: Applications used for the DSE framework evaluation",
+        &["Application", "Domain", "Description"],
+    );
+    for a in all_apps().iter().take(6) {
+        t.push(vec![
+            a.info.name.clone(),
+            a.info.domain.to_string(),
+            a.info.description.clone(),
+        ]);
+    }
+    t
+}
+
+/// Fig. 10: the frequent subgraphs selected for merging, per application,
+/// in MIS order.
+pub fn fig10() -> Table {
+    let mut t = Table::new(
+        "Fig. 10: Subgraphs selected for PE construction (MIS order)",
+        &["Application", "Rank", "Subgraph", "Nodes", "MIS"],
+    );
+    let miner = MinerConfig::default();
+    for a in all_apps().iter().take(6) {
+        let subs = select_subgraphs(a, &miner, &SubgraphSelection {
+            per_app: 4,
+            ..SubgraphSelection::default()
+        });
+        for (k, m) in subs.iter().enumerate() {
+            t.push(vec![
+                a.info.name.clone(),
+                (k + 1).to_string(),
+                m.pattern.to_string(),
+                m.pattern.len().to_string(),
+                m.mis_size.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Post-mapping PE-core totals (no place-and-route): the quick estimate of
+/// Section 5.3.1.
+pub fn post_mapping(variant: &PeVariant, application: &Application) -> (usize, f64, f64) {
+    let design = map_application(&application.graph, &variant.spec.datapath, &variant.rules)
+        .unwrap_or_else(|e| panic!("{}: {e}", application.info.name));
+    let pe_area = variant.spec.area(tech()).total();
+    let mut energy = 0.0;
+    for node in &design.netlist.nodes {
+        if let NetKind::Pe(inst) = &node.kind {
+            let rule = &variant.rules.rules[inst.rule as usize];
+            energy += variant.spec.energy(&rule.instantiate(&inst.payloads), tech());
+        }
+    }
+    (
+        design.stats.pe_count,
+        design.stats.pe_count as f64 * pe_area,
+        energy,
+    )
+}
+
+/// Fig. 11: camera-pipeline PE specialization sweep (baseline, PE 1..4) —
+/// total PE area and PE energy.
+pub fn fig11() -> Table {
+    let mut t = Table::new(
+        "Fig. 11: Camera-pipeline specialization (PE core level)",
+        &["Variant", "#PEs", "Area/PE um2", "Total PE area um2", "PE energy pJ/cycle", "Area vs base", "Energy vs base"],
+    );
+    let camera = app("camera");
+    let mut rows: Vec<(String, usize, f64, f64)> = Vec::new();
+    {
+        let (n, area, energy) = post_mapping(baseline(), camera);
+        rows.push(("pe_base".into(), n, area, energy));
+    }
+    for v in camera_ladder() {
+        let (n, area, energy) = post_mapping(v, camera);
+        rows.push((v.spec.name.clone(), n, area, energy));
+    }
+    let (base_area, base_energy) = (rows[0].2, rows[0].3);
+    for (name, n, area, energy) in rows {
+        t.push(vec![
+            name,
+            n.to_string(),
+            format!("{:.1}", area / n as f64),
+            format!("{area:.0}"),
+            format!("{energy:.1}"),
+            format!("{:.2}x", area / base_area),
+            format!("{:.2}x", energy / base_energy),
+        ]);
+    }
+    t
+}
+
+/// Table 2: camera-pipeline performance per mm² across the ladder
+/// (pipelined designs at the 1.1 ns clock, 1920×1080 frames).
+pub fn table2() -> Table {
+    let mut t = Table::new(
+        "Table 2: Camera pipeline on each PE variant (1.1 ns clock)",
+        &["PE Variant", "#PEs", "Area/PE um2", "Total Area um2", "Frames/ms/mm2"],
+    );
+    let camera = app("camera");
+    let mut variants: Vec<(&str, &PeVariant)> = vec![("PE Base", baseline())];
+    let ladder = camera_ladder();
+    let names = ["PE 1", "PE 2", "PE 3", "PE 4"];
+    for (n, v) in names.iter().zip(ladder.iter()) {
+        variants.push((n, v));
+    }
+    for (name, v) in variants {
+        let e = run(v, camera, true);
+        let area_per_pe = e.pe_core_area / e.pnr.pe_tiles as f64;
+        t.push(vec![
+            name.to_owned(),
+            e.pnr.pe_tiles.to_string(),
+            format!("{area_per_pe:.2}"),
+            format!("{:.0}", e.pe_core_area),
+            format!("{:.2}", e.perf_per_pe_mm2()),
+        ]);
+    }
+    t
+}
+
+/// Fig. 12: PE IP vs PE IP2 vs PE IP3 across the four IP applications
+/// (post-mapping PE area and energy, normalized to the baseline PE).
+pub fn fig12() -> Table {
+    let mut t = Table::new(
+        "Fig. 12: Degree of merging across IP applications (vs baseline)",
+        &["Application", "Variant", "#PEs", "Area vs base", "Energy vs base"],
+    );
+    for a in ip_apps() {
+        let (_, base_area, base_energy) = post_mapping(baseline(), &a);
+        for v in [pe_ip(), pe_ip2(), pe_ip3()] {
+            let (n, area, energy) = post_mapping(v, &a);
+            t.push(vec![
+                a.info.name.clone(),
+                v.spec.name.clone(),
+                n.to_string(),
+                format!("{:.2}x", area / base_area),
+                format!("{:.2}x", energy / base_energy),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 13: applications *not* analyzed during PE IP creation, on the
+/// baseline vs PE IP (domain generalization).
+pub fn fig13() -> Table {
+    let mut t = Table::new(
+        "Fig. 13: Unseen applications on PE IP (vs baseline PE)",
+        &["Application", "#PEs base", "#PEs IP", "Area vs base", "Energy vs base"],
+    );
+    for a in unseen_apps() {
+        let (nb, base_area, base_energy) = post_mapping(baseline(), &a);
+        let (ni, area, energy) = post_mapping(pe_ip(), &a);
+        t.push(vec![
+            a.info.name.clone(),
+            nb.to_string(),
+            ni.to_string(),
+            format!("{:.2}x", area / base_area),
+            format!("{:.2}x", energy / base_energy),
+        ]);
+    }
+    t
+}
+
+/// The domain variant evaluated against an application in Figs. 14–16.
+fn domain_variant(a: &Application) -> &'static PeVariant {
+    match a.info.domain {
+        Domain::ImageProcessing => pe_ip(),
+        Domain::MachineLearning => pe_ml(),
+    }
+}
+
+/// Fig. 14: post-mapping comparison of baseline, PE IP/ML, and PE Spec
+/// across all six analyzed applications (PE contributions only).
+pub fn fig14() -> Table {
+    let mut t = Table::new(
+        "Fig. 14: Post-mapping PE-core area (normalized to baseline)",
+        &["Application", "Variant", "#PEs", "Area vs base"],
+    );
+    for a in all_apps().iter().take(6) {
+        let (nb, base_area, _) = post_mapping(baseline(), a);
+        t.push(vec![
+            a.info.name.clone(),
+            "pe_base".into(),
+            nb.to_string(),
+            "1.00x".into(),
+        ]);
+        let domain = domain_variant(a);
+        for v in [domain, pe_spec(&a.info.name)] {
+            let (n, area, _) = post_mapping(v, a);
+            t.push(vec![
+                a.info.name.clone(),
+                v.spec.name.clone(),
+                n.to_string(),
+                format!("{:.2}x", area / base_area),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 15: post-place-and-route CGRA area and energy including the
+/// interconnect, normalized to the baseline CGRA.
+pub fn fig15() -> Table {
+    let mut t = Table::new(
+        "Fig. 15: Post-PnR CGRA area/energy incl. interconnect (vs baseline)",
+        &["Application", "Variant", "Area vs base", "Energy vs base", "SB area vs base", "CB area vs base"],
+    );
+    for a in all_apps().iter().take(6) {
+        let base = run(baseline(), a, false);
+        for v in [domain_variant(a), pe_spec(&a.info.name)] {
+            let e = run(v, a, false);
+            t.push(vec![
+                a.info.name.clone(),
+                v.spec.name.clone(),
+                format!("{:.2}x", e.area.total() / base.area.total()),
+                format!(
+                    "{:.2}x",
+                    e.energy_per_cycle.total() / base.energy_per_cycle.total()
+                ),
+                format!("{:.2}x", e.area.sb / base.area.sb),
+                format!("{:.2}x", e.area.cb / base.area.cb),
+            ]);
+        }
+    }
+    t
+}
+
+/// Table 3: post-pipelining resource utilization of the CGRA per
+/// application and variant.
+pub fn table3() -> Table {
+    let mut t = Table::new(
+        "Table 3: Post-pipelining resource utilization",
+        &["Variant", "Application", "#PE", "#MEM", "#RF", "#IO", "#Reg", "#Routing"],
+    );
+    let mut push = |variant_name: &str, a: &Application, v: &PeVariant| {
+        let e = run(v, a, true);
+        t.push(vec![
+            variant_name.to_owned(),
+            a.info.name.clone(),
+            e.pnr.pe_tiles.to_string(),
+            e.pnr.mem_tiles.to_string(),
+            e.pnr.rf_tiles.to_string(),
+            e.pnr.io_tiles.to_string(),
+            e.pnr.sb_regs.to_string(),
+            e.pnr.routing_tiles.to_string(),
+        ]);
+    };
+    for a in all_apps().iter().take(6) {
+        push("baseline", a, baseline());
+    }
+    for a in ip_apps() {
+        push("pe_ip", app(&a.info.name), pe_ip());
+        push("pe_spec", app(&a.info.name), pe_spec(&a.info.name));
+    }
+    for a in ml_apps() {
+        push("pe_ml", app(&a.info.name), pe_ml());
+    }
+    t
+}
+
+/// Fig. 16: pre- vs post-pipelining area, energy, and performance/mm².
+pub fn fig16() -> Table {
+    let mut t = Table::new(
+        "Fig. 16: Impact of PE and application pipelining",
+        &["Application", "Variant", "Period pre ns", "Period post ns", "Perf/mm2 gain", "Area cost", "#RF", "#Reg"],
+    );
+    for a in all_apps().iter().take(6) {
+        for v in [baseline(), domain_variant(a)] {
+            let pre = run(v, a, false);
+            let post = run(v, a, true);
+            t.push(vec![
+                a.info.name.clone(),
+                v.spec.name.clone(),
+                format!("{:.2}", pre.period_ns),
+                format!("{:.2}", post.period_ns),
+                format!("{:.2}x", post.perf_per_mm2() / pre.perf_per_mm2()),
+                format!("{:.2}x", post.area.total() / pre.area.total()),
+                post.pnr.rf_tiles.to_string(),
+                post.pnr.sb_regs.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 17: energy and runtime of the IP applications on an FPGA, the
+/// baseline CGRA, the CGRA with PE IP, and an ASIC.
+pub fn fig17() -> Table {
+    let mut t = Table::new(
+        "Fig. 17: FPGA vs baseline CGRA vs CGRA-IP vs ASIC (per frame)",
+        &["Application", "Platform", "Energy uJ", "Runtime ms"],
+    );
+    for a in ip_apps() {
+        let a = app(&a.info.name);
+        let f = fpga(a, tech());
+        t.push(vec![
+            a.info.name.clone(),
+            "FPGA".into(),
+            format!("{:.1}", f.energy_uj),
+            format!("{:.3}", f.runtime_ms),
+        ]);
+        for (name, v) in [("CGRA base", baseline()), ("CGRA-IP", pe_ip())] {
+            let e = run(v, a, true);
+            t.push(vec![
+                a.info.name.clone(),
+                name.into(),
+                format!("{:.1}", e.total_energy_uj()),
+                format!("{:.3}", e.runtime_ms()),
+            ]);
+        }
+        let s = asic(a, tech());
+        t.push(vec![
+            a.info.name.clone(),
+            "ASIC".into(),
+            format!("{:.1}", s.energy_uj),
+            format!("{:.3}", s.runtime_ms),
+        ]);
+    }
+    t
+}
+
+/// Fig. 18: ML layers on an FPGA, the baseline CGRA, CGRA-ML, and Simba.
+pub fn fig18() -> Table {
+    let mut t = Table::new(
+        "Fig. 18: ML applications vs FPGA and Simba (per layer)",
+        &["Application", "Platform", "Energy uJ", "Runtime ms"],
+    );
+    for a in ml_apps() {
+        let a = app(&a.info.name);
+        let f = fpga(a, tech());
+        t.push(vec![
+            a.info.name.clone(),
+            "FPGA".into(),
+            format!("{:.1}", f.energy_uj),
+            format!("{:.3}", f.runtime_ms),
+        ]);
+        for (name, v) in [("CGRA base", baseline()), ("CGRA-ML", pe_ml())] {
+            let e = run(v, a, true);
+            t.push(vec![
+                a.info.name.clone(),
+                name.into(),
+                format!("{:.1}", e.total_energy_uj()),
+                format!("{:.3}", e.runtime_ms()),
+            ]);
+        }
+        let s = simba(a, tech());
+        t.push(vec![
+            a.info.name.clone(),
+            "Simba".into(),
+            format!("{:.1}", s.energy_uj),
+            format!("{:.3}", s.runtime_ms),
+        ]);
+    }
+    t
+}
+
+/// Every experiment, keyed by its paper identifier.
+pub fn all_experiments() -> Vec<(&'static str, fn() -> Table)> {
+    vec![
+        ("table1", table1 as fn() -> Table),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("table2", table2),
+        ("fig12", fig12),
+        ("fig13", fig13),
+        ("fig14", fig14),
+        ("fig15", fig15),
+        ("table3", table3),
+        ("fig16", fig16),
+        ("fig17", fig17),
+        ("fig18", fig18),
+    ]
+}
+
+// The experiment generators double as this crate's deep integration
+// tests; the cheap ones run here, the heavyweight ones in `tests/`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_six_apps() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.cell(0, "Application"), Some("camera"));
+        assert_eq!(t.cell(4, "Domain"), Some("ML"));
+    }
+
+    #[test]
+    fn fig10_selects_ranked_subgraphs() {
+        let t = fig10();
+        assert!(t.rows.len() >= 6, "every app contributes subgraphs");
+        // MIS values are positive
+        for r in 0..t.rows.len() {
+            assert!(t.cell_f64(r, "MIS").unwrap() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn eval_options_reduce_moves() {
+        let o = crate::context::eval_options(false);
+        assert!(o.place.moves < 40_000);
+        assert!(!o.pipelined);
+        assert!(crate::context::eval_options(true).pipelined);
+    }
+}

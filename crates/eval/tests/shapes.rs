@@ -1,0 +1,137 @@
+//! Shape tests: the qualitative claims of the paper's evaluation, locked
+//! in as assertions over the regenerated experiments (EXPERIMENTS.md's
+//! verdict column, kept true by CI).
+//!
+//! Only post-mapping experiments run here (they are the paper's
+//! "minutes-scale" signal and keep the suite fast); the full
+//! post-place-and-route tables are exercised by the report binary and the
+//! benches.
+
+use apex_eval::experiments::{fig10, fig11, fig12, fig13, fig14, table1};
+
+#[test]
+fn table1_shape() {
+    let t = table1();
+    assert_eq!(t.rows.len(), 6);
+    assert_eq!(
+        t.rows.iter().filter(|r| r[1] == "IP").count(),
+        4,
+        "four image-processing applications"
+    );
+}
+
+#[test]
+fn fig10_shape_conv_apps_mine_mac_trees() {
+    let t = fig10();
+    // gaussian's top subgraph is a multiply/adder tree
+    let row = (0..t.rows.len())
+        .find(|&r| t.cell(r, "Application") == Some("gaussian") && t.cell(r, "Rank") == Some("1"))
+        .expect("gaussian has a top subgraph");
+    let pattern = t.cell(row, "Subgraph").unwrap();
+    assert!(
+        pattern.contains("mul") && pattern.contains("add"),
+        "gaussian's top subgraph is a MAC tree: {pattern}"
+    );
+    // camera's selections include the min/max median network
+    let camera_patterns: Vec<&str> = (0..t.rows.len())
+        .filter(|&r| t.cell(r, "Application") == Some("camera"))
+        .map(|r| t.cell(r, "Subgraph").unwrap())
+        .collect();
+    assert!(
+        camera_patterns.iter().any(|p| p.contains("umin") || p.contains("umax")),
+        "camera mines its median network: {camera_patterns:?}"
+    );
+}
+
+#[test]
+fn fig11_shape_specialization_monotonically_helps() {
+    let t = fig11();
+    // PE count never increases down the ladder
+    let pes: Vec<f64> = (0..t.rows.len())
+        .map(|r| t.cell_f64(r, "#PEs").unwrap())
+        .collect();
+    assert!(pes.windows(2).all(|w| w[1] <= w[0]), "{pes:?}");
+    // every specialized variant beats the baseline on area and energy
+    for r in 1..t.rows.len() {
+        assert!(t.cell_f64(r, "Area vs base").unwrap() < 1.0);
+        assert!(t.cell_f64(r, "Energy vs base").unwrap() < 1.0);
+    }
+    // the paper's headline: up to ~68% PE energy reduction for camera
+    let last = t.rows.len() - 1;
+    assert!(
+        t.cell_f64(last, "Energy vs base").unwrap() < 0.45,
+        "deep specialization cuts PE energy by more than half"
+    );
+}
+
+#[test]
+fn fig12_shape_unbalanced_merging_never_wins() {
+    let t = fig12();
+    // PE IP3 (unbalanced toward camera) is never better than PE IP for
+    // the non-camera applications
+    for app in ["harris", "gaussian", "unsharp"] {
+        let ip = (0..t.rows.len())
+            .find(|&r| t.cell(r, "Application") == Some(app) && t.cell(r, "Variant") == Some("pe_ip"))
+            .unwrap();
+        let ip3 = (0..t.rows.len())
+            .find(|&r| t.cell(r, "Application") == Some(app) && t.cell(r, "Variant") == Some("pe_ip3"))
+            .unwrap();
+        let a_ip = t.cell_f64(ip, "Energy vs base").unwrap();
+        let a_ip3 = t.cell_f64(ip3, "Energy vs base").unwrap();
+        assert!(
+            a_ip3 >= a_ip - 0.02,
+            "{app}: unbalanced IP3 must not beat balanced IP ({a_ip3} vs {a_ip})"
+        );
+    }
+}
+
+#[test]
+fn fig13_shape_domain_energy_generalizes() {
+    let t = fig13();
+    // the paper's core claim: even unseen applications get large energy
+    // reductions from the domain PE
+    for r in 0..t.rows.len() {
+        let e = t.cell_f64(r, "Energy vs base").unwrap();
+        assert!(
+            e < 0.5,
+            "{}: unseen app should halve PE energy, got {e}",
+            t.cell(r, "Application").unwrap()
+        );
+    }
+    // at least one unseen app also wins on area (laplacian shares the
+    // blur structure)
+    assert!((0..t.rows.len()).any(|r| t.cell_f64(r, "Area vs base").unwrap() < 0.8));
+}
+
+#[test]
+fn fig14_shape_bands() {
+    let t = fig14();
+    for r in 0..t.rows.len() {
+        let variant = t.cell(r, "Variant").unwrap().to_owned();
+        let area = t.cell_f64(r, "Area vs base").unwrap();
+        if variant == "pe_base" {
+            assert_eq!(area, 1.0);
+            continue;
+        }
+        assert!(area < 1.0, "{variant} must beat the baseline ({area})");
+        if variant == "pe_ml" {
+            // the paper: 74-80% reduction for ML; we require > 55%
+            assert!(area < 0.45, "PE ML area {area}");
+        }
+        if variant.starts_with("pe_spec") {
+            // per-app specialization is at least as good as the domain PE
+            let app = t.cell(r, "Application").unwrap().to_owned();
+            let domain_row = (0..t.rows.len())
+                .find(|&d| {
+                    t.cell(d, "Application") == Some(app.as_str())
+                        && matches!(t.cell(d, "Variant"), Some("pe_ip") | Some("pe_ml"))
+                })
+                .unwrap();
+            let domain_area = t.cell_f64(domain_row, "Area vs base").unwrap();
+            assert!(
+                area <= domain_area + 0.02,
+                "{app}: PE Spec ({area}) must not lose to the domain PE ({domain_area})"
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests on the IR: algebraic identities of the operation
+//! semantics, interpreter/simulator agreement, and graph invariants.
+
+use apex_ir::{evaluate, pipeline_latency, simulate, Graph, Op, Value};
+use proptest::prelude::*;
+
+proptest! {
+    // ---- operation semantics ------------------------------------------------
+
+    #[test]
+    fn add_commutes_and_sub_inverts(a: u16, b: u16) {
+        let ab = Op::Add.eval(&[Value::Word(a), Value::Word(b)]);
+        let ba = Op::Add.eval(&[Value::Word(b), Value::Word(a)]);
+        prop_assert_eq!(ab, ba);
+        let diff = Op::Sub.eval(&[ab, Value::Word(b)]);
+        prop_assert_eq!(diff, Value::Word(a));
+    }
+
+    #[test]
+    fn min_max_partition(a: u16, b: u16) {
+        let mn = Op::Umin.eval(&[Value::Word(a), Value::Word(b)]).word();
+        let mx = Op::Umax.eval(&[Value::Word(a), Value::Word(b)]).word();
+        prop_assert_eq!(mn.min(mx), mn);
+        prop_assert_eq!([mn, mx], if a <= b { [a, b] } else { [b, a] });
+        // signed variants agree with i16 ordering
+        let smn = Op::Smin.eval(&[Value::Word(a), Value::Word(b)]).word() as i16;
+        prop_assert_eq!(smn, (a as i16).min(b as i16));
+    }
+
+    #[test]
+    fn shifts_match_reference(a: u16, s in 0u16..16) {
+        prop_assert_eq!(
+            Op::Shl.eval(&[Value::Word(a), Value::Word(s)]).word(),
+            a << s
+        );
+        prop_assert_eq!(
+            Op::Lshr.eval(&[Value::Word(a), Value::Word(s)]).word(),
+            a >> s
+        );
+        prop_assert_eq!(
+            Op::Ashr.eval(&[Value::Word(a), Value::Word(s)]).word(),
+            ((a as i16) >> s) as u16
+        );
+    }
+
+    #[test]
+    fn comparisons_are_consistent(a: u16, b: u16) {
+        let lt = Op::Ult.eval(&[Value::Word(a), Value::Word(b)]).bit();
+        let ge = Op::Uge.eval(&[Value::Word(a), Value::Word(b)]).bit();
+        prop_assert_ne!(lt, ge);
+        let eq = Op::Eq.eval(&[Value::Word(a), Value::Word(b)]).bit();
+        let le = Op::Ule.eval(&[Value::Word(a), Value::Word(b)]).bit();
+        prop_assert_eq!(le, lt || eq);
+    }
+
+    #[test]
+    fn mux_returns_one_of_its_operands(a: u16, b: u16, s: bool) {
+        let out = Op::Mux
+            .eval(&[Value::Word(a), Value::Word(b), Value::Bit(s)])
+            .word();
+        prop_assert_eq!(out, if s { b } else { a });
+    }
+
+    #[test]
+    fn abs_is_idempotent(a: u16) {
+        let one = Op::Abs.eval(&[Value::Word(a)]);
+        let two = Op::Abs.eval(&[one]);
+        prop_assert_eq!(one, two);
+    }
+
+    #[test]
+    fn lut_matches_its_table(table: u8, b0: bool, b1: bool, b2: bool) {
+        let out = Op::Lut(table)
+            .eval(&[Value::Bit(b0), Value::Bit(b1), Value::Bit(b2)])
+            .bit();
+        let idx = (b0 as u8) | ((b1 as u8) << 1) | ((b2 as u8) << 2);
+        prop_assert_eq!(out, (table >> idx) & 1 == 1);
+    }
+}
+
+// ---- random graphs: interpreter vs simulator -------------------------------
+
+fn arb_word_graph() -> impl Strategy<Value = Graph> {
+    let spec = prop::collection::vec((0u8..8, any::<u16>(), any::<u16>(), any::<u16>()), 1..24);
+    spec.prop_map(|ops| {
+        let mut g = Graph::new("prop");
+        let mut pool = vec![g.input(), g.input(), g.input()];
+        for (sel, x, y, payload) in ops {
+            let a = pool[(x as usize) % pool.len()];
+            let b = pool[(y as usize) % pool.len()];
+            let n = match sel {
+                0 => g.add(Op::Add, &[a, b]),
+                1 => g.add(Op::Sub, &[a, b]),
+                2 => g.add(Op::Mul, &[a, b]),
+                3 => g.add(Op::Umax, &[a, b]),
+                4 => g.add(Op::Lshr, &[a, b]),
+                5 => {
+                    let c = g.constant(payload);
+                    g.add(Op::Xor, &[a, c])
+                }
+                6 => g.add(Op::Reg, &[a]),
+                _ => g.add(Op::Abs, &[a]),
+            };
+            pool.push(n);
+        }
+        let out = *pool.last().unwrap();
+        g.output(out);
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulator_agrees_with_interpreter_after_latency(
+        g in arb_word_graph(),
+        inputs in prop::collection::vec(any::<u16>(), 3)
+    ) {
+        // combinational evaluation treats registers as wires; the
+        // cycle-accurate simulator must produce the same value exactly
+        // `pipeline_latency` cycles after the input is presented, when the
+        // input is held constant
+        let lat = pipeline_latency(&g) as usize;
+        let golden = evaluate(&g, &[
+            Value::Word(inputs[0]),
+            Value::Word(inputs[1]),
+            Value::Word(inputs[2]),
+        ]);
+        let hold = lat + 1;
+        let streams: Vec<Vec<Value>> = inputs
+            .iter()
+            .map(|&v| vec![Value::Word(v); hold])
+            .collect();
+        let out = simulate(&g, &streams);
+        prop_assert_eq!(out[0][lat], golden[0]);
+    }
+
+    #[test]
+    fn validate_accepts_generated_graphs(g in arb_word_graph()) {
+        prop_assert!(g.validate().is_ok());
+        // node vector is a topological order by construction
+        for (id, node) in g.iter() {
+            for src in node.inputs() {
+                prop_assert!(src.index() < id.index());
+            }
+        }
+    }
+
+    #[test]
+    fn extract_subgraph_preserves_validity(g in arb_word_graph(), pick: u8) {
+        let compute = g.compute_nodes();
+        if compute.is_empty() {
+            return Ok(());
+        }
+        // take a contiguous chunk of compute nodes
+        let start = (pick as usize) % compute.len();
+        let keep = &compute[start..(start + 3).min(compute.len())];
+        let (sub, map) = g.extract_subgraph(keep, "chunk");
+        prop_assert!(sub.validate().is_ok());
+        prop_assert_eq!(map.len(), keep.len());
+    }
+
+    #[test]
+    fn logic_depth_bounded_by_compute_count(g in arb_word_graph()) {
+        prop_assert!(g.logic_depth() <= g.compute_op_count());
+    }
+}

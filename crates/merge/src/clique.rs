@@ -1,0 +1,240 @@
+//! Maximum-weight clique search over the compatibility graph
+//! (Fig. 5d of the paper).
+//!
+//! Exact branch-and-bound with a weight-sum upper bound and a node budget;
+//! a greedy multi-start pass seeds the incumbent, so when the budget runs
+//! out the result degrades gracefully to the greedy answer. An optional
+//! *set feasibility* predicate supports constraints that are not pairwise
+//! (datapath merging must reject candidate sets whose union would create a
+//! combinational cycle).
+
+/// A max-weight-clique instance.
+pub struct CliqueProblem<'a> {
+    /// Node weights (all non-negative).
+    pub weights: Vec<f64>,
+    /// Pairwise compatibility (symmetric, irreflexive-irrelevant).
+    pub compatible: Vec<Vec<bool>>,
+    /// Set-level feasibility: may the candidate be added to the current
+    /// clique? Called with (current clique, candidate).
+    pub feasible: Option<&'a dyn Fn(&[usize], usize) -> bool>,
+    /// Branch-and-bound node budget before falling back to the incumbent.
+    pub budget: usize,
+}
+
+impl CliqueProblem<'_> {
+    /// Solves the instance, returning the best clique found (exact when
+    /// the budget is not exhausted).
+    pub fn solve(&self) -> Vec<usize> {
+        let n = self.weights.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // order by weight descending for a tight suffix bound
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.weights[b]
+                .partial_cmp(&self.weights[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut suffix = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = suffix[i + 1] + self.weights[order[i]];
+        }
+
+        // greedy seed: best of n single-start greedy passes
+        let mut best: Vec<usize> = Vec::new();
+        let mut best_w = f64::NEG_INFINITY;
+        for start in 0..n.min(32) {
+            let g = self.greedy(&order, start);
+            let w = g.iter().map(|&i| self.weights[i]).sum::<f64>();
+            if w > best_w {
+                best_w = w;
+                best = g;
+            }
+        }
+
+        let mut state = Search {
+            problem: self,
+            order: &order,
+            suffix: &suffix,
+            best,
+            best_w,
+            explored: 0,
+        };
+        state.recurse(&mut Vec::new(), 0.0, 0);
+        state.best
+    }
+
+    fn greedy(&self, order: &[usize], start: usize) -> Vec<usize> {
+        let mut clique: Vec<usize> = Vec::new();
+        for k in 0..order.len() {
+            let cand = order[(start + k) % order.len()];
+            if self.weights[cand] <= 0.0 {
+                continue;
+            }
+            if clique.iter().all(|&c| self.compatible[c][cand])
+                && self.feasible.is_none_or(|f| f(&clique, cand))
+            {
+                clique.push(cand);
+            }
+        }
+        clique
+    }
+}
+
+struct Search<'p, 'a> {
+    problem: &'p CliqueProblem<'a>,
+    order: &'p [usize],
+    suffix: &'p [f64],
+    best: Vec<usize>,
+    best_w: f64,
+    explored: usize,
+}
+
+impl Search<'_, '_> {
+    fn recurse(&mut self, clique: &mut Vec<usize>, weight: f64, depth: usize) {
+        self.explored += 1;
+        if self.explored > self.problem.budget {
+            return;
+        }
+        if weight > self.best_w {
+            self.best_w = weight;
+            self.best = clique.clone();
+        }
+        if depth >= self.order.len() || weight + self.suffix[depth] <= self.best_w {
+            return;
+        }
+        let cand = self.order[depth];
+        // branch 1: include cand (if allowed)
+        if self.problem.weights[cand] > 0.0
+            && clique.iter().all(|&c| self.problem.compatible[c][cand])
+            && self.problem.feasible.is_none_or(|f| f(clique, cand))
+        {
+            clique.push(cand);
+            self.recurse(clique, weight + self.problem.weights[cand], depth + 1);
+            clique.pop();
+        }
+        // branch 2: skip cand
+        self.recurse(clique, weight, depth + 1);
+    }
+}
+
+/// Convenience wrapper for unconstrained instances.
+pub fn max_weight_clique(weights: &[f64], compatible: &[Vec<bool>], budget: usize) -> Vec<usize> {
+    CliqueProblem {
+        weights: weights.to_vec(),
+        compatible: compatible.to_vec(),
+        feasible: None,
+        budget,
+    }
+    .solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_matrix(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<bool>> {
+        let mut m = vec![vec![false; n]; n];
+        for &(a, b) in edges {
+            m[a][b] = true;
+            m[b][a] = true;
+        }
+        m
+    }
+
+    #[test]
+    fn triangle_beats_heavy_singleton() {
+        // nodes 0,1,2 form a triangle with weight 3; node 3 weighs 2.5 alone
+        let compat = full_matrix(4, &[(0, 1), (0, 2), (1, 2)]);
+        let w = vec![1.0, 1.0, 1.0, 2.5];
+        let mut c = max_weight_clique(&w, &compat, 1 << 20);
+        c.sort_unstable();
+        assert_eq!(c, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn heavy_singleton_beats_light_clique() {
+        let compat = full_matrix(4, &[(0, 1), (0, 2), (1, 2)]);
+        let w = vec![1.0, 1.0, 1.0, 10.0];
+        let c = max_weight_clique(&w, &compat, 1 << 20);
+        assert_eq!(c, vec![3]);
+    }
+
+    #[test]
+    fn zero_weight_nodes_are_ignored() {
+        let compat = full_matrix(3, &[(0, 1), (1, 2), (0, 2)]);
+        let w = vec![0.0, 5.0, 0.0];
+        let c = max_weight_clique(&w, &compat, 1 << 20);
+        assert_eq!(c, vec![1]);
+    }
+
+    #[test]
+    fn feasibility_predicate_blocks_sets() {
+        // all pairwise compatible, but sets larger than 2 are forbidden
+        // (the predicate must be order-invariant, like the acyclicity
+        // constraint it models)
+        let compat = full_matrix(3, &[(0, 1), (1, 2), (0, 2)]);
+        let w = vec![1.0, 1.0, 1.0];
+        let feasible = |clique: &[usize], _cand: usize| clique.len() < 2;
+        let p = CliqueProblem {
+            weights: w,
+            compatible: compat,
+            feasible: Some(&feasible),
+            budget: 1 << 20,
+        };
+        let c = p.solve();
+        assert_eq!(c.len(), 2, "best feasible clique has 2 nodes: {c:?}");
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        // deterministic xorshift RNG
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..30 {
+            let n = 4 + (rand() % 7) as usize; // 4..10
+            let mut compat = vec![vec![false; n]; n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rand() % 3 != 0 {
+                        compat[i][j] = true;
+                        compat[j][i] = true;
+                    }
+                }
+            }
+            let weights: Vec<f64> = (0..n).map(|_| (rand() % 100) as f64 / 10.0).collect();
+            let got: f64 = max_weight_clique(&weights, &compat, 1 << 22)
+                .iter()
+                .map(|&i| weights[i])
+                .sum();
+            // brute force over all subsets
+            let mut best = 0.0f64;
+            for mask in 0u32..(1 << n) {
+                let members: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+                let ok = members
+                    .iter()
+                    .enumerate()
+                    .all(|(k, &a)| members[k + 1..].iter().all(|&b| compat[a][b]));
+                if ok {
+                    let w: f64 = members.iter().map(|&i| weights[i]).sum();
+                    best = best.max(w);
+                }
+            }
+            assert!(
+                (got - best).abs() < 1e-9,
+                "trial {trial}: got {got}, brute force {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_problem() {
+        assert!(max_weight_clique(&[], &[], 100).is_empty());
+    }
+}

@@ -1,0 +1,461 @@
+//! Subgraph-isomorphism search (VF2-style backtracking).
+//!
+//! [`find_embeddings`] enumerates every injective, label- and
+//! port-consistent mapping of a [`Pattern`] into the compute region of an
+//! application graph. This is the workhorse the frequent-subgraph miner
+//! (our GraMi substitute) is built on.
+
+use crate::pattern::Pattern;
+use apex_ir::{Graph, NodeId, OpKind};
+use std::collections::BTreeMap;
+
+/// One embedding: pattern-node index → graph node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Embedding(pub Vec<NodeId>);
+
+impl Embedding {
+    /// The occurrence's node set (sorted, deduplicated).
+    pub fn node_set(&self) -> Vec<NodeId> {
+        let mut v = self.0.clone();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+/// Result of an embedding search.
+#[derive(Debug, Clone)]
+pub struct EmbeddingSet {
+    /// The embeddings found (up to the limit).
+    pub embeddings: Vec<Embedding>,
+    /// Whether the search stopped early because the limit was hit.
+    pub truncated: bool,
+}
+
+impl EmbeddingSet {
+    /// Minimum-node-image (MNI) support, GraMi's anti-monotone support
+    /// measure: the minimum over pattern positions of the number of
+    /// distinct graph nodes appearing in that position.
+    pub fn mni_support(&self, pattern_len: usize) -> usize {
+        if self.embeddings.is_empty() {
+            return 0;
+        }
+        (0..pattern_len)
+            .map(|i| {
+                let mut imgs: Vec<NodeId> =
+                    self.embeddings.iter().map(|e| e.0[i]).collect();
+                imgs.sort();
+                imgs.dedup();
+                imgs.len()
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Distinct occurrence node sets.
+    pub fn occurrences(&self) -> Vec<Vec<NodeId>> {
+        let mut occ: Vec<Vec<NodeId>> = self.embeddings.iter().map(Embedding::node_set).collect();
+        occ.sort();
+        occ.dedup();
+        occ
+    }
+}
+
+/// Precomputed indices over a graph, shared across many embedding
+/// searches.
+#[derive(Debug)]
+pub struct GraphIndex<'g> {
+    graph: &'g Graph,
+    fanouts: Vec<Vec<NodeId>>,
+    by_label: BTreeMap<OpKind, Vec<NodeId>>,
+}
+
+impl<'g> GraphIndex<'g> {
+    /// Indexes the compute region of `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        let fanouts = graph.fanouts();
+        let mut by_label: BTreeMap<OpKind, Vec<NodeId>> = BTreeMap::new();
+        for id in graph.compute_nodes() {
+            by_label.entry(graph.op(id).kind()).or_default().push(id);
+        }
+        GraphIndex {
+            graph,
+            fanouts,
+            by_label,
+        }
+    }
+
+    /// The indexed graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Compute nodes with the given label.
+    pub fn nodes_with_label(&self, label: OpKind) -> &[NodeId] {
+        self.by_label.get(&label).map_or(&[], Vec::as_slice)
+    }
+
+    /// Consumers of a node.
+    pub fn fanout(&self, id: NodeId) -> &[NodeId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// How many distinct compute labels exist.
+    pub fn label_count(&self) -> usize {
+        self.by_label.len()
+    }
+
+    /// Iterate labels with their node lists.
+    pub fn labels(&self) -> impl Iterator<Item = (OpKind, &[NodeId])> + '_ {
+        self.by_label.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+}
+
+/// Enumerates embeddings of `pattern` into the indexed graph, stopping at
+/// `limit`.
+pub fn find_embeddings(pattern: &Pattern, index: &GraphIndex<'_>, limit: usize) -> EmbeddingSet {
+    let n = pattern.len();
+    if n == 0 {
+        return EmbeddingSet {
+            embeddings: Vec::new(),
+            truncated: false,
+        };
+    }
+    // Matching order: BFS over the pattern's undirected adjacency so every
+    // node after the first has a matched neighbour.
+    let order = matching_order(pattern);
+    let mut state = SearchState {
+        pattern,
+        index,
+        order: &order,
+        assignment: vec![None; n],
+        used: Vec::new(),
+        out: Vec::new(),
+        limit,
+        truncated: false,
+    };
+    state.recurse(0);
+    EmbeddingSet {
+        embeddings: state.out,
+        truncated: state.truncated,
+    }
+}
+
+fn matching_order(pattern: &Pattern) -> Vec<u32> {
+    let n = pattern.len();
+    let mut adj = vec![Vec::new(); n];
+    for (s, d, _) in pattern.edges() {
+        adj[s as usize].push(d as usize);
+        adj[d as usize].push(s as usize);
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(0usize);
+    seen[0] = true;
+    while let Some(u) = queue.pop_front() {
+        order.push(u as u32);
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    // patterns are connected, but be safe with stragglers
+    for v in 0..n {
+        if !seen[v] {
+            order.push(v as u32);
+        }
+    }
+    order
+}
+
+struct SearchState<'a, 'g> {
+    pattern: &'a Pattern,
+    index: &'a GraphIndex<'g>,
+    order: &'a [u32],
+    assignment: Vec<Option<NodeId>>,
+    used: Vec<NodeId>,
+    out: Vec<Embedding>,
+    limit: usize,
+    truncated: bool,
+}
+
+impl SearchState<'_, '_> {
+    fn recurse(&mut self, depth: usize) {
+        if self.truncated {
+            return;
+        }
+        if depth == self.order.len() {
+            let mapping: Vec<NodeId> = self
+                .assignment
+                .iter()
+                .map(|a| a.expect("complete assignment"))
+                .collect();
+            if ports_feasible(self.pattern, self.index.graph(), &mapping) {
+                self.out.push(Embedding(mapping));
+                if self.out.len() >= self.limit {
+                    self.truncated = true;
+                }
+            }
+            return;
+        }
+        let pnode = self.order[depth] as usize;
+        let label = self.pattern.labels()[pnode];
+        let mut candidates = self.candidates(pnode, label);
+        candidates.sort();
+        candidates.dedup();
+        for cand in candidates {
+            if self.used.contains(&cand) {
+                continue;
+            }
+            if !self.locally_consistent(pnode, cand) {
+                continue;
+            }
+            self.assignment[pnode] = Some(cand);
+            self.used.push(cand);
+            self.recurse(depth + 1);
+            self.used.pop();
+            self.assignment[pnode] = None;
+            if self.truncated {
+                return;
+            }
+        }
+    }
+
+    /// Candidate graph nodes for a pattern node: derived from an already
+    /// matched neighbour when one exists, otherwise the full label bucket.
+    fn candidates(&self, pnode: usize, label: OpKind) -> Vec<NodeId> {
+        // look for a matched neighbour connected by a pattern edge
+        for (s, d, _) in self.pattern.edges() {
+            let (s, d) = (s as usize, d as usize);
+            if d == pnode {
+                if let Some(img) = self.assignment[s] {
+                    // candidates = consumers of img with the right label
+                    return self
+                        .index
+                        .fanout(img)
+                        .iter()
+                        .copied()
+                        .filter(|&v| {
+                            self.index.graph().op(v).is_compute()
+                                && self.index.graph().op(v).kind() == label
+                        })
+                        .collect();
+                }
+            }
+            if s == pnode {
+                if let Some(img) = self.assignment[d] {
+                    // candidates = producers feeding img with the right label
+                    return self
+                        .index
+                        .graph()
+                        .node(img)
+                        .inputs()
+                        .iter()
+                        .copied()
+                        .filter(|&v| {
+                            self.index.graph().op(v).is_compute()
+                                && self.index.graph().op(v).kind() == label
+                        })
+                        .collect();
+                }
+            }
+        }
+        self.index.nodes_with_label(label).to_vec()
+    }
+
+    /// Checks every pattern edge between `pnode` and already-matched nodes
+    /// for directed adjacency (port injectivity is verified at the end).
+    fn locally_consistent(&self, pnode: usize, cand: NodeId) -> bool {
+        let g = self.index.graph();
+        for (s, d, port) in self.pattern.edges() {
+            let (s, d) = (s as usize, d as usize);
+            if d == pnode {
+                if let Some(src_img) = self.assignment[s] {
+                    if !edge_exists(g, src_img, cand, port) {
+                        return false;
+                    }
+                }
+            } else if s == pnode {
+                if let Some(dst_img) = self.assignment[d] {
+                    if !edge_exists(g, cand, dst_img, port) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+fn edge_exists(g: &Graph, src: NodeId, dst: NodeId, port: Option<u8>) -> bool {
+    let inputs = g.node(dst).inputs();
+    match port {
+        Some(p) => inputs.get(p as usize) == Some(&src),
+        None => inputs.contains(&src),
+    }
+}
+
+/// Verifies that, for every pattern node, the pattern's in-edges can be
+/// injectively assigned to distinct input ports of the image node. Needed
+/// for parallel edges into commutative operations (e.g. `x * x`).
+fn ports_feasible(pattern: &Pattern, g: &Graph, mapping: &[NodeId]) -> bool {
+    for d in 0..pattern.len() {
+        let edges = pattern.in_edges(d);
+        if edges.is_empty() {
+            continue;
+        }
+        let img_inputs = g.node(mapping[d]).inputs();
+        // tiny backtracking over port assignments (arity <= 3)
+        let mut used = vec![false; img_inputs.len()];
+        if !assign(edges, 0, img_inputs, mapping, &mut used) {
+            return false;
+        }
+    }
+    true
+}
+
+fn assign(
+    edges: &[crate::pattern::PatternEdge],
+    k: usize,
+    img_inputs: &[NodeId],
+    mapping: &[NodeId],
+    used: &mut Vec<bool>,
+) -> bool {
+    if k == edges.len() {
+        return true;
+    }
+    let e = edges[k];
+    let want = mapping[e.src as usize];
+    let range: Vec<usize> = match e.port {
+        Some(p) => vec![p as usize],
+        None => (0..img_inputs.len()).collect(),
+    };
+    for p in range {
+        if p < img_inputs.len() && !used[p] && img_inputs[p] == want {
+            used[p] = true;
+            if assign(edges, k + 1, img_inputs, mapping, used) {
+                used[p] = false;
+                return true;
+            }
+            used[p] = false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_ir::{Graph, Op};
+
+    /// out = ((a*b)+(c*d)) ; plus an extra mul feeding a sub
+    fn sample() -> Graph {
+        let mut g = Graph::new("t");
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let d = g.input();
+        let m1 = g.add(Op::Mul, &[a, b]);
+        let m2 = g.add(Op::Mul, &[c, d]);
+        let s = g.add(Op::Add, &[m1, m2]);
+        let m3 = g.add(Op::Mul, &[a, d]);
+        let sub = g.add(Op::Sub, &[s, m3]);
+        g.output(sub);
+        g
+    }
+
+    #[test]
+    fn single_node_embeddings_count_label_occurrences() {
+        let g = sample();
+        let idx = GraphIndex::new(&g);
+        let p = Pattern::single(OpKind::Mul);
+        let es = find_embeddings(&p, &idx, 1000);
+        assert_eq!(es.embeddings.len(), 3);
+        assert_eq!(es.mni_support(1), 3);
+    }
+
+    #[test]
+    fn mul_add_chain_embeddings() {
+        let g = sample();
+        let idx = GraphIndex::new(&g);
+        let p = Pattern::single(OpKind::Mul).extend_with_node(0, OpKind::Add, true, None);
+        let es = find_embeddings(&p, &idx, 1000);
+        // m1->s and m2->s
+        assert_eq!(es.embeddings.len(), 2);
+        assert_eq!(es.mni_support(2), 1, "only one distinct add image");
+        assert_eq!(es.occurrences().len(), 2);
+    }
+
+    #[test]
+    fn port_constraints_restrict_matches() {
+        let g = sample();
+        let idx = GraphIndex::new(&g);
+        // mul feeding sub on port 1 exists (m3), on port 0 does not
+        let p1 = Pattern::single(OpKind::Mul).extend_with_node(0, OpKind::Sub, true, Some(1));
+        let p0 = Pattern::single(OpKind::Mul).extend_with_node(0, OpKind::Sub, true, Some(0));
+        assert_eq!(find_embeddings(&p1, &idx, 10).embeddings.len(), 1);
+        assert_eq!(find_embeddings(&p0, &idx, 10).embeddings.len(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_require_distinct_ports() {
+        // square: mul(x, x)
+        let mut g = Graph::new("sq");
+        let a = g.input();
+        let b = g.input();
+        let s = g.add(Op::Add, &[a, b]);
+        let sq = g.add(Op::Mul, &[s, s]);
+        let other = g.add(Op::Mul, &[a, b]); // not a square
+        let o = g.add(Op::Add, &[sq, other]);
+        g.output(o);
+        let idx = GraphIndex::new(&g);
+        let p = Pattern::single(OpKind::Add)
+            .extend_with_node(0, OpKind::Mul, true, None)
+            .extend_with_edge(0, 1, None); // add feeds BOTH mul ports
+        let es = find_embeddings(&p, &idx, 10);
+        // only the true square matches; `other` takes two different sources
+        let squares: Vec<_> = es
+            .embeddings
+            .iter()
+            .filter(|e| g.op(e.0[1]) == Op::Mul)
+            .collect();
+        assert_eq!(squares.len(), 1);
+        assert_eq!(squares[0].0[1], sq);
+    }
+
+    #[test]
+    fn embeddings_are_injective() {
+        let g = sample();
+        let idx = GraphIndex::new(&g);
+        let p = Pattern::single(OpKind::Mul)
+            .extend_with_node(0, OpKind::Add, true, None)
+            .extend_with_node(1, OpKind::Mul, false, None);
+        let es = find_embeddings(&p, &idx, 100);
+        for e in &es.embeddings {
+            assert_ne!(e.0[0], e.0[2], "two pattern muls need two graph muls");
+        }
+        // (m1, s, m2) and (m2, s, m1)
+        assert_eq!(es.embeddings.len(), 2);
+    }
+
+    #[test]
+    fn truncation_reports_flag() {
+        let g = sample();
+        let idx = GraphIndex::new(&g);
+        let p = Pattern::single(OpKind::Mul);
+        let es = find_embeddings(&p, &idx, 2);
+        assert!(es.truncated);
+        assert_eq!(es.embeddings.len(), 2);
+    }
+
+    #[test]
+    fn labels_index_covers_compute_nodes() {
+        let g = sample();
+        let idx = GraphIndex::new(&g);
+        let total: usize = idx.labels().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, g.compute_nodes().len());
+    }
+}

@@ -1,0 +1,56 @@
+//! # apex-mining — frequent subgraph mining and MIS analysis
+//!
+//! Stage 1 of the APEX flow (paper Sections 3.1–3.2). This crate is our
+//! substitute for GraMi: it mines the frequent computational subgraphs of
+//! an application dataflow graph, then applies maximal-independent-set
+//! analysis so overlapping occurrences don't inflate a subgraph's
+//! usefulness (Fig. 3 and Fig. 4 of the paper).
+//!
+//! The pipeline:
+//!
+//! 1. [`mine`] grows frequent [`Pattern`]s from single labels, pruning by
+//!    MNI support,
+//! 2. each pattern's occurrences go through
+//!    [`maximal_independent_set`], and
+//! 3. results are ranked by MIS size — the order in which subgraphs get
+//!    merged into PE architectures by `apex-merge`.
+//!
+//! # Examples
+//!
+//! ```
+//! use apex_ir::{Graph, Op};
+//! use apex_mining::{mine, MinerConfig};
+//!
+//! // Fig. 3's convolution: 4 constant-weight multiplies into an add chain
+//! let mut g = Graph::new("conv");
+//! let mut acc = None;
+//! for k in 0..4 {
+//!     let i = g.input();
+//!     let w = g.constant(k);
+//!     let m = g.add(Op::Mul, &[i, w]);
+//!     acc = Some(match acc {
+//!         None => m,
+//!         Some(a) => g.add(Op::Add, &[a, m]),
+//!     });
+//! }
+//! let out = acc.unwrap();
+//! g.output(out);
+//!
+//! let mined = mine(&g, &MinerConfig { min_support: 3, ..MinerConfig::default() });
+//! assert!(!mined.is_empty());
+//! // results are ranked by non-overlapping occurrence count (MIS size)
+//! assert!(mined.windows(2).all(|w| w[0].mis_size >= w[1].mis_size));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod isomorphism;
+mod miner;
+mod mis;
+mod pattern;
+
+pub use isomorphism::{find_embeddings, Embedding, EmbeddingSet, GraphIndex};
+pub use miner::{mine, rank, MinedSubgraph, MinerConfig};
+pub use mis::{maximal_independent_set, mis_size, overlap_graph};
+pub use pattern::{Pattern, PatternEdge};

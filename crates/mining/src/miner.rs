@@ -1,0 +1,466 @@
+//! Frequent-subgraph miner (our GraMi substitute, Section 3.1).
+//!
+//! Pattern-growth enumeration over a single large application graph:
+//! start from frequent single-label patterns, repeatedly extend by one
+//! node-plus-edge or one internal edge, de-duplicate via canonical codes,
+//! and prune with GraMi's anti-monotone MNI support.
+
+use crate::isomorphism::{find_embeddings, EmbeddingSet, GraphIndex};
+use crate::mis::maximal_independent_set;
+use crate::pattern::Pattern;
+use apex_ir::{Graph, NodeId, OpKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Miner configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinerConfig {
+    /// Minimum MNI support for a pattern to be considered frequent
+    /// (GraMi's `τ`).
+    pub min_support: usize,
+    /// Maximum pattern size in nodes (complex PEs stay small in the
+    /// paper's Fig. 10).
+    pub max_pattern_nodes: usize,
+    /// Smallest pattern size reported (single nodes are implied by the
+    /// baseline PE and not interesting merge candidates).
+    pub min_pattern_nodes: usize,
+    /// Embedding-search budget per pattern.
+    pub max_embeddings: usize,
+    /// Cap on the total number of frequent patterns explored.
+    pub max_patterns: usize,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig {
+            min_support: 4,
+            max_pattern_nodes: 6,
+            min_pattern_nodes: 2,
+            max_embeddings: 20_000,
+            max_patterns: 400,
+        }
+    }
+}
+
+/// A frequent subgraph with its occurrence statistics.
+#[derive(Debug, Clone)]
+pub struct MinedSubgraph {
+    /// The pattern itself.
+    pub pattern: Pattern,
+    /// Distinct occurrence node sets in the application graph.
+    pub occurrences: Vec<Vec<NodeId>>,
+    /// One representative embedding (pattern index → graph node), used to
+    /// materialize the pattern with concrete constants.
+    pub representative: Vec<NodeId>,
+    /// GraMi MNI support.
+    pub mni_support: usize,
+    /// Maximal-independent-set size over the occurrences (Section 3.2):
+    /// how many non-overlapping occurrences exist.
+    pub mis_size: usize,
+    /// Whether the embedding search was truncated (statistics are then
+    /// lower bounds).
+    pub truncated: bool,
+}
+
+impl MinedSubgraph {
+    /// Materializes the pattern as an executable datapath graph (see
+    /// [`Pattern::to_datapath`]).
+    pub fn to_datapath(&self, source: &Graph, name: &str) -> Graph {
+        self.pattern.to_datapath(source, &self.representative, name)
+    }
+
+    /// Occurrences usable as fully-utilized single-exit PEs: every
+    /// non-constant node except one *exit* has all of its consumers inside
+    /// the occurrence, and no application path leaves the occurrence and
+    /// re-enters it. Multi-exit occurrences are rejected too: bundling
+    /// independent output cones into one PE can deadlock instruction
+    /// selection with instance-level dependency cycles.
+    pub fn utilizable_occurrences(&self, graph: &Graph) -> Vec<Vec<NodeId>> {
+        let fan = graph.fanouts();
+        self.occurrences
+            .iter()
+            .filter(|occ| {
+                let set: std::collections::BTreeSet<NodeId> = occ
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        !matches!(graph.op(n), apex_ir::Op::Const(_) | apex_ir::Op::BitConst(_))
+                    })
+                    .collect();
+                let mut exits = 0usize;
+                let visible = set.iter().all(|&n| {
+                    let internal = fan[n.index()].iter().filter(|c| set.contains(c)).count();
+                    if internal == 0 {
+                        exits += 1;
+                        true
+                    } else {
+                        fan[n.index()].len() == internal
+                    }
+                });
+                visible && exits == 1 && convex(&fan, &set)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// MIS size over the utilizable occurrences only — how many
+    /// fully-utilized PEs implementing this subgraph the application can
+    /// actually instantiate.
+    pub fn utilizable_mis(&self, graph: &Graph) -> usize {
+        maximal_independent_set(&self.utilizable_occurrences(graph)).len()
+    }
+}
+
+/// Extension descriptor considered during pattern growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Extension {
+    /// Add a new node with `label`, connected to pattern node `at`.
+    Node {
+        at: u32,
+        label: OpKind,
+        new_is_dst: bool,
+        port: Option<u8>,
+    },
+    /// Add an edge between two existing pattern nodes.
+    Edge { src: u32, dst: u32, port: Option<u8> },
+}
+
+/// Convexity of an occurrence: no application path may leave the node set
+/// and re-enter it (such an occurrence can never become one PE instance —
+/// it would form a tile-level combinational cycle).
+fn convex(fanouts: &[Vec<NodeId>], set: &std::collections::BTreeSet<NodeId>) -> bool {
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut seen: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
+    for &m in set {
+        for &c in &fanouts[m.index()] {
+            if !set.contains(&c) && seen.insert(c) {
+                stack.push(c);
+            }
+        }
+    }
+    while let Some(u) = stack.pop() {
+        for &c in &fanouts[u.index()] {
+            if set.contains(&c) {
+                return false;
+            }
+            if seen.insert(c) {
+                stack.push(c);
+            }
+        }
+    }
+    true
+}
+
+/// Mines frequent subgraphs of `graph`, returning them ranked by MIS size
+/// (descending), then pattern size (descending) — the order in which the
+/// paper's flow considers subgraphs for merging.
+pub fn mine(graph: &Graph, config: &MinerConfig) -> Vec<MinedSubgraph> {
+    let index = GraphIndex::new(graph);
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut results: Vec<MinedSubgraph> = Vec::new();
+    // breadth-first over pattern sizes so the exploration budget spreads
+    // across the whole label space instead of one deep region
+    let mut frontier: std::collections::VecDeque<(Pattern, EmbeddingSet)> =
+        std::collections::VecDeque::new();
+
+    // level 1: frequent labels
+    for (label, nodes) in index.labels() {
+        if nodes.len() >= config.min_support {
+            let p = Pattern::single(label);
+            let es = find_embeddings(&p, &index, config.max_embeddings);
+            seen.insert(p.canonical_code());
+            frontier.push_back((p, es));
+        }
+    }
+
+    let mut explored = frontier.len();
+    while let Some((pattern, embeddings)) = frontier.pop_front() {
+        if pattern.len() >= config.min_pattern_nodes && pattern.edge_count() > 0 {
+            let occurrences = embeddings.occurrences();
+            let mis = maximal_independent_set(&occurrences);
+            results.push(MinedSubgraph {
+                representative: embeddings.embeddings[0].0.clone(),
+                mni_support: embeddings.mni_support(pattern.len()),
+                mis_size: mis.len(),
+                truncated: embeddings.truncated,
+                occurrences,
+                pattern: pattern.clone(),
+            });
+        }
+        if explored >= config.max_patterns {
+            continue;
+        }
+        for ext in enumerate_extensions(&pattern, &embeddings, graph, config) {
+            let child = match ext {
+                Extension::Node {
+                    at,
+                    label,
+                    new_is_dst,
+                    port,
+                } => pattern.extend_with_node(at, label, new_is_dst, port),
+                Extension::Edge { src, dst, port } => pattern.extend_with_edge(src, dst, port),
+            };
+            let code = child.canonical_code();
+            if !seen.insert(code) {
+                continue;
+            }
+            let es = find_embeddings(&child, &index, config.max_embeddings);
+            if es.mni_support(child.len()) >= config.min_support {
+                explored += 1;
+                frontier.push_back((child, es));
+            }
+        }
+    }
+
+    rank(&mut results);
+    results
+}
+
+/// Ranks mined subgraphs: MIS size descending, then node count
+/// descending (a bigger subgraph accelerates more ops per PE), then
+/// canonical code for determinism.
+pub fn rank(results: &mut [MinedSubgraph]) {
+    results.sort_by(|a, b| {
+        b.mis_size
+            .cmp(&a.mis_size)
+            .then(b.pattern.len().cmp(&a.pattern.len()))
+            .then_with(|| a.pattern.canonical_code().cmp(&b.pattern.canonical_code()))
+    });
+}
+
+fn enumerate_extensions(
+    pattern: &Pattern,
+    embeddings: &EmbeddingSet,
+    graph: &Graph,
+    config: &MinerConfig,
+) -> BTreeSet<Extension> {
+    let mut exts = BTreeSet::new();
+    let can_grow = pattern.len() < config.max_pattern_nodes;
+    for emb in &embeddings.embeddings {
+        let image: BTreeMap<NodeId, u32> = emb
+            .0
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
+        for (i, &u) in emb.0.iter().enumerate() {
+            let i = i as u32;
+            // consumers of u
+            for &v in graph.fanouts()[u.index()].iter() {
+                let vop = graph.op(v);
+                if !vop.is_compute() {
+                    continue;
+                }
+                let ports: Vec<Option<u8>> = if vop.commutative() {
+                    vec![None]
+                } else {
+                    graph
+                        .node(v)
+                        .inputs()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &s)| s == u)
+                        .map(|(p, _)| Some(p as u8))
+                        .collect()
+                };
+                if let Some(&j) = image.get(&v) {
+                    // internal edge candidate
+                    let existing = pattern.in_edges(j as usize).len();
+                    if existing < graph.node(v).inputs().len() {
+                        for port in &ports {
+                            let already = pattern
+                                .in_edges(j as usize)
+                                .iter()
+                                .filter(|e| e.src == i && e.port == *port)
+                                .count();
+                            let avail = graph
+                                .node(v)
+                                .inputs()
+                                .iter()
+                                .enumerate()
+                                .filter(|(p, &s)| {
+                                    s == u && port.map_or(true, |pp| pp as usize == *p)
+                                })
+                                .count();
+                            if already < avail {
+                                exts.insert(Extension::Edge {
+                                    src: i,
+                                    dst: j,
+                                    port: *port,
+                                });
+                            }
+                        }
+                    }
+                } else if can_grow {
+                    for port in &ports {
+                        exts.insert(Extension::Node {
+                            at: i,
+                            label: vop.kind(),
+                            new_is_dst: true,
+                            port: *port,
+                        });
+                    }
+                }
+            }
+            // producers of u (only grow new nodes here; internal edges are
+            // handled from the producer side above)
+            if can_grow {
+                let uop = graph.op(u);
+                for (p, &src) in graph.node(u).inputs().iter().enumerate() {
+                    let sop = graph.op(src);
+                    if !sop.is_compute() || image.contains_key(&src) {
+                        continue;
+                    }
+                    let port = if uop.commutative() {
+                        None
+                    } else {
+                        Some(p as u8)
+                    };
+                    exts.insert(Extension::Node {
+                        at: i,
+                        label: sop.kind(),
+                        new_is_dst: false,
+                        port,
+                    });
+                }
+            }
+        }
+    }
+    exts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_ir::Op;
+
+    /// Fig. 3's convolution: ((((i0·w0)+(i1·w1))+(i2·w2))+(i3·w3))+c
+    fn conv_graph() -> Graph {
+        let mut g = Graph::new("conv");
+        let mut acc = None;
+        for k in 0..4u16 {
+            let i = g.input();
+            let w = g.constant(10 + k);
+            let m = g.add(Op::Mul, &[i, w]);
+            acc = Some(match acc {
+                None => m,
+                Some(a) => g.add(Op::Add, &[a, m]),
+            });
+        }
+        let c = g.constant(3);
+        let fin = g.add(Op::Add, &[acc.unwrap(), c]);
+        g.output(fin);
+        g
+    }
+
+    #[test]
+    fn mines_fig3_frequent_subgraphs() {
+        let g = conv_graph();
+        let cfg = MinerConfig {
+            min_support: 3,
+            max_pattern_nodes: 3,
+            ..MinerConfig::default()
+        };
+        let mined = mine(&g, &cfg);
+        assert!(!mined.is_empty());
+        // const→mul (Fig. 3b) must be found with 4 non-overlapping occurrences
+        let const_mul = mined
+            .iter()
+            .find(|m| {
+                m.pattern.len() == 2
+                    && m.pattern.labels().contains(&OpKind::Const)
+                    && m.pattern.labels().contains(&OpKind::Mul)
+            })
+            .expect("const→mul should be frequent");
+        assert_eq!(const_mul.occurrences.len(), 4);
+        assert_eq!(const_mul.mis_size, 4);
+    }
+
+    #[test]
+    fn fig3d_add_chain_has_overlapping_occurrences() {
+        let g = conv_graph();
+        let cfg = MinerConfig {
+            min_support: 3,
+            max_pattern_nodes: 2,
+            ..MinerConfig::default()
+        };
+        let mined = mine(&g, &cfg);
+        let add_add = mined
+            .iter()
+            .find(|m| m.pattern.labels() == [OpKind::Add, OpKind::Add])
+            .expect("add→add chain should be frequent");
+        // the 4-tap conv has a 4-add chain: 3 overlapping add→add
+        // occurrences, of which only 2 are disjoint (the Fig. 4 effect)
+        assert_eq!(add_add.occurrences.len(), 3);
+        assert_eq!(add_add.mis_size, 2);
+    }
+
+    #[test]
+    fn ranking_puts_largest_mis_first() {
+        let g = conv_graph();
+        let cfg = MinerConfig {
+            min_support: 2,
+            max_pattern_nodes: 3,
+            ..MinerConfig::default()
+        };
+        let mined = mine(&g, &cfg);
+        for w in mined.windows(2) {
+            assert!(w[0].mis_size >= w[1].mis_size);
+        }
+    }
+
+    #[test]
+    fn respects_min_support() {
+        let g = conv_graph();
+        let cfg = MinerConfig {
+            min_support: 5,
+            max_pattern_nodes: 3,
+            ..MinerConfig::default()
+        };
+        let mined = mine(&g, &cfg);
+        // nothing appears 5+ times disjointly in this tiny graph except
+        // nothing — all multi-node patterns have ≤ 5 occurrences; MNI ≤ 5
+        for m in &mined {
+            assert!(m.mni_support >= 5, "{}", m.pattern);
+        }
+    }
+
+    #[test]
+    fn mined_patterns_are_connected_and_valid() {
+        let g = conv_graph();
+        let mined = mine(
+            &g,
+            &MinerConfig {
+                min_support: 2,
+                ..MinerConfig::default()
+            },
+        );
+        for m in &mined {
+            assert!(m.pattern.is_connected(), "{}", m.pattern);
+            let dp = m.to_datapath(&g, "p");
+            assert!(dp.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn every_occurrence_is_a_real_embedding() {
+        // property: reported occurrences induce the pattern
+        let g = conv_graph();
+        let mined = mine(
+            &g,
+            &MinerConfig {
+                min_support: 2,
+                ..MinerConfig::default()
+            },
+        );
+        for m in &mined {
+            for occ in &m.occurrences {
+                let (p2, _) = Pattern::from_occurrence(&g, occ);
+                // the occurrence's induced pattern must contain at least
+                // the mined pattern's edges (it may have extra internal
+                // edges the pattern does not require)
+                assert!(p2.edge_count() >= m.pattern.edge_count());
+                assert_eq!(p2.len(), m.pattern.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Maximal-independent-set analysis of subgraph occurrences
+//! (paper Section 3.2, Fig. 4).
+//!
+//! Overlapping occurrences of a frequent subgraph cannot all be
+//! accelerated by fully-utilized PEs. Each occurrence becomes a node of an
+//! overlap graph (edge = two occurrences share an application node); the
+//! size of a maximal independent set of that graph estimates how many
+//! fully-utilized PEs implementing the subgraph the application can use.
+
+use apex_ir::NodeId;
+
+/// Builds the overlap graph: `adj[i]` lists occurrences sharing at least
+/// one application node with occurrence `i`.
+pub fn overlap_graph(occurrences: &[Vec<NodeId>]) -> Vec<Vec<usize>> {
+    let n = occurrences.len();
+    let mut adj = vec![Vec::new(); n];
+    // occurrence node lists are sorted (they come from Embedding::node_set)
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if sorted_intersects(&occurrences[i], &occurrences[j]) {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    adj
+}
+
+fn sorted_intersects(a: &[NodeId], b: &[NodeId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Greedy maximal independent set: repeatedly selects the remaining node
+/// with the fewest remaining neighbours and removes its neighbourhood.
+///
+/// Returns the indices of the selected occurrences. The result is a
+/// *maximal* independent set (cannot be grown), matching the paper's
+/// definition; the min-degree heuristic makes it a good estimate of the
+/// maximum.
+pub fn maximal_independent_set(occurrences: &[Vec<NodeId>]) -> Vec<usize> {
+    let adj = overlap_graph(occurrences);
+    let n = occurrences.len();
+    let mut alive = vec![true; n];
+    let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let mut chosen = Vec::new();
+    loop {
+        let mut best: Option<usize> = None;
+        for v in 0..n {
+            if alive[v] && best.is_none_or(|b| degree[v] < degree[b]) {
+                best = Some(v);
+            }
+        }
+        let Some(v) = best else { break };
+        chosen.push(v);
+        alive[v] = false;
+        for &u in &adj[v] {
+            if alive[u] {
+                alive[u] = false;
+                for &w in &adj[u] {
+                    degree[w] = degree[w].saturating_sub(1);
+                }
+            }
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Convenience: the MIS size of a set of occurrences.
+pub fn mis_size(occurrences: &[Vec<NodeId>]) -> usize {
+    maximal_independent_set(occurrences).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&x| NodeId(x)).collect()
+    }
+
+    #[test]
+    fn disjoint_occurrences_all_selected() {
+        let occ = vec![ids(&[0, 1]), ids(&[2, 3]), ids(&[4, 5])];
+        assert_eq!(mis_size(&occ), 3);
+    }
+
+    #[test]
+    fn fully_overlapping_occurrences_pick_one() {
+        let occ = vec![ids(&[0, 1]), ids(&[1, 2]), ids(&[0, 2])];
+        assert_eq!(mis_size(&occ), 1);
+    }
+
+    #[test]
+    fn chain_overlap_picks_alternating() {
+        // occurrences in a path: 0-1, 1-2, 2-3, 3-4 → MIS = {0-1, 2-3} or
+        // similar, size 2
+        let occ = vec![ids(&[0, 1]), ids(&[1, 2]), ids(&[2, 3]), ids(&[3, 4])];
+        assert_eq!(mis_size(&occ), 2);
+    }
+
+    #[test]
+    fn paper_fig4_example() {
+        // Fig. 4: four occurrences of the two-add chain in a conv tree;
+        // occurrences (a1,a2), (a2,a3), (a3,a4), (a4,a5) – MIS size 2
+        let occ = vec![ids(&[10, 11]), ids(&[11, 12]), ids(&[12, 13]), ids(&[13, 14])];
+        let mis = maximal_independent_set(&occ);
+        assert_eq!(mis.len(), 2);
+        // chosen occurrences must be pairwise disjoint
+        for (i, &a) in mis.iter().enumerate() {
+            for &b in &mis[i + 1..] {
+                assert!(!super::sorted_intersects(&occ[a], &occ[b]));
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_independent_and_maximal() {
+        let occ = vec![
+            ids(&[0, 1]),
+            ids(&[1, 2]),
+            ids(&[3, 4]),
+            ids(&[4, 5]),
+            ids(&[6, 7]),
+        ];
+        let adj = overlap_graph(&occ);
+        let mis = maximal_independent_set(&occ);
+        // independent
+        for (i, &a) in mis.iter().enumerate() {
+            for &b in &mis[i + 1..] {
+                assert!(!adj[a].contains(&b));
+            }
+        }
+        // maximal: every non-member has a chosen neighbour
+        for v in 0..occ.len() {
+            if !mis.contains(&v) {
+                assert!(adj[v].iter().any(|u| mis.contains(u)), "{v} could be added");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_set() {
+        assert_eq!(mis_size(&[]), 0);
+    }
+}

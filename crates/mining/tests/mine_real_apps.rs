@@ -1,0 +1,28 @@
+//! Integration: mine the real benchmark applications.
+
+use apex_mining::{mine, MinerConfig};
+
+#[test]
+fn mine_all_analyzed_apps() {
+    for app in apex_apps::analyzed_apps() {
+        let t0 = std::time::Instant::now();
+        let mined = mine(&app.graph, &MinerConfig::default());
+        let dt = t0.elapsed();
+        assert!(!mined.is_empty(), "{}: no frequent subgraphs", app.info.name);
+        // ranked by MIS
+        assert!(mined.windows(2).all(|w| w[0].mis_size >= w[1].mis_size));
+        // all datapaths materialize and validate
+        for m in mined.iter().take(10) {
+            let dp = m.to_datapath(&app.graph, "p");
+            assert!(dp.validate().is_ok());
+        }
+        println!(
+            "{}: {} frequent subgraphs, top MIS {} ({} nodes), {:?}",
+            app.info.name,
+            mined.len(),
+            mined[0].mis_size,
+            mined[0].pattern.len(),
+            dt
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Automated application pipelining (paper Section 4.3).
+//!
+//! After mapping, PEs have a cycle latency; branch-delay matching walks
+//! the mapped netlist from inputs to outputs tracking data arrival cycles
+//! and inserts balance registers on the shorter path of every reconvergent
+//! fan-in (Fig. 8). Register chains longer than a cutoff collapse into
+//! register files used as FIFOs (Fig. 9), which is dramatically cheaper
+//! and more routable than long switch-box register chains.
+
+use apex_ir::ValueType;
+use apex_map::{NetKind, NetRef, Netlist};
+use apex_rewrite::RuleSet;
+use std::collections::BTreeMap;
+
+/// Options for application pipelining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppPipelineOptions {
+    /// Register chains strictly longer than this collapse into a
+    /// register-file FIFO (the paper's default cutoff is 2).
+    pub rf_chain_cutoff: u32,
+}
+
+impl Default for AppPipelineOptions {
+    fn default() -> Self {
+        AppPipelineOptions { rf_chain_cutoff: 2 }
+    }
+}
+
+/// Result of branch-delay matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppPipelineReport {
+    /// Pipeline registers inserted (word + bit).
+    pub regs_inserted: usize,
+    /// Register-file FIFOs inserted.
+    pub fifos_inserted: usize,
+    /// Total input-to-output latency of the pipelined design, cycles.
+    pub latency: u32,
+}
+
+/// Pipelines a mapped netlist for PEs of the given latency.
+///
+/// Returns the new netlist plus a report. The transformation preserves
+/// streaming semantics: every output is the original combinational output
+/// delayed by `report.latency` cycles.
+///
+/// # Panics
+/// Panics if the input netlist is cyclic or already contains delay
+/// elements.
+pub fn pipeline_application(
+    netlist: &Netlist,
+    rules: &RuleSet,
+    pe_latency: u32,
+    options: &AppPipelineOptions,
+) -> (Netlist, AppPipelineReport) {
+    assert_eq!(
+        netlist.reg_count() + netlist.fifo_count(),
+        0,
+        "netlist already pipelined"
+    );
+    let order = netlist.topo_order().expect("acyclic netlist");
+
+    // arrival cycle of each node's outputs
+    let mut arrival: BTreeMap<u32, u32> = BTreeMap::new();
+    for &u in &order {
+        let node = &netlist.nodes[u as usize];
+        let in_arr = node
+            .inputs
+            .iter()
+            .map(|r| arrival[&r.node])
+            .max()
+            .unwrap_or(0);
+        arrival.insert(u, in_arr + netlist.latency(u, pe_latency));
+    }
+    // outputs are balanced to the latest arrival
+    let out_target = netlist
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n.kind, NetKind::WordOutput | NetKind::BitOutput))
+        .map(|(i, _)| arrival[&(i as u32)])
+        .max()
+        .unwrap_or(0);
+
+    // rebuild with delays inserted
+    let mut out = Netlist::new(netlist.name.clone());
+    let mut new_id: Vec<u32> = vec![0; netlist.nodes.len()];
+    let mut regs_inserted = 0usize;
+    let mut fifos_inserted = 0usize;
+    // shared delay chains: (source ref in new netlist, delay) → ref
+    let mut delay_cache: BTreeMap<(NetRef, u32), NetRef> = BTreeMap::new();
+
+    for &u in &order {
+        let node = &netlist.nodes[u as usize];
+        let my_in_arr = node
+            .inputs
+            .iter()
+            .map(|r| arrival[&r.node])
+            .max()
+            .unwrap_or(0);
+        let target = if matches!(node.kind, NetKind::WordOutput | NetKind::BitOutput) {
+            out_target
+        } else {
+            my_in_arr
+        };
+        let mut new_inputs = Vec::with_capacity(node.inputs.len());
+        for r in &node.inputs {
+            let src_new = NetRef {
+                node: new_id[r.node as usize],
+                port: r.port,
+            };
+            let need = target - arrival[&r.node];
+            let ty = netlist.output_types(r.node, rules)[r.port as usize];
+            let delayed = insert_delay(
+                &mut out,
+                src_new,
+                need,
+                ty,
+                options.rf_chain_cutoff,
+                &mut delay_cache,
+                &mut regs_inserted,
+                &mut fifos_inserted,
+            );
+            new_inputs.push(delayed);
+        }
+        new_id[u as usize] = out.push(node.kind.clone(), new_inputs);
+    }
+
+    let report = AppPipelineReport {
+        regs_inserted,
+        fifos_inserted,
+        latency: out_target,
+    };
+    (out, report)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn insert_delay(
+    out: &mut Netlist,
+    src: NetRef,
+    delay: u32,
+    ty: ValueType,
+    rf_cutoff: u32,
+    cache: &mut BTreeMap<(NetRef, u32), NetRef>,
+    regs: &mut usize,
+    fifos: &mut usize,
+) -> NetRef {
+    if delay == 0 {
+        return src;
+    }
+    if let Some(&r) = cache.get(&(src, delay)) {
+        return r;
+    }
+    let r = if ty == ValueType::Word && delay > rf_cutoff {
+        // register-file FIFO replaces the whole chain (Fig. 9)
+        *fifos += 1;
+        let node = out.push(NetKind::Fifo(delay.min(255) as u8), vec![src]);
+        NetRef { node, port: 0 }
+    } else {
+        // extend the longest existing chain by one register
+        let prev = insert_delay(out, src, delay - 1, ty, rf_cutoff, cache, regs, fifos);
+        *regs += 1;
+        let kind = match ty {
+            ValueType::Word => NetKind::Reg,
+            ValueType::Bit => NetKind::BitReg,
+        };
+        let node = out.push(kind, vec![prev]);
+        NetRef { node, port: 0 }
+    };
+    cache.insert((src, delay), r);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_map::{map_application, NetKind};
+    use apex_pe::baseline_pe;
+    use apex_rewrite::standard_ruleset;
+    use apex_ir::{Graph, Op};
+
+    /// a simple reconvergent graph: out = (a*b)*c + a
+    fn reconvergent() -> Graph {
+        let mut g = Graph::new("reconv");
+        let a = g.input();
+        let b = g.input();
+        let c = g.input();
+        let m1 = g.add(Op::Mul, &[a, b]);
+        let m2 = g.add(Op::Mul, &[m1, c]);
+        let s = g.add(Op::Add, &[m2, a]);
+        g.output(s);
+        g
+    }
+
+    #[test]
+    fn balances_reconvergent_paths() {
+        let g = reconvergent();
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]);
+        let design = map_application(&g, &pe.datapath, &rules).unwrap();
+        let (pipelined, report) = pipeline_application(
+            &design.netlist,
+            &rules,
+            2, // 2-cycle PEs
+            &AppPipelineOptions::default(),
+        );
+        assert!(pipelined.validate(&rules).is_ok());
+        // path a→add skips two 2-cycle PEs: needs 4 cycles of delay;
+        // with cutoff 2 that is one FIFO
+        assert!(report.regs_inserted + report.fifos_inserted > 0);
+        assert_eq!(report.latency, 6, "three PE levels x 2 cycles");
+    }
+
+    #[test]
+    fn pipelined_netlist_streams_correctly() {
+        let g = reconvergent();
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]);
+        let design = map_application(&g, &pe.datapath, &rules).unwrap();
+        let pe_latency = 1;
+        let (pipelined, report) = pipeline_application(
+            &design.netlist,
+            &rules,
+            pe_latency,
+            &AppPipelineOptions::default(),
+        );
+        // stream 8 input triples through and compare with per-vector
+        // combinational evaluation
+        let streams: Vec<Vec<u16>> = vec![
+            (1..=8).collect(),
+            (11..=18).collect(),
+            (21..=28).collect(),
+        ];
+        let (outs, _) = pipelined.simulate(&pe.datapath, &rules, &streams, &[], pe_latency);
+        for t in 0..8 {
+            let (golden, _) = design.netlist.evaluate(
+                &pe.datapath,
+                &rules,
+                &[streams[0][t], streams[1][t], streams[2][t]],
+                &[],
+            );
+            assert_eq!(
+                outs[0][t + report.latency as usize],
+                golden[0],
+                "cycle {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn long_chains_become_fifos() {
+        let g = reconvergent();
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]);
+        let design = map_application(&g, &pe.datapath, &rules).unwrap();
+        let (pipelined, report) = pipeline_application(
+            &design.netlist,
+            &rules,
+            3, // deep PEs → 6-cycle skips
+            &AppPipelineOptions::default(),
+        );
+        assert!(report.fifos_inserted >= 1, "{report:?}");
+        let max_fifo = pipelined
+            .nodes
+            .iter()
+            .filter_map(|n| match n.kind {
+                NetKind::Fifo(d) => Some(d),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert_eq!(max_fifo, 6);
+    }
+
+    #[test]
+    fn cutoff_zero_forbids_reg_chains() {
+        let g = reconvergent();
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]);
+        let design = map_application(&g, &pe.datapath, &rules).unwrap();
+        let (_, report) = pipeline_application(
+            &design.netlist,
+            &rules,
+            2,
+            &AppPipelineOptions { rf_chain_cutoff: 0 },
+        );
+        assert_eq!(report.regs_inserted, 0, "all word delays become FIFOs");
+        assert!(report.fifos_inserted > 0);
+    }
+
+    #[test]
+    fn zero_latency_pes_insert_nothing() {
+        let g = reconvergent();
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]);
+        let design = map_application(&g, &pe.datapath, &rules).unwrap();
+        let (pipelined, report) = pipeline_application(
+            &design.netlist,
+            &rules,
+            0,
+            &AppPipelineOptions::default(),
+        );
+        assert_eq!(report.regs_inserted + report.fifos_inserted, 0);
+        assert_eq!(report.latency, 0);
+        assert_eq!(pipelined.nodes.len(), design.netlist.nodes.len());
+    }
+}

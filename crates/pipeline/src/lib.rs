@@ -1,0 +1,44 @@
+//! # apex-pipeline — automated PE and application pipelining
+//!
+//! Sections 4.2 and 4.3 of the APEX paper:
+//!
+//! * [`pipeline_pe`] / [`auto_pipeline`] — static-timing-analysis driven
+//!   stage-count exploration plus DAG retiming, breaking long PE
+//!   datapaths so they meet the ~1 GHz target clock;
+//! * [`pipeline_application`] — branch-delay matching over the mapped
+//!   netlist, inserting balance registers on reconvergent fan-ins and
+//!   collapsing register chains longer than a cutoff into register-file
+//!   FIFOs (Fig. 8 and Fig. 9).
+//!
+//! # Examples
+//!
+//! ```
+//! use apex_ir::{Graph, Op};
+//! use apex_merge::MergedDatapath;
+//! use apex_pe::PeSpec;
+//! use apex_pipeline::{auto_pipeline, PePipelineOptions};
+//! use apex_tech::TechModel;
+//!
+//! // a merged mul→add datapath exceeds the 1.1 ns clock...
+//! let mut g = Graph::new("mac");
+//! let (a, b, c) = (g.input(), g.input(), g.input());
+//! let m = g.add(Op::Mul, &[a, b]);
+//! let s = g.add(Op::Add, &[m, c]);
+//! g.output(s);
+//! let mut spec = PeSpec::new("mac", MergedDatapath::from_graph(&g), false);
+//!
+//! let tech = TechModel::default();
+//! assert!(spec.cycle_delay(&tech) > tech.clock_period_ns);
+//! // ...until the automated pipeliner splits it
+//! let achieved = auto_pipeline(&mut spec, &tech, &PePipelineOptions::default());
+//! assert!(achieved <= tech.clock_period_ns);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod app_pipeline;
+mod pe_pipeline;
+
+pub use app_pipeline::{pipeline_application, AppPipelineOptions, AppPipelineReport};
+pub use pe_pipeline::{auto_pipeline, pipeline_pe, stages_for_period, PePipelineOptions};

@@ -1,0 +1,222 @@
+//! Automated PE pipelining (paper Section 4.2).
+//!
+//! A static-timing-analysis model over the PE datapath drives an iterative
+//! stage-count search: stages are added while they still buy a significant
+//! critical-path reduction, and a retiming pass (Calland-style DAG
+//! clustering) places the stage boundaries to minimize the worst
+//! intra-stage delay.
+
+use apex_merge::DpSource;
+use apex_pe::{PePipeline, PeSpec};
+use apex_tech::TechModel;
+
+/// Options for the stage-count search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PePipelineOptions {
+    /// Target clock period, ns (defaults to the tech model's).
+    pub target_period_ns: Option<f64>,
+    /// Stop adding stages when the relative period improvement falls
+    /// below this fraction.
+    pub min_improvement: f64,
+    /// Hard cap on pipeline depth.
+    pub max_stages: u32,
+}
+
+impl Default for PePipelineOptions {
+    fn default() -> Self {
+        PePipelineOptions {
+            target_period_ns: None,
+            min_improvement: 0.05,
+            max_stages: 8,
+        }
+    }
+}
+
+/// Assigns pipeline stages so that no intra-stage combinational path
+/// exceeds `period`, using longest-path clustering over the union of
+/// candidate edges.
+pub fn stages_for_period(spec: &PeSpec, tech: &TechModel, period: f64) -> PePipeline {
+    let dp = &spec.datapath;
+    let order = dp.topo_order().expect("valid datapath");
+    let mut stage = vec![0u32; dp.nodes.len()];
+    let mut arrival = vec![0.0f64; dp.nodes.len()];
+    for &i in &order {
+        let node = &dp.nodes[i as usize];
+        let own = node
+            .ops
+            .iter()
+            .map(|op| tech.delay(op.kind()))
+            .fold(0.0, f64::max)
+            + if node.port_candidates.iter().any(|p| p.len() > 1) {
+                0.02
+            } else {
+                0.0
+            };
+        // the node lands in the lowest stage where every incoming path
+        // still fits the period; predecessors that would overflow get a
+        // stage boundary (register) in between
+        let mut s = 0u32;
+        for port in &node.port_candidates {
+            for src in port {
+                let DpSource::Node(u) = src else { continue };
+                let (us, ua) = (stage[*u as usize], arrival[*u as usize]);
+                let cs = if ua + own > period { us + 1 } else { us };
+                s = s.max(cs);
+            }
+        }
+        // arrival within the chosen stage: same-stage predecessors chain
+        // combinationally, lower-stage ones arrive registered (time 0)
+        let mut arr = own;
+        for port in &node.port_candidates {
+            for src in port {
+                let DpSource::Node(u) = src else { continue };
+                if stage[*u as usize] == s {
+                    arr = arr.max(arrival[*u as usize] + own);
+                }
+            }
+        }
+        stage[i as usize] = s;
+        arrival[i as usize] = arr;
+    }
+    let stages = stage.iter().copied().max().unwrap_or(0) + 1;
+    PePipeline {
+        stage_of_node: stage,
+        stages,
+    }
+}
+
+/// Iteratively explores pipeline depths (the paper's critical-path model):
+/// starting from the combinational PE, adds stages while the achieved
+/// cycle delay still improves significantly, stopping at the target
+/// period or the configured cap. Returns the chosen pipelining, or `None`
+/// if the PE already meets timing without registers.
+pub fn pipeline_pe(spec: &PeSpec, tech: &TechModel, options: &PePipelineOptions) -> Option<PePipeline> {
+    let target = options.target_period_ns.unwrap_or(tech.clock_period_ns);
+    let flat = spec.cycle_delay(tech);
+    if flat <= target {
+        return None;
+    }
+    let mut best: Option<(PePipeline, f64)> = None;
+    // sweep candidate periods from the target upwards; clustering at a
+    // period yields the fewest stages meeting it
+    let mut period = target;
+    for _ in 0..16 {
+        let p = stages_for_period(spec, tech, period);
+        if p.stages > options.max_stages {
+            period *= 1.15;
+            continue;
+        }
+        let mut trial = spec.clone();
+        trial.pipeline = Some(p.clone());
+        let achieved = trial.cycle_delay(tech);
+        match &best {
+            Some((prev, prev_delay)) => {
+                let improvement = (prev_delay - achieved) / prev_delay;
+                if achieved < *prev_delay && improvement >= options.min_improvement
+                    || p.stages < prev.stages && achieved <= *prev_delay
+                {
+                    best = Some((p, achieved));
+                }
+            }
+            None => best = Some((p, achieved)),
+        }
+        if achieved <= target {
+            break;
+        }
+        period *= 1.15;
+    }
+    best.map(|(p, _)| p)
+}
+
+/// Applies [`pipeline_pe`] in place, returning the achieved cycle delay.
+pub fn auto_pipeline(spec: &mut PeSpec, tech: &TechModel, options: &PePipelineOptions) -> f64 {
+    if let Some(p) = pipeline_pe(spec, tech, options) {
+        spec.pipeline = Some(p);
+    }
+    spec.cycle_delay(tech)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_ir::{Graph, Op};
+    use apex_merge::MergedDatapath;
+
+    fn chain_spec(muls: usize) -> PeSpec {
+        // a mul chain: long critical path that needs pipelining
+        let mut g = Graph::new("chain");
+        let mut x = g.input();
+        for _ in 0..muls {
+            let w = g.input();
+            x = g.add(Op::Mul, &[x, w]);
+        }
+        g.output(x);
+        PeSpec::new("chain", MergedDatapath::from_graph(&g), false)
+    }
+
+    #[test]
+    fn stage_assignment_respects_period() {
+        let tech = TechModel::default();
+        let spec = chain_spec(4);
+        let p = stages_for_period(&spec, &tech, 1.1);
+        let mut staged = spec.clone();
+        staged.pipeline = Some(p.clone());
+        assert!(staged.cycle_delay(&tech) <= 1.1 + 1e-9);
+        // 4 muls at 0.92ns: one per stage
+        assert_eq!(p.stages, 4);
+    }
+
+    #[test]
+    fn stage_assignment_is_monotone_along_edges() {
+        let tech = TechModel::default();
+        let spec = chain_spec(5);
+        let p = stages_for_period(&spec, &tech, 1.1);
+        for (v, node) in spec.datapath.nodes.iter().enumerate() {
+            for port in &node.port_candidates {
+                for src in port {
+                    if let DpSource::Node(u) = src {
+                        assert!(
+                            p.stage_of_node[*u as usize] <= p.stage_of_node[v],
+                            "stages must not decrease along edges"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_pe_needs_no_pipelining() {
+        let tech = TechModel::default();
+        let mut g = Graph::new("adder");
+        let a = g.input();
+        let b = g.input();
+        let s = g.add(Op::Add, &[a, b]);
+        g.output(s);
+        let spec = PeSpec::new("adder", MergedDatapath::from_graph(&g), false);
+        assert!(pipeline_pe(&spec, &tech, &PePipelineOptions::default()).is_none());
+    }
+
+    #[test]
+    fn auto_pipeline_meets_target_clock() {
+        let tech = TechModel::default();
+        let mut spec = chain_spec(3);
+        let before = spec.cycle_delay(&tech);
+        assert!(before > tech.clock_period_ns);
+        let after = auto_pipeline(&mut spec, &tech, &PePipelineOptions::default());
+        assert!(after <= tech.clock_period_ns + 1e-9, "{after}");
+        assert!(spec.latency() >= 1);
+    }
+
+    #[test]
+    fn deeper_pipelines_cost_registers() {
+        let tech = TechModel::default();
+        let spec = chain_spec(4);
+        let shallow = stages_for_period(&spec, &tech, 2.0);
+        let deep = stages_for_period(&spec, &tech, 1.0);
+        assert!(deep.stages > shallow.stages);
+        assert!(
+            spec.pipeline_register_count(&deep) > spec.pipeline_register_count(&shallow)
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests: branch-delay matching must preserve streaming
+//! semantics for arbitrary mapped applications and PE latencies.
+
+use apex_ir::{Graph, Op};
+use apex_map::map_application;
+use apex_pe::baseline_pe;
+use apex_pipeline::{pipeline_application, AppPipelineOptions};
+use apex_rewrite::standard_ruleset;
+use proptest::prelude::*;
+
+fn arb_app() -> impl Strategy<Value = Graph> {
+    let spec = prop::collection::vec((0u8..5, any::<u16>(), any::<u16>()), 3..30);
+    spec.prop_map(|ops| {
+        let mut g = Graph::new("prop_app");
+        let mut pool = vec![g.input(), g.input(), g.input()];
+        for (sel, x, y) in ops {
+            let a = pool[(x as usize) % pool.len()];
+            let b = pool[(y as usize) % pool.len()];
+            let n = match sel {
+                0 => g.add(Op::Add, &[a, b]),
+                1 => g.add(Op::Mul, &[a, b]),
+                2 => g.add(Op::Sub, &[a, b]),
+                3 => g.add(Op::Smax, &[a, b]),
+                _ => {
+                    let c = g.constant(x);
+                    g.add(Op::Mul, &[a, c])
+                }
+            };
+            pool.push(n);
+        }
+        let last = *pool.last().unwrap();
+        g.output(last);
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn branch_delay_matching_preserves_streams(
+        app in arb_app(),
+        lat in 0u32..4,
+        cutoff in 0u32..4,
+        inputs in prop::collection::vec(any::<u16>(), 3)
+    ) {
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app]);
+        let design = map_application(&app, &pe.datapath, &rules).unwrap();
+        let (pipelined, report) = pipeline_application(
+            &design.netlist,
+            &rules,
+            lat,
+            &AppPipelineOptions { rf_chain_cutoff: cutoff },
+        );
+        prop_assert!(pipelined.validate(&rules).is_ok());
+
+        // arrival balance: every input edge of every consumer sees the
+        // same latency — verified behaviourally: hold inputs, check the
+        // output at the reported latency
+        let (golden_w, _) = design.netlist.evaluate(&pe.datapath, &rules, &inputs, &[]);
+        let hold = report.latency as usize + 1;
+        let streams: Vec<Vec<u16>> = inputs.iter().map(|&v| vec![v; hold]).collect();
+        let (out, _) = pipelined.simulate(&pe.datapath, &rules, &streams, &[], lat);
+        prop_assert_eq!(out[0][report.latency as usize], golden_w[0]);
+
+        // and as true streams: distinct values per cycle
+        let streams2: Vec<Vec<u16>> = inputs
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| (0..5u16).map(|t| v.wrapping_add(t * (k as u16 + 1))).collect())
+            .collect();
+        let (out2, _) = pipelined.simulate(&pe.datapath, &rules, &streams2, &[], lat);
+        for t in 0..5 {
+            let vec_t: Vec<u16> = streams2.iter().map(|s| s[t]).collect();
+            let (gw, _) = design.netlist.evaluate(&pe.datapath, &rules, &vec_t, &[]);
+            prop_assert_eq!(out2[0][t + report.latency as usize], gw[0], "cycle {}", t);
+        }
+
+        // the RF transform respects the cutoff
+        for node in &pipelined.nodes {
+            if let apex_map::NetKind::Fifo(d) = node.kind {
+                prop_assert!(u32::from(d) > cutoff);
+            }
+        }
+    }
+}

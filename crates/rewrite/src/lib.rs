@@ -1,0 +1,38 @@
+//! # apex-rewrite — rewrite-rule synthesis
+//!
+//! Our substitute for the paper's SMT-based rewrite-rule synthesis
+//! (Section 4.1.1, after Daly et al. FMCAD'22): given a PE specification,
+//! produce the verified set of [`RewriteRule`]s the application mapper
+//! uses for instruction selection.
+//!
+//! The SMT query `∃x ∀y: P(x, y) = Op(y)` is answered constructively —
+//! configurations are built by structural search over the PE's finite
+//! configuration space — and every rule is then validated against the IR
+//! golden model over corner + random input vectors ([`verify_rule`]),
+//! our bounded-equivalence substitute for Boolector (DESIGN.md §3).
+//!
+//! # Examples
+//!
+//! ```
+//! use apex_pe::baseline_pe;
+//! use apex_rewrite::{standard_ruleset, synthesize_op_rule};
+//! use apex_ir::{Graph, Op};
+//!
+//! let pe = baseline_pe();
+//! // the baseline PE can execute an add...
+//! assert!(synthesize_op_rule(&pe.datapath, Op::Add, &[]).is_some());
+//! // ...and fold a constant multiplicand into a constant register
+//! assert!(synthesize_op_rule(&pe.datapath, Op::Mul, &[1]).is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod rule;
+mod synth;
+
+pub use rule::{verify_rule, RewriteRule};
+pub use synth::{
+    const_passthrough_rule, lut_rule_for_bit_op, needed_templates, rules_from_configs,
+    standard_ruleset, synthesize_op_rule, RuleSet, SynthesisReport,
+};

@@ -1,0 +1,236 @@
+//! Rewrite rules: how a PE must be configured to perform an operation or
+//! subgraph from an application (paper Section 4.1.1).
+//!
+//! A rule pairs a *pattern* (a small datapath graph over the IR) with a
+//! *configuration template* of the target PE. Constant nodes in the
+//! pattern are placeholders: at mapping time the matched application
+//! constant is loaded into the bound constant register.
+
+use apex_ir::{evaluate as ir_eval, Graph, NodeId, Op, Value};
+use apex_merge::{DatapathConfig, MergedDatapath};
+use serde::{Deserialize, Serialize};
+
+/// A mapper rewrite rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RewriteRule {
+    /// Rule name (e.g. "add", "mul_const1", or a merged subgraph's name).
+    pub name: String,
+    /// The application-side pattern this rule covers.
+    pub pattern: Graph,
+    /// PE configuration template implementing the pattern.
+    pub config: DatapathConfig,
+    /// Payload bindings: pattern constant/LUT node → datapath node whose
+    /// configuration receives the matched payload.
+    pub payload_bindings: Vec<(NodeId, u32)>,
+    /// Application nodes covered per match (mapping priority: larger
+    /// rules are tried first, LLVM-style).
+    pub ops_covered: usize,
+}
+
+impl RewriteRule {
+    /// Builds the concrete configuration for a match whose pattern
+    /// constants take the given payloads (`payloads[i]` corresponds to
+    /// `payload_bindings[i]`).
+    ///
+    /// # Panics
+    /// Panics if `payloads` does not match the bindings, or a binding
+    /// points at a node the template leaves inactive.
+    pub fn instantiate(&self, payloads: &[Op]) -> DatapathConfig {
+        assert_eq!(payloads.len(), self.payload_bindings.len());
+        let mut cfg = self.config.clone();
+        for ((_, dp_node), payload) in self.payload_bindings.iter().zip(payloads) {
+            let nc = cfg.node_cfg[*dp_node as usize]
+                .as_mut()
+                .expect("payload binding targets an active node");
+            assert_eq!(
+                std::mem::discriminant(&nc.op),
+                std::mem::discriminant(payload),
+                "payload kind mismatch on node {dp_node}"
+            );
+            nc.op = *payload;
+        }
+        cfg
+    }
+
+    /// The payload ops currently in the pattern, in binding order.
+    pub fn pattern_payloads(&self) -> Vec<Op> {
+        self.payload_bindings
+            .iter()
+            .map(|(pn, _)| self.pattern.op(*pn))
+            .collect()
+    }
+}
+
+/// Verifies a rule against the IR golden model: for a battery of corner
+/// and random inputs (and random constant payloads), the configured PE
+/// must produce exactly the pattern's outputs.
+///
+/// This is our bounded-equivalence substitute for the paper's SMT query
+/// `∃x ∀y: P(x, y) = Op(y)` (DESIGN.md §3): the configuration `x` is
+/// constructed structurally, and `∀y` is checked over corner values plus
+/// `trials` random vectors.
+pub fn verify_rule(dp: &MergedDatapath, rule: &RewriteRule, trials: usize) -> bool {
+    let mut seed = 0xDEAD_BEEF_CAFE_1234u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    const CORNERS: [u16; 6] = [0, 1, 2, 0x7FFF, 0x8000, 0xFFFF];
+
+    let word_n = rule
+        .pattern
+        .node_ids()
+        .filter(|&i| rule.pattern.op(i) == Op::Input)
+        .count();
+    let bit_n = rule
+        .pattern
+        .node_ids()
+        .filter(|&i| rule.pattern.op(i) == Op::BitInput)
+        .count();
+
+    for t in 0..trials.max(CORNERS.len() * CORNERS.len()) {
+        // payloads: cycle corners, then random
+        let payloads: Vec<Op> = rule
+            .pattern_payloads()
+            .iter()
+            .map(|op| match op {
+                Op::Const(_) => Op::Const(if t < CORNERS.len() {
+                    CORNERS[t]
+                } else {
+                    next() as u16
+                }),
+                Op::BitConst(_) => Op::BitConst(next() & 1 == 1),
+                Op::Lut(_) => Op::Lut(next() as u8),
+                other => *other,
+            })
+            .collect();
+        let cfg = rule.instantiate(&payloads);
+        // concrete pattern with the same payloads
+        let mut pattern = rule.pattern.clone();
+        let concrete = substitute_payloads(&pattern, &rule.payload_bindings, &payloads);
+        pattern = concrete;
+
+        let words: Vec<u16> = (0..word_n)
+            .map(|k| {
+                if t < CORNERS.len() * CORNERS.len() {
+                    CORNERS[(t + k) % CORNERS.len()]
+                } else {
+                    next() as u16
+                }
+            })
+            .collect();
+        let bits: Vec<bool> = (0..bit_n).map(|_| next() & 1 == 1).collect();
+
+        let mut wi = words.iter();
+        let mut bi = bits.iter();
+        let golden_inputs: Vec<Value> = pattern
+            .primary_inputs()
+            .iter()
+            .map(|&pi| match pattern.op(pi) {
+                Op::Input => Value::Word(*wi.next().expect("enough words")),
+                Op::BitInput => Value::Bit(*bi.next().expect("enough bits")),
+                _ => unreachable!(),
+            })
+            .collect();
+        let golden = ir_eval(&pattern, &golden_inputs);
+        let Ok((got_w, got_b)) = dp.evaluate_as_source(&cfg, &words, &bits) else {
+            return false;
+        };
+        let mut gw = got_w.into_iter();
+        let mut gb = got_b.into_iter();
+        for (po, g) in pattern.primary_outputs().iter().zip(golden) {
+            let ok = match pattern.op(*po) {
+                Op::Output => gw.next() == Some(g.word()),
+                Op::BitOutput => gb.next() == Some(g.bit()),
+                _ => unreachable!(),
+            };
+            if !ok {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Returns a copy of `pattern` with payload nodes replaced.
+fn substitute_payloads(pattern: &Graph, bindings: &[(NodeId, u32)], payloads: &[Op]) -> Graph {
+    let mut g = Graph::new(pattern.name());
+    let mut payload_of: std::collections::BTreeMap<NodeId, Op> = std::collections::BTreeMap::new();
+    for ((pn, _), op) in bindings.iter().zip(payloads) {
+        payload_of.insert(*pn, *op);
+    }
+    for (id, node) in pattern.iter() {
+        let op = payload_of.get(&id).copied().unwrap_or(node.op());
+        let new_id = g.add(op, node.inputs());
+        debug_assert_eq!(new_id, id, "structure-preserving rebuild");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_merge::MergedDatapath;
+
+    fn scale_rule() -> (MergedDatapath, RewriteRule) {
+        // pattern/PE: out = a * C
+        let mut g = Graph::new("scale");
+        let a = g.input();
+        let c = g.constant(7);
+        let m = g.add(Op::Mul, &[a, c]);
+        g.output(m);
+        let dp = MergedDatapath::from_graph(&g);
+        let const_dp_node = dp.configs[0]
+            .node_map
+            .iter()
+            .find(|(src, _)| *src == c.0)
+            .map(|(_, dpn)| *dpn)
+            .expect("const mapped");
+        let rule = RewriteRule {
+            name: "mul_const".into(),
+            pattern: g,
+            config: dp.configs[0].clone(),
+            payload_bindings: vec![(c, const_dp_node)],
+            ops_covered: 2,
+        };
+        (dp, rule)
+    }
+
+    #[test]
+    fn instantiate_reloads_constant() {
+        let (dp, rule) = scale_rule();
+        let cfg = rule.instantiate(&[Op::Const(11)]);
+        let (w, _) = dp.evaluate_as_source(&cfg, &[5], &[]).unwrap();
+        assert_eq!(w[0], 55);
+    }
+
+    #[test]
+    fn verify_accepts_correct_rule() {
+        let (dp, rule) = scale_rule();
+        assert!(verify_rule(&dp, &rule, 100));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_rule() {
+        let (dp, mut rule) = scale_rule();
+        // claim the PE computes a + C instead
+        let mut g = Graph::new("lie");
+        let a = g.input();
+        let c = g.constant(7);
+        let s = g.add(Op::Add, &[a, c]);
+        g.output(s);
+        let binding_node = rule.payload_bindings[0].1;
+        rule.pattern = g;
+        rule.payload_bindings = vec![(c, binding_node)];
+        assert!(!verify_rule(&dp, &rule, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload kind mismatch")]
+    fn instantiate_rejects_wrong_payload_kind() {
+        let (_, rule) = scale_rule();
+        let _ = rule.instantiate(&[Op::BitConst(true)]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Machine-learning accelerator generation (paper Sections 5.3–5.4).
+//!
+//! Builds PE ML from the ResNet and MobileNet layers, maps both layers
+//! onto the resulting CGRA, and compares against the baseline CGRA and
+//! the analytic FPGA/Simba comparators of Fig. 18. Also dumps the
+//! generated PE's Verilog.
+//!
+//! ```bash
+//! cargo run --release --example ml_accelerator
+//! ```
+
+use apex::core::{
+    baseline_variant, evaluate_app, specialized_variant, EvalOptions, SubgraphSelection,
+};
+use apex::eval::baselines::{fpga, simba};
+use apex::merge::MergeOptions;
+use apex::mining::MinerConfig;
+use apex::pe::emit_verilog;
+use apex::tech::TechModel;
+use std::collections::BTreeSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let apps = apex::apps::ml_apps();
+    let refs: Vec<&apex::apps::Application> = apps.iter().collect();
+    let tech = TechModel::default();
+
+    println!("building PE ML from {} layers...", apps.len());
+    let pe_ml = specialized_variant(
+        "pe_ml",
+        &refs,
+        &refs,
+        &MinerConfig::default(),
+        &SubgraphSelection {
+            per_app: 2,
+            ..SubgraphSelection::default()
+        },
+        &MergeOptions::default(),
+        &tech,
+        &BTreeSet::new(),
+    );
+    println!(
+        "PE ML: {} functional units, {} configs, {} rewrite rules, {:.0} um2",
+        pe_ml.spec.datapath.node_count(),
+        pe_ml.spec.datapath.configs.len(),
+        pe_ml.rules.len(),
+        pe_ml.spec.area(&tech).total()
+    );
+
+    // hardware generation: the PE's Verilog
+    let rtl = emit_verilog(&pe_ml.spec);
+    let path = std::env::temp_dir().join("pe_ml.v");
+    std::fs::write(&path, &rtl)?;
+    println!(
+        "wrote {} lines of Verilog to {}",
+        rtl.lines().count(),
+        path.display()
+    );
+
+    let baseline = baseline_variant(&refs);
+    let options = EvalOptions {
+        pipelined: true,
+        ..EvalOptions::default()
+    };
+
+    for app in &apps {
+        println!("\n--- {} layer ---", app.info.name);
+        let f = fpga(app, &tech);
+        println!("{:<11} {:>10.1} uJ {:>10.3} ms", "FPGA", f.energy_uj, f.runtime_ms);
+        let base = evaluate_app(&baseline, app, &tech, &options)?;
+        println!(
+            "{:<11} {:>10.1} uJ {:>10.3} ms  ({} PEs)",
+            "CGRA base",
+            base.total_energy_uj(),
+            base.runtime_ms(),
+            base.pnr.pe_tiles
+        );
+        let ml = evaluate_app(&pe_ml, app, &tech, &options)?;
+        println!(
+            "{:<11} {:>10.1} uJ {:>10.3} ms  ({} PEs)",
+            "CGRA-ML",
+            ml.total_energy_uj(),
+            ml.runtime_ms(),
+            ml.pnr.pe_tiles
+        );
+        let s = simba(app, &tech);
+        println!("{:<11} {:>10.1} uJ {:>10.3} ms", "Simba", s.energy_uj, s.runtime_ms);
+    }
+    Ok(())
+}

@@ -1,0 +1,303 @@
+//! `apex` — command-line driver for the APEX design-space-exploration
+//! toolchain.
+//!
+//! ```text
+//! apex list                         applications in the benchmark suite
+//! apex dot <app>                    application dataflow graph as Graphviz DOT
+//! apex mine <app> [min_support]     frequent subgraphs with MIS statistics
+//! apex dse <app>                    specialize a PE for one application
+//! apex verilog <variant> [file]     PE RTL (variant: base | ip | ml | spec:<app>)
+//! apex array <variant> [file]       full 32x16 CGRA RTL for a variant
+//! apex report [ids...]              regenerate the paper's tables/figures
+//! apex save <app> [file]            dump an application in the text graph format
+//! apex dse-file <file>              run the DSE flow on a text-format graph
+//! apex describe <variant>           PE datasheet (units, configs, costs)
+//! ```
+
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "list" => list(),
+        "dot" => dot(&args[1..]),
+        "mine" => mine(&args[1..]),
+        "dse" => dse(&args[1..]),
+        "verilog" => verilog(&args[1..], false),
+        "array" => verilog(&args[1..], true),
+        "report" => report(&args[1..]),
+        "save" => save(&args[1..]),
+        "dse-file" => dse_file(&args[1..]),
+        "describe" => describe(&args[1..]),
+        _ => {
+            eprintln!("usage: apex <list|dot|mine|dse|verilog|array|report|save|dse-file|describe> [...]");
+            eprintln!("see `apex` source docs for details");
+        }
+    }
+}
+
+fn app_or_exit(name: Option<&String>) -> apex::apps::Application {
+    let Some(name) = name else {
+        eprintln!("expected an application name; try `apex list`");
+        std::process::exit(2);
+    };
+    match apex::apps::by_name(name) {
+        Some(a) => a,
+        None => {
+            eprintln!("unknown application '{name}'; try `apex list`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn list() {
+    println!("{:<11} {:<7} {:>6} {:>8}  description", "name", "domain", "ops", "unroll");
+    for a in apex::apps::analyzed_apps()
+        .into_iter()
+        .chain(apex::apps::unseen_apps())
+    {
+        println!(
+            "{:<11} {:<7} {:>6} {:>8}  {}",
+            a.info.name,
+            a.info.domain.to_string(),
+            a.graph.compute_op_count(),
+            a.info.unroll,
+            a.info.description
+        );
+    }
+}
+
+fn dot(args: &[String]) {
+    let app = app_or_exit(args.first());
+    print!("{}", app.graph.to_dot());
+}
+
+fn mine(args: &[String]) {
+    let app = app_or_exit(args.first());
+    let min_support = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4usize);
+    let mined = apex::mining::mine(
+        &app.graph,
+        &apex::mining::MinerConfig {
+            min_support,
+            ..apex::mining::MinerConfig::default()
+        },
+    );
+    println!(
+        "{} frequent subgraphs in '{}' (min support {min_support}):",
+        mined.len(),
+        app.info.name
+    );
+    println!("{:>4} {:>5} {:>5} {:>6}  pattern", "#", "occ", "MIS", "uMIS");
+    for (i, m) in mined.iter().take(25).enumerate() {
+        println!(
+            "{:>4} {:>5} {:>5} {:>6}  {}",
+            i + 1,
+            m.occurrences.len(),
+            m.mis_size,
+            m.utilizable_mis(&app.graph),
+            m.pattern
+        );
+    }
+    if mined.len() > 25 {
+        println!("... ({} more)", mined.len() - 25);
+    }
+}
+
+fn dse(args: &[String]) {
+    let app = app_or_exit(args.first());
+    let tech = apex::tech::TechModel::default();
+    println!("specializing a PE for '{}'...", app.info.name);
+    let base = apex::core::baseline_variant(&[&app]);
+    let spec = apex::core::specialized_variant(
+        &format!("pe_spec_{}", app.info.name),
+        &[&app],
+        &[&app],
+        &apex::mining::MinerConfig::default(),
+        &apex::core::SubgraphSelection::default(),
+        &apex::merge::MergeOptions::default(),
+        &tech,
+        &std::collections::BTreeSet::new(),
+    );
+    let opts = apex::core::EvalOptions::default();
+    let b = apex::core::evaluate_app(&base, &app, &tech, &opts).expect("baseline evaluates");
+    let s = apex::core::evaluate_app(&spec, &app, &tech, &opts).expect("specialized evaluates");
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<24} {:>12} {:>12}", "", "baseline", "specialized");
+    let _ = writeln!(out, "{:<24} {:>12} {:>12}", "PEs", b.pnr.pe_tiles, s.pnr.pe_tiles);
+    let _ = writeln!(out, "{:<24} {:>12.0} {:>12.0}", "PE area (um2)", b.pe_core_area, s.pe_core_area);
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12.1} {:>12.1}",
+        "CGRA energy (pJ/cycle)",
+        b.energy_per_cycle.total(),
+        s.energy_per_cycle.total()
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12.2} {:>12.2}",
+        "CGRA area (mm2)",
+        b.area.total() * 1e-6,
+        s.area.total() * 1e-6
+    );
+    let _ = writeln!(
+        out,
+        "\nsubgraphs merged: {} | rewrite rules: {} | savings: {:.0}% PE area, {:.0}% energy",
+        spec.sources.len(),
+        spec.rules.len(),
+        100.0 * (1.0 - s.pe_core_area / b.pe_core_area),
+        100.0 * (1.0 - s.energy_per_cycle.total() / b.energy_per_cycle.total())
+    );
+    print!("{out}");
+}
+
+fn variant_or_exit(name: Option<&String>) -> apex::core::PeVariant {
+    let Some(name) = name else {
+        eprintln!("expected a variant: base | ip | ml | spec:<app>");
+        std::process::exit(2);
+    };
+    let tech = apex::tech::TechModel::default();
+    let all = apex::apps::analyzed_apps();
+    let refs: Vec<&apex::apps::Application> = all.iter().collect();
+    match name.as_str() {
+        "base" => apex::core::baseline_variant(&refs),
+        "ip" => {
+            let ip = apex::apps::ip_apps();
+            let iprefs: Vec<&apex::apps::Application> = ip.iter().collect();
+            apex::core::specialized_variant(
+                "pe_ip",
+                &iprefs,
+                &iprefs,
+                &apex::mining::MinerConfig::default(),
+                &apex::core::SubgraphSelection::default(),
+                &apex::merge::MergeOptions::default(),
+                &tech,
+                &std::collections::BTreeSet::new(),
+            )
+        }
+        "ml" => {
+            let ml = apex::apps::ml_apps();
+            let mlrefs: Vec<&apex::apps::Application> = ml.iter().collect();
+            apex::core::specialized_variant(
+                "pe_ml",
+                &mlrefs,
+                &mlrefs,
+                &apex::mining::MinerConfig::default(),
+                &apex::core::SubgraphSelection::default(),
+                &apex::merge::MergeOptions::default(),
+                &tech,
+                &std::collections::BTreeSet::new(),
+            )
+        }
+        other => match other.strip_prefix("spec:") {
+            Some(app_name) => {
+                let app = apex::apps::by_name(app_name).unwrap_or_else(|| {
+                    eprintln!("unknown application '{app_name}'");
+                    std::process::exit(2);
+                });
+                apex::core::specialized_variant(
+                    &format!("pe_spec_{app_name}"),
+                    &[&app],
+                    &[&app],
+                    &apex::mining::MinerConfig::default(),
+                    &apex::core::SubgraphSelection::default(),
+                    &apex::merge::MergeOptions::default(),
+                    &tech,
+                    &std::collections::BTreeSet::new(),
+                )
+            }
+            None => {
+                eprintln!("unknown variant '{other}': base | ip | ml | spec:<app>");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn verilog(args: &[String], full_array: bool) {
+    let variant = variant_or_exit(args.first());
+    let rtl = if full_array {
+        let fabric = apex::cgra::Fabric::new(apex::cgra::FabricConfig::default());
+        apex::cgra::emit_cgra_verilog(&fabric, &variant.spec)
+    } else {
+        apex::pe::emit_verilog(&variant.spec)
+    };
+    match args.get(1) {
+        Some(path) => {
+            std::fs::write(path, &rtl).expect("write RTL file");
+            eprintln!("wrote {} lines to {path}", rtl.lines().count());
+        }
+        None => print!("{rtl}"),
+    }
+}
+
+fn save(args: &[String]) {
+    let app = app_or_exit(args.first());
+    let text = apex::ir::to_text(&app.graph);
+    match args.get(1) {
+        Some(path) => {
+            std::fs::write(path, &text).expect("write graph file");
+            eprintln!("wrote {} to {path}", app.info.name);
+        }
+        None => print!("{text}"),
+    }
+}
+
+fn dse_file(args: &[String]) {
+    let Some(path) = args.first() else {
+        eprintln!("expected a graph file; write one with `apex save <app> <file>`");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let graph = apex::ir::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    let app = apex::apps::Application::new(
+        apex::apps::AppInfo {
+            name: graph.name().to_owned(),
+            domain: apex::apps::Domain::ImageProcessing,
+            description: format!("custom graph from {path}"),
+            mem_tiles: 8,
+            io_tiles: 4,
+            unroll: 1,
+            output_pixels: 1 << 20,
+        },
+        graph,
+    );
+    let tech = apex::tech::TechModel::default();
+    let spec = apex::core::most_specialized_variant(
+        &app,
+        &apex::mining::MinerConfig::default(),
+        &apex::merge::MergeOptions::default(),
+        &tech,
+        4,
+    );
+    let base = apex::core::baseline_variant(&[&app]);
+    let (bn, ba, be) = apex::core::post_mapping_estimate(&base, &app, &tech).expect("baseline maps");
+    let (sn, sa, se) = apex::core::post_mapping_estimate(&spec, &app, &tech).expect("spec maps");
+    println!("custom app '{}': {} compute ops", app.info.name, app.graph.compute_op_count());
+    println!("baseline   : {bn} PEs, {ba:.0} um2, {be:.1} pJ/cycle");
+    println!("specialized: {sn} PEs, {sa:.0} um2, {se:.1} pJ/cycle ({} subgraphs merged)", spec.sources.len());
+}
+
+fn describe(args: &[String]) {
+    let variant = variant_or_exit(args.first());
+    let tech = apex::tech::TechModel::default();
+    print!("{}", apex::pe::datasheet(&variant.spec, &tech));
+}
+
+fn report(filter: &[String]) {
+    for (name, gen) in apex::eval::all_experiments() {
+        if !filter.is_empty() && !filter.iter().any(|f| f == name) {
+            continue;
+        }
+        println!("{}", gen());
+    }
+}

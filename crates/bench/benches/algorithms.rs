@@ -31,8 +31,10 @@ fn bench_algorithms(c: &mut Criterion) {
     });
 
     // --- MIS analysis ------------------------------------------------------
-    let mined = apex_mining::mine(&camera.graph, &apex_mining::MinerConfig::default());
+    let mined = apex_mining::mine(&camera.graph, &apex_mining::MinerConfig::default())
+        .expect("mining succeeds");
     let biggest = mined
+        .subgraphs
         .iter()
         .max_by_key(|m| m.occurrences.len())
         .expect("camera has frequent subgraphs");
@@ -50,8 +52,10 @@ fn bench_algorithms(c: &mut Criterion) {
         &apex_mining::MinerConfig::default(),
         &apex_core::SubgraphSelection::default(),
     )
+    .expect("mining succeeds")
+    .0
     .iter()
-    .map(|m| m.to_datapath(&gaussian.graph, "sg"))
+    .map(|m| m.to_datapath(&gaussian.graph, "sg").expect("datapath materializes"))
     .collect();
     g.bench_function("merge_subgraph_into_pe", |b| {
         b.iter(|| {

@@ -396,7 +396,7 @@ mod tests {
         let p = g2.add(Op::Mul, &[x, w]);
         let d = g2.add(Op::Sub, &[p, x]);
         g2.output(d);
-        let (dp, _) = merge_all(&[g1, g2], &TechModel::default(), &MergeOptions::default());
+        let (dp, _) = merge_all(&[g1, g2], &TechModel::default(), &MergeOptions::default()).unwrap();
         for cfg in &dp.configs {
             let bytes = pack_config(&dp, cfg);
             let decoded = unpack_config(&dp, &bytes, cfg);

@@ -10,7 +10,7 @@
 
 use crate::bitstream::{unpack_config, Bitstream, TileConfig};
 use crate::place::Placement;
-use apex_map::{NetKind, Netlist};
+use apex_map::{NetKind, Netlist, NetlistError};
 use apex_merge::{DatapathConfig, MergedDatapath};
 use apex_rewrite::RuleSet;
 use std::collections::BTreeMap;
@@ -23,6 +23,8 @@ pub enum FabricSimError {
         /// The unconfigured netlist node.
         node: u32,
     },
+    /// The decoded netlist failed to simulate.
+    Netlist(NetlistError),
 }
 
 impl std::fmt::Display for FabricSimError {
@@ -31,11 +33,18 @@ impl std::fmt::Display for FabricSimError {
             FabricSimError::MissingTileConfig { node } => {
                 write!(f, "node {node}: tile has no PE configuration in the bitstream")
             }
+            FabricSimError::Netlist(e) => write!(f, "decoded netlist failed to simulate: {e}"),
         }
     }
 }
 
 impl std::error::Error for FabricSimError {}
+
+impl From<NetlistError> for FabricSimError {
+    fn from(e: NetlistError) -> Self {
+        FabricSimError::Netlist(e)
+    }
+}
 
 /// Decodes the per-PE configurations out of a bitstream.
 ///
@@ -83,11 +92,7 @@ pub fn decode_pe_configs(
 /// Cycle-accurate fabric simulation driven by the decoded bitstream.
 ///
 /// # Errors
-/// Propagates decoding failures.
-///
-/// # Panics
-/// Panics on invalid netlists or mismatched stream counts (as
-/// [`Netlist::simulate`] does).
+/// Propagates decoding and simulation failures.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_from_bitstream(
     netlist: &Netlist,
@@ -100,7 +105,7 @@ pub fn simulate_from_bitstream(
     pe_latency: u32,
 ) -> Result<(Vec<Vec<u16>>, Vec<Vec<bool>>), FabricSimError> {
     let decoded = decode_pe_configs(netlist, rules, dp, placement, bitstream)?;
-    Ok(netlist.simulate_with(dp, rules, word_streams, bit_streams, pe_latency, &decoded))
+    Ok(netlist.simulate_with(dp, rules, word_streams, bit_streams, pe_latency, &decoded)?)
 }
 
 #[cfg(test)]
@@ -143,7 +148,7 @@ mod tests {
             .map(|i| (0..4).map(|t| (i as u16 * 31 + t * 7) & 0xFF).collect())
             .collect();
 
-        let golden = design.netlist.simulate(&pe.datapath, &rules, &streams, &[], 0);
+        let golden = design.netlist.simulate(&pe.datapath, &rules, &streams, &[], 0).unwrap();
         let decoded = simulate_from_bitstream(
             &design.netlist,
             &rules,

@@ -8,6 +8,7 @@
 //! annealing on total Manhattan wirelength.
 
 use crate::fabric::{Fabric, TileId, TileKind};
+use apex_fault::{ApexError, Stage};
 use apex_map::{NetKind, Netlist};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -58,6 +59,10 @@ pub enum PlaceError {
         /// Slots available.
         available: usize,
     },
+    /// The netlist is cyclic and cannot be swept topologically.
+    Cyclic,
+    /// A deterministic fault-injection site fired (tests only).
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for PlaceError {
@@ -71,11 +76,19 @@ impl std::fmt::Display for PlaceError {
                 f,
                 "fabric capacity exceeded for {class:?}: need {needed}, have {available}"
             ),
+            PlaceError::Cyclic => write!(f, "netlist is cyclic"),
+            PlaceError::Injected(site) => write!(f, "injected fault at {site}"),
         }
     }
 }
 
 impl std::error::Error for PlaceError {}
+
+impl From<PlaceError> for ApexError {
+    fn from(e: PlaceError) -> Self {
+        ApexError::with_source(Stage::Place, e)
+    }
+}
 
 /// Placement options.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +186,7 @@ pub fn place(
     fabric: &Fabric,
     options: &PlaceOptions,
 ) -> Result<Placement, PlaceError> {
+    apex_fault::fail_point!("place::start", PlaceError::Injected("place::start"));
     let classes = [
         PlaceClass::PeSlot,
         PlaceClass::RfSlot,
@@ -210,7 +224,7 @@ pub fn place(
 
     // greedy seed: topological sweep, each node to the free slot nearest
     // the centroid of its already-placed neighbours
-    let order = netlist.topo_order().expect("acyclic netlist");
+    let order = netlist.topo_order().map_err(|_| PlaceError::Cyclic)?;
     let mut tile_of: Vec<Option<TileId>> = vec![None; netlist.nodes.len()];
     let mut slot_of: Vec<Option<(PlaceClass, usize)>> = vec![None; netlist.nodes.len()];
     for &u in &order {

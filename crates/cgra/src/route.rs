@@ -5,6 +5,7 @@
 
 use crate::fabric::{Fabric, TileId};
 use crate::place::{place_class, trace_through_regs, Placement};
+use apex_fault::{ApexError, Provenance, Stage, StageBudget};
 use apex_ir::ValueType;
 use apex_map::Netlist;
 use apex_rewrite::RuleSet;
@@ -48,6 +49,9 @@ pub struct Routing {
     pub overflow_regs: usize,
     /// Rip-up/reroute iterations used.
     pub iterations: usize,
+    /// How the negotiation loop ended (always [`Provenance::Completed`]
+    /// unless the stage budget tripped after the final round finished).
+    pub provenance: Provenance,
 }
 
 impl Routing {
@@ -89,6 +93,13 @@ pub enum RouteError {
         /// The offending consumer.
         node: u32,
     },
+    /// The stage budget expired before a capacity-clean routing existed.
+    Exhausted {
+        /// How the budget tripped (timeout / step budget / cancellation).
+        provenance: Provenance,
+    },
+    /// A deterministic fault-injection site fired (tests only).
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for RouteError {
@@ -98,11 +109,21 @@ impl std::fmt::Display for RouteError {
                 write!(f, "unresolved congestion on {overused_links} links")
             }
             RouteError::Unplaced { node } => write!(f, "node {node} is not placed"),
+            RouteError::Exhausted { provenance } => {
+                write!(f, "routing budget exhausted ({provenance})")
+            }
+            RouteError::Injected(site) => write!(f, "injected fault at {site}"),
         }
     }
 }
 
 impl std::error::Error for RouteError {}
+
+impl From<RouteError> for ApexError {
+    fn from(e: RouteError) -> Self {
+        ApexError::with_source(Stage::Route, e)
+    }
+}
 
 /// Routing options.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,6 +132,8 @@ pub struct RouteOptions {
     pub max_iterations: usize,
     /// History-cost increment per overused link per round.
     pub history_increment: f64,
+    /// Wall-clock / step budget for the negotiation loop.
+    pub budget: StageBudget,
 }
 
 impl Default for RouteOptions {
@@ -118,6 +141,20 @@ impl Default for RouteOptions {
         RouteOptions {
             max_iterations: 10,
             history_increment: 2.0,
+            budget: StageBudget::unlimited(),
+        }
+    }
+}
+
+impl RouteOptions {
+    /// A relaxed variant for congestion-retry degradation: more
+    /// negotiation rounds and gentler history growth so PathFinder can
+    /// spread nets instead of thrashing.
+    pub fn relaxed(&self) -> RouteOptions {
+        RouteOptions {
+            max_iterations: self.max_iterations.saturating_mul(3).max(30),
+            history_increment: self.history_increment * 0.5,
+            budget: self.budget.clone(),
         }
     }
 }
@@ -151,18 +188,30 @@ pub fn route(
     placement: &Placement,
     options: &RouteOptions,
 ) -> Result<Routing, RouteError> {
+    apex_fault::fail_point!("route::start", RouteError::Injected("route::start"));
     let conns = connections(netlist, rules);
     // usage and history per (link, word?) — sparse maps keyed by link id
     let mut history: BTreeMap<(usize, bool), f64> = BTreeMap::new();
     let mut routes: Vec<RoutedEdge> = Vec::new();
+    let mut meter = options.budget.start();
 
     for round in 0..options.max_iterations {
+        if !meter.check_slow() {
+            return Err(RouteError::Exhausted {
+                provenance: meter.provenance(),
+            });
+        }
         let iterations = round + 1;
         // a link carries one track per *distinct signal*: fanout branches
         // of the same producer share the wire for free
         let mut usage: BTreeMap<(usize, bool), std::collections::BTreeSet<u32>> = BTreeMap::new();
         routes.clear();
         for &(consumer, slot, producer, regs, word) in &conns {
+            if !meter.tick() {
+                return Err(RouteError::Exhausted {
+                    provenance: meter.provenance(),
+                });
+            }
             let src = placement.tile_of_node[producer as usize]
                 .ok_or(RouteError::Unplaced { node: producer })?;
             let dst = placement.tile_of_node[consumer as usize]
@@ -209,6 +258,7 @@ pub fn route(
                 routes,
                 overflow_regs,
                 iterations,
+                provenance: meter.provenance(),
             });
         }
         for k in overused {
@@ -298,6 +348,8 @@ fn shortest_path(
     let mut path = vec![dst];
     let mut cur = dst;
     while cur != src {
+        // invariant: the fabric grid is fully connected, so Dijkstra always
+        // reaches dst and every hop has a predecessor
         cur = prev[cur.0 as usize].expect("grid is connected");
         path.push(cur);
     }
@@ -443,6 +495,29 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn zero_deadline_reports_exhausted_budget() {
+        let (netlist, rules, fabric, placement, _) = routed_gaussian();
+        let err = route(
+            &netlist,
+            &rules,
+            &fabric,
+            &placement,
+            &RouteOptions {
+                budget: StageBudget::unlimited()
+                    .with_deadline(std::time::Duration::ZERO),
+                ..RouteOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::Exhausted {
+                provenance: Provenance::TimedOut
+            }
+        );
     }
 
     #[test]

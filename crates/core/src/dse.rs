@@ -1,0 +1,347 @@
+//! Resilient per-application DSE driver — the fault-tolerant layer the
+//! unattended sweep runs on.
+//!
+//! [`crate::evaluate_app`] is the strict flow: any stage failure aborts
+//! the (variant, application) pair. A multi-app design-space exploration
+//! cannot afford that — one exhausted search budget or one unroutable
+//! placement must not take the whole sweep down. [`dse_evaluate_app`]
+//! therefore wraps every backend stage with the degradation policy from
+//! the paper's unattended-operation requirement (§3):
+//!
+//! * **pipelining** failure falls back to the unpipelined design,
+//! * **placement** failure retries with perturbed RNG seeds (bounded),
+//! * **routing** failure retries once with relaxed PathFinder options,
+//! * any stage that still fails is *skipped and reported*, never panics,
+//!
+//! and every concession is recorded as a [`Degradation`] in the returned
+//! [`DseOutcome`], so reports can render partial sweeps honestly.
+
+use crate::evaluate::{AppEvaluation, EvalOptions};
+use crate::variant::PeVariant;
+use apex_apps::Application;
+use apex_cgra::{
+    achieved_period, cgra_area, cgra_energy_per_cycle, gather_stats, place, route,
+    verify_routed, Fabric, OutputTiming,
+};
+use apex_fault::{ApexError, Degradation, DegradationKind, DseOutcome, Stage};
+use apex_map::map_application;
+use apex_pipeline::{auto_pipeline, pipeline_application, AppPipelineReport};
+use apex_tech::TechModel;
+
+/// Options for the resilient DSE flow.
+#[derive(Debug, Clone)]
+pub struct DseOptions {
+    /// The underlying backend options (fabric, placer, router, pipelining).
+    pub eval: EvalOptions,
+    /// Additional placement attempts with perturbed RNG seeds after a
+    /// placement failure (`0` disables retrying).
+    pub place_retries: u32,
+    /// Retry a failed routing once with [`apex_cgra::RouteOptions::relaxed`].
+    pub route_relax_retry: bool,
+}
+
+impl Default for DseOptions {
+    fn default() -> Self {
+        DseOptions {
+            eval: EvalOptions::default(),
+            place_retries: 2,
+            route_relax_retry: true,
+        }
+    }
+}
+
+/// Outcome of one (variant, application) evaluation under the degradation
+/// policy: the evaluation or the error that finally stopped the flow, plus
+/// every degradation accepted along the way.
+pub type AppDseOutcome = DseOutcome<Result<AppEvaluation, ApexError>>;
+
+/// Evaluates one application on a variant, degrading instead of failing
+/// wherever the policy allows. Never panics on malformed inputs or stage
+/// faults; the error case of the inner `Result` is itself a reported
+/// outcome.
+pub fn dse_evaluate_app(
+    variant: &PeVariant,
+    app: &Application,
+    tech: &TechModel,
+    options: &DseOptions,
+) -> AppDseOutcome {
+    // concessions made while building the variant carry over to each app
+    let mut degradations: Vec<Degradation> = variant.degradations.clone();
+
+    let design = match map_application(&app.graph, &variant.spec.datapath, &variant.rules) {
+        Ok(d) => d,
+        Err(e) => {
+            degradations.push(Degradation::new(
+                Stage::Map,
+                DegradationKind::Skipped,
+                format!("mapping failed ({e}); application skipped"),
+            ));
+            return DseOutcome::degraded(Err(e.into()), degradations);
+        }
+    };
+
+    // PE + application pipelining, falling back to the combinational design
+    let mut spec = variant.spec.clone();
+    let mut pipelining = AppPipelineReport {
+        regs_inserted: 0,
+        fifos_inserted: 0,
+        latency: 0,
+    };
+    let mut netlist = design.netlist.clone();
+    let mut pipelined = false;
+    if options.eval.pipelined {
+        let piped = auto_pipeline(&mut spec, tech, &options.eval.pe_pipeline).and_then(|_| {
+            let lat = spec.latency() + 1;
+            pipeline_application(&design.netlist, &variant.rules, lat, &options.eval.app_pipeline)
+        });
+        match piped {
+            Ok((pipelined_netlist, report)) => {
+                netlist = pipelined_netlist;
+                pipelining = report;
+                pipelined = true;
+            }
+            Err(e) => {
+                spec = variant.spec.clone();
+                degradations.push(Degradation::new(
+                    Stage::Pipeline,
+                    DegradationKind::Fallback,
+                    format!("pipelining failed ({e}); evaluating the unpipelined design"),
+                ));
+            }
+        }
+    }
+
+    // placement with bounded perturbed-seed retries
+    let fabric = Fabric::new(options.eval.fabric.clone());
+    let mut placement = None;
+    let mut place_err = None;
+    for attempt in 0..=options.place_retries {
+        let mut popts = options.eval.place.clone();
+        popts.seed = popts
+            .seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match place(&netlist, &fabric, &popts) {
+            Ok(p) => {
+                if attempt > 0 {
+                    degradations.push(Degradation::new(
+                        Stage::Place,
+                        DegradationKind::Retried,
+                        format!("placement succeeded on retry {attempt} with a perturbed seed"),
+                    ));
+                }
+                placement = Some(p);
+                break;
+            }
+            Err(e) => place_err = Some(e),
+        }
+    }
+    let placement = match placement {
+        Some(p) => p,
+        None => {
+            let attempts = options.place_retries + 1;
+            degradations.push(Degradation::new(
+                Stage::Place,
+                DegradationKind::Skipped,
+                format!("placement failed after {attempts} seed(s); application skipped"),
+            ));
+            let e = match place_err {
+                Some(e) => e.into(),
+                None => ApexError::new(Stage::Place, "no placement attempt ran"),
+            };
+            return DseOutcome::degraded(Err(e), degradations);
+        }
+    };
+
+    // routing, once more with relaxed negotiation on congestion
+    let routing = match route(&netlist, &variant.rules, &fabric, &placement, &options.eval.route)
+    {
+        Ok(r) => r,
+        Err(first) if options.route_relax_retry => {
+            degradations.push(Degradation::new(
+                Stage::Route,
+                DegradationKind::Retried,
+                format!("routing failed ({first}); retrying with relaxed options"),
+            ));
+            let relaxed = options.eval.route.relaxed();
+            match route(&netlist, &variant.rules, &fabric, &placement, &relaxed) {
+                Ok(r) => r,
+                Err(e) => {
+                    degradations.push(Degradation::new(
+                        Stage::Route,
+                        DegradationKind::Skipped,
+                        "routing failed even with relaxed options; application skipped",
+                    ));
+                    return DseOutcome::degraded(Err(e.into()), degradations);
+                }
+            }
+        }
+        Err(first) => {
+            degradations.push(Degradation::new(
+                Stage::Route,
+                DegradationKind::Skipped,
+                format!("routing failed ({first}); application skipped"),
+            ));
+            return DseOutcome::degraded(Err(first.into()), degradations);
+        }
+    };
+    if let Some(d) = Degradation::from_provenance(Stage::Route, routing.provenance) {
+        degradations.push(d);
+    }
+
+    if let Err(msg) = verify_routed(&netlist, &variant.rules, &fabric, &placement, &routing) {
+        degradations.push(Degradation::new(
+            Stage::Verify,
+            DegradationKind::Skipped,
+            "post-route verification failed; application skipped",
+        ));
+        return DseOutcome::degraded(Err(ApexError::new(Stage::Verify, msg)), degradations);
+    }
+
+    let pnr = gather_stats(&netlist, &fabric, &placement, &routing);
+    let area = cgra_area(&netlist, &pnr, &spec, tech);
+    let energy = cgra_energy_per_cycle(&netlist, &variant.rules, &pnr, &spec, tech);
+    let timing = if pipelined {
+        OutputTiming::Registered
+    } else {
+        OutputTiming::Combinational
+    };
+    let period = achieved_period(&routing, &spec, tech, timing).max(tech.clock_period_ns);
+    let runtime_cycles = app.steady_state_cycles() + u64::from(pipelining.latency);
+    let pe_core_area = pnr.pe_tiles as f64 * spec.area(tech).total();
+    let pe_core_energy_nj = energy.pe * runtime_cycles as f64 * 1e-3;
+
+    let eval = AppEvaluation {
+        app: app.info.name.clone(),
+        variant: variant.spec.name.clone(),
+        mapping: design.stats,
+        pipelining,
+        pe_stages: spec.pipeline.as_ref().map_or(1, |p| p.stages),
+        pnr,
+        area,
+        energy_per_cycle: energy,
+        period_ns: period,
+        runtime_cycles,
+        pe_core_area,
+        pe_core_energy_nj,
+    };
+    if degradations.is_empty() {
+        DseOutcome::clean(Ok(eval))
+    } else {
+        DseOutcome::degraded(Ok(eval), degradations)
+    }
+}
+
+/// Evaluates a whole application suite on a variant that may itself have
+/// failed to build: a failed variant becomes one reported (degraded)
+/// outcome per application instead of aborting the sweep.
+pub fn dse_evaluate_suite(
+    variant: &Result<PeVariant, ApexError>,
+    apps: &[&Application],
+    tech: &TechModel,
+    options: &DseOptions,
+) -> Vec<AppDseOutcome> {
+    match variant {
+        Ok(v) => apps
+            .iter()
+            .map(|a| dse_evaluate_app(v, a, tech, options))
+            .collect(),
+        Err(e) => apps
+            .iter()
+            .map(|_| {
+                DseOutcome::degraded(
+                    Err(ApexError::new(e.stage(), e.message())),
+                    vec![Degradation::new(
+                        e.stage(),
+                        DegradationKind::Skipped,
+                        format!("variant construction failed ({e}); application skipped"),
+                    )],
+                )
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::baseline_variant;
+    use apex_apps::gaussian;
+    use std::time::Duration;
+
+    #[test]
+    fn clean_flow_reports_no_degradations() {
+        let app = gaussian();
+        let tech = TechModel::default();
+        let v = baseline_variant(&[&app]).unwrap();
+        let outcome = dse_evaluate_app(&v, &app, &tech, &DseOptions::default());
+        assert!(!outcome.is_degraded(), "{}", outcome.degradation_summary());
+        assert!(outcome.result.is_ok());
+    }
+
+    #[test]
+    fn route_timeout_is_reported_not_fatal_to_the_sweep() {
+        let app = gaussian();
+        let tech = TechModel::default();
+        let v = baseline_variant(&[&app]).unwrap();
+        let mut options = DseOptions::default();
+        options.route_relax_retry = false;
+        options.eval.route.budget =
+            apex_fault::StageBudget::unlimited().with_deadline(Duration::ZERO);
+        let outcome = dse_evaluate_app(&v, &app, &tech, &options);
+        assert!(outcome.is_degraded());
+        assert!(outcome.result.is_err());
+        assert!(outcome
+            .degradations
+            .iter()
+            .any(|d| d.stage == Stage::Route));
+    }
+
+    #[test]
+    fn failed_variant_yields_one_reported_outcome_per_app() {
+        let app = gaussian();
+        let tech = TechModel::default();
+        let failed: Result<PeVariant, ApexError> =
+            Err(ApexError::new(Stage::Rewrite, "injected for test"));
+        let outcomes = dse_evaluate_suite(&failed, &[&app, &app], &tech, &DseOptions::default());
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.is_degraded());
+            assert!(o.result.is_err());
+        }
+    }
+
+    #[test]
+    fn merge_budget_timeout_still_yields_a_working_variant() {
+        use apex_merge::MergeOptions;
+        use apex_mining::MinerConfig;
+        use std::collections::BTreeSet;
+
+        let app = gaussian();
+        let tech = TechModel::default();
+        let merge_opts = MergeOptions {
+            budget: apex_fault::StageBudget::unlimited().with_deadline(Duration::ZERO),
+            ..MergeOptions::default()
+        };
+        let v = crate::variant::specialized_variant(
+            "pe_merge_timeout",
+            &[&app],
+            &[&app],
+            &MinerConfig::default(),
+            &crate::variant::SubgraphSelection::default(),
+            &merge_opts,
+            &tech,
+            &BTreeSet::new(),
+        )
+        .unwrap();
+        // the timed-out clique search degrades to the greedy incumbent,
+        // which must still be a working PE for the full backend
+        assert!(v
+            .degradations
+            .iter()
+            .any(|d| d.stage == Stage::Merge),
+            "expected a merge degradation, got {:?}", v.degradations);
+        let outcome = dse_evaluate_app(&v, &app, &tech, &DseOptions::default());
+        assert!(outcome.result.is_ok(), "degraded merge must still evaluate");
+        assert!(outcome.is_degraded());
+    }
+}

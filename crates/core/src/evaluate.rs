@@ -9,10 +9,11 @@ use apex_cgra::{
     verify_routed, AreaBreakdown, EnergyBreakdown, Fabric, FabricConfig, OutputTiming,
     PlaceError, PlaceOptions, PnrStats, RouteError, RouteOptions,
 };
+use apex_fault::{ApexError, Stage};
 use apex_map::{map_application, MapError, MapStats};
 use apex_pipeline::{
     auto_pipeline, pipeline_application, AppPipelineOptions, AppPipelineReport,
-    PePipelineOptions,
+    PePipelineOptions, PipelineError,
 };
 use apex_tech::TechModel;
 
@@ -39,6 +40,8 @@ pub struct EvalOptions {
 pub enum EvalError {
     /// Instruction selection failed.
     Map(MapError),
+    /// PE or application pipelining failed.
+    Pipeline(PipelineError),
     /// Placement failed.
     Place(PlaceError),
     /// Routing failed.
@@ -51,6 +54,7 @@ impl std::fmt::Display for EvalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EvalError::Map(e) => write!(f, "mapping: {e}"),
+            EvalError::Pipeline(e) => write!(f, "pipelining: {e}"),
             EvalError::Place(e) => write!(f, "placement: {e}"),
             EvalError::Route(e) => write!(f, "routing: {e}"),
             EvalError::Verify(e) => write!(f, "verification: {e}"),
@@ -59,6 +63,18 @@ impl std::fmt::Display for EvalError {
 }
 
 impl std::error::Error for EvalError {}
+
+impl From<EvalError> for ApexError {
+    fn from(e: EvalError) -> Self {
+        match e {
+            EvalError::Map(e) => e.into(),
+            EvalError::Pipeline(e) => e.into(),
+            EvalError::Place(e) => e.into(),
+            EvalError::Route(e) => e.into(),
+            EvalError::Verify(msg) => ApexError::new(Stage::Verify, msg),
+        }
+    }
+}
 
 /// Complete evaluation of one (variant, application) pair.
 #[derive(Debug, Clone)]
@@ -166,7 +182,7 @@ pub fn evaluate_app(
     };
     let mut netlist = design.netlist.clone();
     if options.pipelined {
-        auto_pipeline(&mut spec, tech, &options.pe_pipeline);
+        auto_pipeline(&mut spec, tech, &options.pe_pipeline).map_err(EvalError::Pipeline)?;
         // post-pipelining designs also register every PE output, so PEs
         // present at least one cycle of latency to the interconnect
         let lat = spec.latency() + 1;
@@ -175,7 +191,8 @@ pub fn evaluate_app(
             &variant.rules,
             lat,
             &options.app_pipeline,
-        );
+        )
+        .map_err(EvalError::Pipeline)?;
         netlist = pipelined_netlist;
         pipelining = report;
     }
@@ -227,7 +244,7 @@ mod tests {
     fn gaussian_evaluates_on_baseline_end_to_end() {
         let app = gaussian();
         let tech = TechModel::default();
-        let v = baseline_variant(&[&app]);
+        let v = baseline_variant(&[&app]).unwrap();
         let eval = evaluate_app(&v, &app, &tech, &EvalOptions::default()).unwrap();
         assert!(eval.pnr.pe_tiles > 0);
         assert!(eval.area.total() > 0.0);
@@ -241,14 +258,14 @@ mod tests {
         let app = gaussian();
         let tech = TechModel::default();
         let base = evaluate_app(
-            &baseline_variant(&[&app]),
+            &baseline_variant(&[&app]).unwrap(),
             &app,
             &tech,
             &EvalOptions::default(),
         )
         .unwrap();
         let pe1 = evaluate_app(
-            &pe1_variant("pe1_gauss", &[&app], &[&app]),
+            &pe1_variant("pe1_gauss", &[&app], &[&app]).unwrap(),
             &app,
             &tech,
             &EvalOptions::default(),
@@ -262,7 +279,7 @@ mod tests {
     fn pipelining_improves_clock_at_area_cost() {
         let app = gaussian();
         let tech = TechModel::default();
-        let v = baseline_variant(&[&app]);
+        let v = baseline_variant(&[&app]).unwrap();
         let flat = evaluate_app(&v, &app, &tech, &EvalOptions::default()).unwrap();
         let piped = evaluate_app(
             &v,

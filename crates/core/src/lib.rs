@@ -26,7 +26,7 @@
 //!
 //! let app = gaussian();
 //! let tech = TechModel::default();
-//! let baseline = baseline_variant(&[&app]);
+//! let baseline = baseline_variant(&[&app]).unwrap();
 //! let result = evaluate_app(&baseline, &app, &tech, &EvalOptions::default()).unwrap();
 //! println!("{} PEs, {:.0} µm², {:.1} pJ/cycle",
 //!     result.pnr.pe_tiles, result.area.total(), result.energy_per_cycle.total());
@@ -35,9 +35,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod dse;
 mod evaluate;
 mod variant;
 
+pub use dse::{dse_evaluate_app, dse_evaluate_suite, AppDseOutcome, DseOptions};
 pub use evaluate::{evaluate_app, post_mapping_estimate, AppEvaluation, EvalError, EvalOptions};
 pub use variant::{
     baseline_variant, most_specialized_variant, ops_used, pe1_variant, required_op_kinds,

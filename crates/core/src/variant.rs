@@ -9,11 +9,12 @@
 //! application of the domain.
 
 use apex_apps::Application;
+use apex_fault::{ApexError, Degradation, DegradationKind, Provenance, Stage};
 use apex_ir::{Graph, Op, OpKind};
 use apex_merge::{merge_graph, MergeOptions};
-use apex_mining::{mine, MinedSubgraph, MinerConfig};
+use apex_mining::{mine, MineError, MinedSubgraph, MinerConfig};
 use apex_pe::{baseline_pe, baseline_pe_with_ops, PeSpec};
-use apex_rewrite::{standard_ruleset, RuleSet, SynthesisReport};
+use apex_rewrite::{try_standard_ruleset, RuleSet, SynthesisReport};
 use apex_tech::TechModel;
 use std::collections::BTreeSet;
 
@@ -30,6 +31,9 @@ pub struct PeVariant {
     pub rules: RuleSet,
     /// Rule-synthesis report (missing ops ⇒ some app is unmappable).
     pub synthesis: SynthesisReport,
+    /// Degradations accepted while constructing this variant (mining
+    /// truncated by budget, merges skipped after failures, …).
+    pub degradations: Vec<Degradation>,
 }
 
 /// Operation kinds an application suite requires of a PE, with
@@ -90,17 +94,27 @@ pub fn required_op_kinds(apps: &[&Application]) -> BTreeSet<OpKind> {
 
 /// The general-purpose baseline PE with rules for the given applications
 /// (the paper's comparison baseline, Fig. 1).
-pub fn baseline_variant(eval_apps: &[&Application]) -> PeVariant {
+///
+/// # Errors
+/// Propagates rule-synthesis failures.
+pub fn baseline_variant(eval_apps: &[&Application]) -> Result<PeVariant, ApexError> {
     let spec = baseline_pe();
-    finish(spec, Vec::new(), eval_apps)
+    finish(spec, Vec::new(), eval_apps, Vec::new())
 }
 
 /// "PE 1": the baseline restricted to the operations the applications
 /// need, APEX-generated (no legacy control overhead).
-pub fn pe1_variant(name: &str, analysis_apps: &[&Application], eval_apps: &[&Application]) -> PeVariant {
+///
+/// # Errors
+/// Propagates rule-synthesis failures.
+pub fn pe1_variant(
+    name: &str,
+    analysis_apps: &[&Application],
+    eval_apps: &[&Application],
+) -> Result<PeVariant, ApexError> {
     let kinds = required_op_kinds(analysis_apps);
     let spec = baseline_pe_with_ops(name, &kinds);
-    finish(spec, Vec::new(), eval_apps)
+    finish(spec, Vec::new(), eval_apps, Vec::new())
 }
 
 /// How candidate subgraphs are ranked before taking the top `per_app`.
@@ -152,13 +166,21 @@ impl Default for SubgraphSelection {
 /// first. Plain MIS order (the paper's first-cut ranking) over-weights
 /// tiny pairs and subgraphs whose intermediates the application still
 /// needs elsewhere.
+///
+/// The returned [`Provenance`] says whether the mining search completed
+/// or was cut short by the miner's [`apex_fault::StageBudget`].
+///
+/// # Errors
+/// Propagates mining failures.
 pub fn select_subgraphs(
     app: &Application,
     miner: &MinerConfig,
     selection: &SubgraphSelection,
-) -> Vec<MinedSubgraph> {
-    let mined = mine(&app.graph, miner);
+) -> Result<(Vec<MinedSubgraph>, Provenance), MineError> {
+    let mined = mine(&app.graph, miner)?;
+    let provenance = mined.provenance;
     let mut scored: Vec<(usize, MinedSubgraph)> = mined
+        .subgraphs
         .into_iter()
         .filter_map(|m| {
             let fused = m
@@ -193,11 +215,14 @@ pub fn select_subgraphs(
         b.0.cmp(&a.0)
             .then_with(|| a.1.pattern.canonical_code().cmp(&b.1.pattern.canonical_code()))
     });
-    scored
-        .into_iter()
-        .take(selection.per_app)
-        .map(|(_, m)| m)
-        .collect()
+    Ok((
+        scored
+            .into_iter()
+            .take(selection.per_app)
+            .map(|(_, m)| m)
+            .collect(),
+        provenance,
+    ))
 }
 
 /// Builds a specialized variant: PE 1 for the analysis applications, plus
@@ -205,6 +230,16 @@ pub fn select_subgraphs(
 ///
 /// `extra_kinds` force-in additional operation kinds (e.g. keeping the
 /// bit-operation LUT in a domain PE so unseen applications still map).
+///
+/// Mining and merge failures degrade rather than abort: a failed mining
+/// pass contributes no subgraphs, a failed or budget-limited merge keeps
+/// the previous datapath (greedy incumbent, then effectively PE 1), and
+/// every such event is recorded in [`PeVariant::degradations`].
+///
+/// # Errors
+/// Propagates rule-synthesis failures (the rules are indispensable —
+/// without them nothing maps).
+#[allow(clippy::too_many_arguments)]
 pub fn specialized_variant(
     name: &str,
     analysis_apps: &[&Application],
@@ -214,30 +249,48 @@ pub fn specialized_variant(
     merge_opts: &MergeOptions,
     tech: &TechModel,
     extra_kinds: &BTreeSet<OpKind>,
-) -> PeVariant {
+) -> Result<PeVariant, ApexError> {
     let mut kinds = required_op_kinds(analysis_apps);
     kinds.extend(extra_kinds.iter().copied());
     let base = baseline_pe_with_ops(name, &kinds);
     let mut dp = base.datapath;
+    let mut degradations: Vec<Degradation> = Vec::new();
 
     // collect candidate subgraphs across all analysis apps, dedup by the
     // canonical code of the *materialized* datapath (two apps can mine the
     // same op pattern yet fold different constants or share inputs
     // differently — those are different PE rules), order by MIS size
     // mining is independent per application: fan out across threads
-    let per_app: Vec<Vec<MinedSubgraph>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = analysis_apps
-            .iter()
-            .map(|app| scope.spawn(move || select_subgraphs(app, miner, selection)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("miner thread panicked"))
-            .collect()
-    });
+    let per_app: Vec<Result<(Vec<MinedSubgraph>, Provenance), MineError>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = analysis_apps
+                .iter()
+                .map(|app| scope.spawn(move || select_subgraphs(app, miner, selection)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("miner thread panicked"))
+                .collect()
+        });
     let mut chosen: Vec<(String, Graph, usize)> = Vec::new();
     let mut seen: BTreeSet<String> = BTreeSet::new();
     for (app, mined) in analysis_apps.iter().zip(per_app) {
+        let mined = match mined {
+            Ok((subgraphs, provenance)) => {
+                if let Some(d) = Degradation::from_provenance(Stage::Mine, provenance) {
+                    degradations.push(d);
+                }
+                subgraphs
+            }
+            Err(e) => {
+                degradations.push(Degradation::new(
+                    Stage::Mine,
+                    DegradationKind::Skipped,
+                    format!("mining {} failed ({e}); no subgraphs from this app", app.info.name),
+                ));
+                Vec::new()
+            }
+        };
         for (k, m) in mined.into_iter().enumerate() {
             let mut g = materialize_with_consts(&app.graph, &m);
             let (mat_pattern, _) =
@@ -253,13 +306,28 @@ pub fn specialized_variant(
 
     let mut sources = Vec::new();
     for (_, g, _) in chosen {
-        let (next, _) = merge_graph(&dp, &g, tech, merge_opts);
-        dp = next;
-        sources.push(g);
+        match merge_graph(&dp, &g, tech, merge_opts) {
+            Ok((next, report)) => {
+                if let Some(d) = Degradation::from_provenance(Stage::Merge, report.provenance) {
+                    degradations.push(d);
+                }
+                dp = next;
+                sources.push(g);
+            }
+            Err(e) => {
+                // greedy-incumbent/baseline fallback: keep the datapath as
+                // merged so far (with no merges at all it is exactly PE 1)
+                degradations.push(Degradation::new(
+                    Stage::Merge,
+                    DegradationKind::Fallback,
+                    format!("merging {} failed ({e}); keeping previous datapath", g.name()),
+                ));
+            }
+        }
     }
     dp.name = name.to_owned();
     let spec = PeSpec::new(name, dp, false);
-    finish(spec, sources, eval_apps)
+    finish(spec, sources, eval_apps, degradations)
 }
 
 /// Builds the ladder of increasingly specialized variants for one
@@ -271,7 +339,7 @@ pub fn specialization_ladder(
     miner: &MinerConfig,
     merge_opts: &MergeOptions,
     tech: &TechModel,
-) -> Vec<PeVariant> {
+) -> Result<Vec<PeVariant>, ApexError> {
     let mut out = Vec::new();
     for k in 0..=steps {
         let selection = SubgraphSelection {
@@ -288,10 +356,10 @@ pub fn specialization_ladder(
             merge_opts,
             tech,
             &BTreeSet::new(),
-        );
+        )?;
         out.push(v);
     }
-    out
+    Ok(out)
 }
 
 /// Materializes a mined subgraph as a datapath from its representative
@@ -325,7 +393,7 @@ pub fn most_specialized_variant(
     merge_opts: &MergeOptions,
     tech: &TechModel,
     max_steps: usize,
-) -> PeVariant {
+) -> Result<PeVariant, ApexError> {
     let mut options = crate::evaluate::EvalOptions::default();
     options.place.moves = 4_000;
     let mut best: Option<(PeVariant, f64, f64)> = None;
@@ -342,9 +410,14 @@ pub fn most_specialized_variant(
             merge_opts,
             tech,
             &BTreeSet::new(),
-        );
-        let Ok(eval) = crate::evaluate::evaluate_app(&v, app, tech, &options) else {
-            break;
+        )?;
+        let eval = match crate::evaluate::evaluate_app(&v, app, tech, &options) {
+            Ok(eval) => eval,
+            // deeper variants may stop evaluating (e.g. over-merged PEs no
+            // longer fit the fabric) — keep the best evaluated one, but a
+            // failure on the very first step has nothing to fall back to
+            Err(e) if best.is_none() => return Err(e.into()),
+            Err(_) => break,
         };
         let (area, energy) = (eval.area.total(), eval.energy_per_cycle.total());
         match &best {
@@ -359,18 +432,30 @@ pub fn most_specialized_variant(
             }
         }
     }
-    best.expect("k = 0 always evaluates").0
+    match best {
+        Some((v, _, _)) => Ok(v),
+        None => Err(ApexError::new(
+            Stage::Merge,
+            "specialization search produced no evaluable variant",
+        )),
+    }
 }
 
-fn finish(spec: PeSpec, sources: Vec<Graph>, eval_apps: &[&Application]) -> PeVariant {
+fn finish(
+    spec: PeSpec,
+    sources: Vec<Graph>,
+    eval_apps: &[&Application],
+    degradations: Vec<Degradation>,
+) -> Result<PeVariant, ApexError> {
     let graphs: Vec<&Graph> = eval_apps.iter().map(|a| &a.graph).collect();
-    let (rules, synthesis) = standard_ruleset(&spec.datapath, &sources, &graphs);
-    PeVariant {
+    let (rules, synthesis) = try_standard_ruleset(&spec.datapath, &sources, &graphs)?;
+    Ok(PeVariant {
         spec,
         sources,
         rules,
         synthesis,
-    }
+        degradations,
+    })
 }
 
 /// Checks a variant can express everything its applications need.
@@ -408,8 +493,8 @@ mod tests {
     fn pe1_is_smaller_than_baseline_and_complete() {
         let tech = TechModel::default();
         let cam = camera_pipeline();
-        let base = baseline_variant(&[&cam]);
-        let pe1 = pe1_variant("pe1_camera", &[&cam], &[&cam]);
+        let base = baseline_variant(&[&cam]).unwrap();
+        let pe1 = pe1_variant("pe1_camera", &[&cam], &[&cam]).unwrap();
         assert!(variant_is_complete(&base), "{:?}", base.synthesis.missing);
         assert!(variant_is_complete(&pe1), "{:?}", pe1.synthesis.missing);
         assert!(
@@ -430,7 +515,8 @@ mod tests {
             &MergeOptions::default(),
             &tech,
             &BTreeSet::new(),
-        );
+        )
+        .unwrap();
         assert!(variant_is_complete(&v), "{:?}", v.synthesis.missing);
         assert!(!v.sources.is_empty(), "subgraphs were merged");
         // at least one rule covers 3+ ops
@@ -447,7 +533,8 @@ mod tests {
             &MinerConfig::default(),
             &MergeOptions::default(),
             &tech,
-        );
+        )
+        .unwrap();
         assert_eq!(ladder.len(), 3);
         assert_eq!(ladder[0].sources.len(), 0, "PE 1 merges nothing");
         assert!(ladder[2].sources.len() >= ladder[1].sources.len());
@@ -466,8 +553,9 @@ mod tests {
             &MergeOptions::default(),
             &tech,
             3,
-        );
-        let pe1 = pe1_variant("pe1_gauss", &[&g], &[&g]);
+        )
+        .unwrap();
+        let pe1 = pe1_variant("pe1_gauss", &[&g], &[&g]).unwrap();
         let mut options = crate::evaluate::EvalOptions::default();
         options.place.moves = 4_000;
         let spec_eval = crate::evaluate::evaluate_app(&spec, &g, &tech, &options).unwrap();
@@ -502,7 +590,8 @@ mod tests {
             &MergeOptions::default(),
             &tech,
             &BTreeSet::new(),
-        );
+        )
+        .unwrap();
         assert!(variant_is_complete(&v), "{:?}", v.synthesis.missing);
         assert!(!v.sources.is_empty());
     }

@@ -45,7 +45,8 @@ fn main() {
                 &MergeOptions::default(),
                 tech,
                 &BTreeSet::new(),
-            );
+            )
+            .expect("ablation variant builds");
             let (n, area, _) = post_mapping(&v, app);
             t.push(vec![
                 app.info.name.clone(),
@@ -72,10 +73,12 @@ fn main() {
                 &SubgraphSelection::default(),
                 &MergeOptions {
                     clique_budget: budget,
+                    ..MergeOptions::default()
                 },
                 tech,
                 &BTreeSet::new(),
-            );
+            )
+            .expect("ablation variant builds");
             t.push(vec![
                 app.info.name.clone(),
                 name.into(),
@@ -103,7 +106,8 @@ fn main() {
                 &AppPipelineOptions {
                     rf_chain_cutoff: cutoff,
                 },
-            );
+            )
+            .expect("pipelining succeeds");
             t.push(vec![
                 app.info.name.clone(),
                 cutoff.to_string(),
@@ -133,7 +137,8 @@ fn main() {
             &MergeOptions::default(),
             tech,
             &BTreeSet::new(),
-        );
+        )
+        .expect("ablation variant builds");
         let (n, area, _) = post_mapping(&v, app);
         t.push(vec![
             k.to_string(),

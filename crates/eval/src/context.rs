@@ -60,7 +60,7 @@ pub fn baseline() -> &'static PeVariant {
     static V: OnceLock<PeVariant> = OnceLock::new();
     V.get_or_init(|| {
         let refs: Vec<&Application> = all_apps().iter().collect();
-        baseline_variant(&refs)
+        baseline_variant(&refs).expect("baseline variant builds")
     })
 }
 
@@ -89,6 +89,7 @@ pub fn pe_ip() -> &'static PeVariant {
             tech(),
             &extra,
         )
+        .expect("pe_ip builds")
     })
 }
 
@@ -114,6 +115,7 @@ pub fn pe_ip2() -> &'static PeVariant {
             tech(),
             &BTreeSet::new(),
         )
+        .expect("pe_ip2 builds")
     })
 }
 
@@ -143,6 +145,7 @@ pub fn pe_ip3() -> &'static PeVariant {
             tech(),
             &BTreeSet::new(),
         )
+        .expect("pe_ip3 builds")
     })
 }
 
@@ -165,6 +168,7 @@ pub fn pe_ml() -> &'static PeVariant {
             tech(),
             &BTreeSet::new(),
         )
+        .expect("pe_ml builds")
     })
 }
 
@@ -180,7 +184,8 @@ pub fn pe_spec(app_name: &str) -> &'static PeVariant {
     let a = app(app_name);
     // the paper's stopping rule: most specialized without increasing the
     // application's area or energy
-    let v = apex_core::most_specialized_variant(a, &miner(), &MergeOptions::default(), tech(), 4);
+    let v = apex_core::most_specialized_variant(a, &miner(), &MergeOptions::default(), tech(), 4)
+        .expect("pe_spec builds");
     let leaked: &'static PeVariant = Box::leak(Box::new(v));
     guard.insert(app_name.to_owned(), leaked);
     leaked
@@ -198,6 +203,7 @@ pub fn camera_ladder() -> &'static Vec<PeVariant> {
             &MergeOptions::default(),
             tech(),
         )
+        .expect("camera ladder builds")
     })
 }
 

@@ -42,10 +42,11 @@ pub fn fig10() -> Table {
     );
     let miner = MinerConfig::default();
     for a in all_apps().iter().take(6) {
-        let subs = select_subgraphs(a, &miner, &SubgraphSelection {
+        let (subs, _) = select_subgraphs(a, &miner, &SubgraphSelection {
             per_app: 4,
             ..SubgraphSelection::default()
-        });
+        })
+        .unwrap_or_else(|e| panic!("mining {}: {e}", a.info.name));
         for (k, m) in subs.iter().enumerate() {
             t.push(vec![
                 a.info.name.clone(),

@@ -1,0 +1,633 @@
+//! Fault-tolerance primitives for the APEX DSE engine.
+//!
+//! A multi-application DSE sweep (mine → merge → rewrite → map → pipeline →
+//! place → route) must degrade and keep reporting rather than abort when one
+//! stage fails or exhausts its budget. This crate is the workspace's
+//! bottom-most layer for that policy:
+//!
+//! * [`ApexError`] — the unified error type every stage error converts
+//!   into, carrying the [`Stage`] it came from and an optional source chain.
+//! * [`StageBudget`] / [`BudgetMeter`] — wall-clock deadlines, step budgets
+//!   and cooperative cancellation for the search loops (clique
+//!   branch-and-bound, embedding enumeration, PathFinder).
+//! * [`Provenance`] — how a search result ended: ran to completion, was
+//!   truncated by a step budget, hit its deadline, or was cancelled.
+//! * [`Degradation`] / [`DseOutcome`] — per-application records of every
+//!   fallback the resilient driver took, so reports can render partial
+//!   sweeps honestly.
+//! * [`fail_point!`] — a deterministic, feature-gated fault-injection
+//!   macro (no external dependencies) used by the robustness test-suite to
+//!   prove each stage fault degrades instead of panicking.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The pipeline stage an error or degradation originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Input parsing / graph construction.
+    Parse,
+    /// Frequent-subgraph mining.
+    Mine,
+    /// Datapath merging (clique search included).
+    Merge,
+    /// Rewrite-rule synthesis.
+    Rewrite,
+    /// Instruction selection onto the PE.
+    Map,
+    /// PE or application pipelining.
+    Pipeline,
+    /// CGRA placement.
+    Place,
+    /// CGRA routing.
+    Route,
+    /// Post-route functional verification.
+    Verify,
+    /// Cost/area/energy reporting.
+    Report,
+    /// Command-line driver.
+    Cli,
+}
+
+impl Stage {
+    /// Lower-case stage name used in diagnostics and report columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Mine => "mine",
+            Stage::Merge => "merge",
+            Stage::Rewrite => "rewrite",
+            Stage::Map => "map",
+            Stage::Pipeline => "pipeline",
+            Stage::Place => "place",
+            Stage::Route => "route",
+            Stage::Verify => "verify",
+            Stage::Report => "report",
+            Stage::Cli => "cli",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The unified workspace error: which stage failed and why.
+///
+/// Stage crates keep their own precise error enums; anything that crosses a
+/// stage boundary converts into `ApexError` so drivers and the CLI handle a
+/// single type. The `source` chain preserves the original error for
+/// `error: <stage>: <cause>` rendering.
+#[derive(Debug)]
+pub struct ApexError {
+    stage: Stage,
+    message: String,
+    source: Option<Box<dyn Error + Send + Sync + 'static>>,
+}
+
+impl ApexError {
+    /// An error with a message and no underlying cause.
+    pub fn new(stage: Stage, message: impl Into<String>) -> Self {
+        ApexError {
+            stage,
+            message: message.into(),
+            source: None,
+        }
+    }
+
+    /// Wraps an underlying stage error, keeping it on the source chain.
+    pub fn with_source(
+        stage: Stage,
+        source: impl Error + Send + Sync + 'static,
+    ) -> Self {
+        ApexError {
+            stage,
+            message: source.to_string(),
+            source: Some(Box::new(source)),
+        }
+    }
+
+    /// The stage this error belongs to.
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    /// The human-readable cause (without the stage prefix).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Renders the full `error: <stage>: <cause>` chain, one line,
+    /// innermost cause last.
+    pub fn render_chain(&self) -> String {
+        let mut s = format!("error: {}: {}", self.stage, self.message);
+        let mut src = self.source().and_then(Error::source);
+        while let Some(cause) = src {
+            s.push_str(&format!(": {cause}"));
+            src = cause.source();
+        }
+        s
+    }
+}
+
+impl fmt::Display for ApexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.stage, self.message)
+    }
+}
+
+impl Error for ApexError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source
+            .as_deref()
+            .map(|e| e as &(dyn Error + 'static))
+    }
+}
+
+/// Resource limits for a single search stage.
+///
+/// All limits are optional; [`StageBudget::unlimited`] never stops a
+/// search. Budgets are checked cooperatively through a [`BudgetMeter`]
+/// inside each stage's hot loop.
+#[derive(Debug, Clone, Default)]
+pub struct StageBudget {
+    /// Wall-clock allowance for the stage.
+    pub deadline: Option<Duration>,
+    /// Maximum number of cooperative steps (loop iterations, search nodes).
+    pub max_steps: Option<u64>,
+    /// External cancellation flag (e.g. a sweep-wide abort).
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+// Manual equality so option structs embedding a budget can keep deriving
+// `PartialEq`/`Eq`; cancellation flags compare by identity.
+impl PartialEq for StageBudget {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+            && self.max_steps == other.max_steps
+            && match (&self.cancel, &other.cancel) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl Eq for StageBudget {}
+
+impl StageBudget {
+    /// A budget that never interrupts the search.
+    pub fn unlimited() -> Self {
+        StageBudget::default()
+    }
+
+    /// Sets a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a step budget.
+    pub fn with_max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Attaches a cooperative cancellation flag.
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Starts metering this budget (records the start instant).
+    pub fn start(&self) -> BudgetMeter {
+        BudgetMeter {
+            started: Instant::now(),
+            deadline: self.deadline,
+            max_steps: self.max_steps,
+            cancel: self.cancel.clone(),
+            steps: 0,
+            stopped: None,
+        }
+    }
+}
+
+/// How often the meter consults the clock / cancellation flag; step-count
+/// checks happen on every tick.
+const CLOCK_CHECK_MASK: u64 = 0xFF;
+
+/// A running budget check for one stage invocation.
+///
+/// Call [`BudgetMeter::tick`] once per unit of work; it returns `false`
+/// once any limit trips, after which [`BudgetMeter::provenance`] reports
+/// which limit it was. The clock and cancellation flag are only consulted
+/// every 256 ticks so metering stays out of the hot path.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    started: Instant,
+    deadline: Option<Duration>,
+    max_steps: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
+    steps: u64,
+    stopped: Option<Provenance>,
+}
+
+impl BudgetMeter {
+    /// Accounts one unit of work. Returns `true` while the search may
+    /// continue. Once a limit trips the meter latches and keeps returning
+    /// `false`.
+    pub fn tick(&mut self) -> bool {
+        if self.stopped.is_some() {
+            return false;
+        }
+        self.steps += 1;
+        if let Some(max) = self.max_steps {
+            if self.steps > max {
+                self.stopped = Some(Provenance::TruncatedByBudget);
+                return false;
+            }
+        }
+        if self.steps & CLOCK_CHECK_MASK == 0 {
+            return self.check_slow();
+        }
+        true
+    }
+
+    /// Forces a clock/cancellation check regardless of tick phase (used
+    /// before committing to an expensive sub-search).
+    pub fn check_slow(&mut self) -> bool {
+        if self.stopped.is_some() {
+            return false;
+        }
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                self.stopped = Some(Provenance::Cancelled);
+                return false;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if self.started.elapsed() >= d {
+                self.stopped = Some(Provenance::TimedOut);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether any limit has tripped.
+    pub fn exhausted(&self) -> bool {
+        self.stopped.is_some()
+    }
+
+    /// Units of work accounted so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The search outcome as seen by this meter.
+    pub fn provenance(&self) -> Provenance {
+        self.stopped.unwrap_or(Provenance::Completed)
+    }
+}
+
+/// How a search stage's result came to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// The search ran to natural completion; the result is exact (within
+    /// the algorithm's own guarantees).
+    Completed,
+    /// A step budget truncated the search; the result is the incumbent.
+    TruncatedByBudget,
+    /// The wall-clock deadline expired; the result is the incumbent.
+    TimedOut,
+    /// An external cancellation stopped the search.
+    Cancelled,
+}
+
+impl Provenance {
+    /// True unless the search completed naturally.
+    pub fn is_partial(self) -> bool {
+        self != Provenance::Completed
+    }
+
+    /// Merges two provenances, keeping the "worst" (most-interrupted) one.
+    pub fn worst(self, other: Provenance) -> Provenance {
+        use Provenance::*;
+        match (self, other) {
+            (Cancelled, _) | (_, Cancelled) => Cancelled,
+            (TimedOut, _) | (_, TimedOut) => TimedOut,
+            (TruncatedByBudget, _) | (_, TruncatedByBudget) => TruncatedByBudget,
+            (Completed, Completed) => Completed,
+        }
+    }
+
+    /// Short marker for reports (`ok` / `trunc` / `timeout` / `cancel`).
+    pub fn marker(self) -> &'static str {
+        match self {
+            Provenance::Completed => "ok",
+            Provenance::TruncatedByBudget => "trunc",
+            Provenance::TimedOut => "timeout",
+            Provenance::Cancelled => "cancel",
+        }
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.marker())
+    }
+}
+
+/// The kind of corrective action the resilient driver took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradationKind {
+    /// A search was truncated by a step budget but its incumbent was used.
+    Truncated,
+    /// A search hit its deadline but its incumbent was used.
+    TimedOut,
+    /// The stage failed and a cheaper substitute result was used.
+    Fallback,
+    /// The stage failed and succeeded on a retry with altered parameters.
+    Retried,
+    /// The stage was skipped entirely.
+    Skipped,
+}
+
+impl DegradationKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationKind::Truncated => "truncated",
+            DegradationKind::TimedOut => "timed-out",
+            DegradationKind::Fallback => "fallback",
+            DegradationKind::Retried => "retried",
+            DegradationKind::Skipped => "skipped",
+        }
+    }
+}
+
+/// One recorded deviation from the ideal flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// Where it happened.
+    pub stage: Stage,
+    /// What the driver did about it.
+    pub kind: DegradationKind,
+    /// Free-form context ("greedy incumbent", "seed retry 2/4", ...).
+    pub detail: String,
+}
+
+impl Degradation {
+    pub fn new(stage: Stage, kind: DegradationKind, detail: impl Into<String>) -> Self {
+        Degradation {
+            stage,
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// A degradation recording a partial search result; `None` when the
+    /// provenance is [`Provenance::Completed`].
+    pub fn from_provenance(stage: Stage, p: Provenance) -> Option<Self> {
+        let kind = match p {
+            Provenance::Completed => return None,
+            Provenance::TruncatedByBudget => DegradationKind::Truncated,
+            Provenance::TimedOut => DegradationKind::TimedOut,
+            Provenance::Cancelled => DegradationKind::Skipped,
+        };
+        Some(Degradation::new(stage, kind, format!("search {p}")))
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}({})", self.stage, self.kind.name(), self.detail)
+    }
+}
+
+/// A per-application DSE result plus every degradation taken to reach it.
+#[derive(Debug, Clone)]
+pub struct DseOutcome<T> {
+    /// The (possibly degraded) result.
+    pub result: T,
+    /// Everything that went wrong on the way, in order.
+    pub degradations: Vec<Degradation>,
+}
+
+impl<T> DseOutcome<T> {
+    /// An outcome produced by the ideal, degradation-free path.
+    pub fn clean(result: T) -> Self {
+        DseOutcome {
+            result,
+            degradations: Vec::new(),
+        }
+    }
+
+    /// An outcome that required corrective action.
+    pub fn degraded(result: T, degradations: Vec<Degradation>) -> Self {
+        DseOutcome {
+            result,
+            degradations,
+        }
+    }
+
+    /// Whether any fallback, retry or truncation occurred.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+
+    /// Compact one-token-per-degradation summary for report columns; `-`
+    /// when clean.
+    pub fn degradation_summary(&self) -> String {
+        if self.degradations.is_empty() {
+            "-".to_string()
+        } else {
+            self.degradations
+                .iter()
+                .map(|d| format!("{}:{}", d.stage, d.kind.name()))
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+    }
+
+    /// Maps the result, keeping the degradation record.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> DseOutcome<U> {
+        DseOutcome {
+            result: f(self.result),
+            degradations: self.degradations,
+        }
+    }
+}
+
+/// Deterministic fault-injection registry (compiled only with the
+/// `fault-injection` feature). Tests arm a named site, run the flow, and
+/// the corresponding [`fail_point!`] returns the injected error.
+#[cfg(feature = "fault-injection")]
+pub mod failpoints {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+
+    fn registry() -> &'static Mutex<BTreeSet<String>> {
+        static REGISTRY: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(BTreeSet::new()))
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, BTreeSet<String>> {
+        // a poisoned registry only happens if a test panicked mid-update;
+        // the set itself is always in a consistent state
+        registry().lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arms a fail point; the next `fail_point!($name)` hit returns its
+    /// injected error until [`disarm`] is called.
+    pub fn arm(name: &str) {
+        lock().insert(name.to_string());
+    }
+
+    /// Disarms one fail point.
+    pub fn disarm(name: &str) {
+        lock().remove(name);
+    }
+
+    /// Disarms every fail point (test teardown).
+    pub fn disarm_all() {
+        lock().clear();
+    }
+
+    /// Whether a fail point is currently armed.
+    pub fn is_armed(name: &str) -> bool {
+        lock().contains(name)
+    }
+
+    /// Names of all armed fail points (diagnostics).
+    pub fn armed() -> Vec<String> {
+        lock().iter().cloned().collect()
+    }
+}
+
+/// Deterministic fault-injection site.
+///
+/// `fail_point!("site", expr)` returns `Err(expr)` from the enclosing
+/// function when the site is armed via [`failpoints::arm`]. Without the
+/// `fault-injection` feature the macro expands to nothing, so production
+/// builds carry zero overhead. The consuming crate must forward its own
+/// `fault-injection` feature to `apex-fault/fault-injection`.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr, $err:expr) => {
+        #[cfg(feature = "fault-injection")]
+        {
+            if $crate::failpoints::is_armed($name) {
+                return Err($err);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_chain_renders_stage_and_causes() {
+        let inner = std::io::Error::new(std::io::ErrorKind::Other, "disk on fire");
+        let e = ApexError::with_source(Stage::Route, inner);
+        assert_eq!(e.stage(), Stage::Route);
+        assert!(e.to_string().starts_with("route: "));
+        assert!(e.render_chain().starts_with("error: route: "));
+    }
+
+    #[test]
+    fn step_budget_truncates() {
+        let mut m = StageBudget::unlimited().with_max_steps(10).start();
+        let mut n = 0;
+        while m.tick() {
+            n += 1;
+            assert!(n < 1000, "meter never tripped");
+        }
+        assert_eq!(n, 10);
+        assert_eq!(m.provenance(), Provenance::TruncatedByBudget);
+        assert!(!m.tick(), "meter latches");
+    }
+
+    #[test]
+    fn zero_deadline_times_out() {
+        let mut m = StageBudget::unlimited()
+            .with_deadline(Duration::from_millis(0))
+            .start();
+        // the clock is only consulted every 256 ticks
+        let mut n = 0u64;
+        while m.tick() {
+            n += 1;
+            assert!(n <= 256, "deadline never observed");
+        }
+        assert_eq!(m.provenance(), Provenance::TimedOut);
+    }
+
+    #[test]
+    fn cancellation_flag_stops_search() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut m = StageBudget::unlimited()
+            .with_cancel(Arc::clone(&flag))
+            .start();
+        assert!(m.check_slow());
+        flag.store(true, Ordering::Relaxed);
+        assert!(!m.check_slow());
+        assert_eq!(m.provenance(), Provenance::Cancelled);
+    }
+
+    #[test]
+    fn unlimited_budget_never_stops() {
+        let mut m = StageBudget::unlimited().start();
+        for _ in 0..100_000 {
+            assert!(m.tick());
+        }
+        assert_eq!(m.provenance(), Provenance::Completed);
+    }
+
+    #[test]
+    fn provenance_worst_ordering() {
+        use Provenance::*;
+        assert_eq!(Completed.worst(TruncatedByBudget), TruncatedByBudget);
+        assert_eq!(TimedOut.worst(TruncatedByBudget), TimedOut);
+        assert_eq!(Cancelled.worst(TimedOut), Cancelled);
+        assert_eq!(Completed.worst(Completed), Completed);
+    }
+
+    #[test]
+    fn outcome_summary_formats() {
+        let clean: DseOutcome<u32> = DseOutcome::clean(7);
+        assert!(!clean.is_degraded());
+        assert_eq!(clean.degradation_summary(), "-");
+        let d = DseOutcome::degraded(
+            7,
+            vec![
+                Degradation::new(Stage::Merge, DegradationKind::TimedOut, "greedy"),
+                Degradation::new(Stage::Place, DegradationKind::Retried, "seed 2"),
+            ],
+        );
+        assert_eq!(d.degradation_summary(), "merge:timed-out,place:retried");
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn fail_points_arm_and_disarm() {
+        fn guarded() -> Result<u32, ApexError> {
+            fail_point!(
+                "fault::test",
+                ApexError::new(Stage::Mine, "injected fault")
+            );
+            Ok(1)
+        }
+        failpoints::disarm_all();
+        assert_eq!(guarded().unwrap(), 1);
+        failpoints::arm("fault::test");
+        assert!(guarded().is_err());
+        failpoints::disarm("fault::test");
+        assert_eq!(guarded().unwrap(), 1);
+    }
+}

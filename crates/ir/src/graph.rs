@@ -322,6 +322,19 @@ impl Graph {
     /// # Errors
     /// Returns the first violation found.
     pub fn validate(&self) -> Result<(), GraphError> {
+        self.try_validate()
+    }
+
+    /// Validates every edge (arity, types, topological ordering) without
+    /// panicking — the entry point for untrusted graphs (deserialized,
+    /// parsed from text, or assembled by hand) before they enter the DSE
+    /// flow. A forward or self reference surfaces as
+    /// [`GraphError::UnknownNode`], which is how a cycle manifests in this
+    /// sequential-id representation.
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn try_validate(&self) -> Result<(), GraphError> {
         for (id, node) in self.iter() {
             let tys = node.op.input_types();
             if node.inputs.len() != tys.len() {

@@ -22,6 +22,9 @@ use std::collections::VecDeque;
 /// # Panics
 /// Panics if `inputs` has the wrong length or a value's type does not match
 /// its input node.
+// invariant: sequential node ids are a topological order (enforced by
+// `Graph::try_add`), so every operand is evaluated before its consumer
+#[allow(clippy::expect_used)]
 pub fn evaluate(graph: &Graph, inputs: &[Value]) -> Vec<Value> {
     let pis = graph.primary_inputs();
     assert_eq!(
@@ -148,12 +151,13 @@ pub fn simulate(graph: &Graph, input_streams: &[Vec<Value>]) -> Vec<Vec<Value>> 
                     in_buf.extend(node.inputs().iter().map(|s| values[s.index()]));
                     let incoming = in_buf[0];
                     if let NodeState::Delay(q) = &mut state[id.index()] {
-                        if q.is_empty() {
+                        match q.pop_front() {
                             // zero-depth FIFO acts as a wire
-                            values[id.index()] = incoming;
-                        } else {
-                            values[id.index()] = q.pop_front().expect("non-empty");
-                            q.push_back(incoming);
+                            None => values[id.index()] = incoming,
+                            Some(v) => {
+                                values[id.index()] = v;
+                                q.push_back(incoming);
+                            }
                         }
                     }
                 }

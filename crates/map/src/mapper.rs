@@ -25,6 +25,11 @@ pub enum MapError {
     /// A constant feeds a PE input but the ruleset has no constant
     /// passthrough rule.
     NoConstRule,
+    /// An accepted match left a pattern input unbound (internal
+    /// inconsistency between matching and emission).
+    UnboundInput,
+    /// A deterministic test fault (fault-injection builds only).
+    Injected(&'static str),
 }
 
 impl std::fmt::Display for MapError {
@@ -32,11 +37,19 @@ impl std::fmt::Display for MapError {
         match self {
             MapError::Uncovered { op } => write!(f, "no rewrite rule covers operation {op}"),
             MapError::NoConstRule => write!(f, "ruleset lacks a constant passthrough rule"),
+            MapError::UnboundInput => write!(f, "pattern input left unbound by match"),
+            MapError::Injected(site) => write!(f, "injected fault at {site}"),
         }
     }
 }
 
 impl std::error::Error for MapError {}
+
+impl From<MapError> for apex_fault::ApexError {
+    fn from(e: MapError) -> Self {
+        apex_fault::ApexError::with_source(apex_fault::Stage::Map, e)
+    }
+}
 
 /// Mapping statistics.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -218,21 +231,22 @@ fn assign_edges(
 /// PE instances.
 ///
 /// # Errors
-/// Fails when some application operation has no covering rule.
-///
-/// # Panics
-/// Panics if the application graph contains registers (mapping runs
-/// before pipelining).
+/// Fails when some application operation has no covering rule, or when
+/// the graph contains registers (mapping runs before pipelining).
 pub fn map_application(
     app: &Graph,
     dp: &MergedDatapath,
     rules: &RuleSet,
 ) -> Result<MappedDesign, MapError> {
-    assert!(
-        app.node_ids()
-            .all(|i| !matches!(app.op(i), Op::Reg | Op::BitReg | Op::Fifo(_))),
-        "mapping runs before pipelining"
-    );
+    apex_fault::fail_point!("map::start", MapError::Injected("map::start"));
+    if let Some(reg) = app
+        .node_ids()
+        .find(|&i| matches!(app.op(i), Op::Reg | Op::BitReg | Op::Fifo(_)))
+    {
+        return Err(MapError::Uncovered {
+            op: format!("{} (registers appear only after pipelining)", app.op(reg)),
+        });
+    }
     let prepped: Vec<PreppedRule<'_>> = rules
         .rules
         .iter()
@@ -318,7 +332,7 @@ pub fn map_application(
                     }
                 }
                 // re-cover with single-sink rules only
-                for p in &prepped {
+                for (p_idx, p) in prepped.iter().enumerate() {
                     if p.const_only || p.word_sinks.len() + p.bit_sinks.len() != 1 {
                         continue;
                     }
@@ -355,7 +369,7 @@ pub fn map_application(
                             }
                         }
                         matches.push(Match {
-                            rule: prepped.iter().position(|x| std::ptr::eq(x, p)).expect("self"),
+                            rule: p_idx,
                             emb: e.0.clone(),
                             input_bindings,
                         });
@@ -447,7 +461,7 @@ pub fn map_application(
                 let app_src = *m
                     .input_bindings
                     .get(&pin)
-                    .expect("every pattern input bound");
+                    .ok_or(MapError::UnboundInput)?;
                 let r = resolve(app_src, &mut netlist, &value_of, &mut const_instances, &mut stats)?;
                 inputs.push(r);
             }
@@ -493,8 +507,8 @@ pub fn map_application(
     for node in &netlist.nodes {
         if let NetKind::Pe(inst) = &node.kind {
             let rule = &rules.rules[inst.rule as usize];
-            dp.validate_config(&rule.instantiate(&inst.payloads))
-                .expect("instance configuration must be valid");
+            let check = dp.validate_config(&rule.instantiate(&inst.payloads));
+            debug_assert!(check.is_ok(), "invalid instance configuration: {check:?}");
         }
     }
 

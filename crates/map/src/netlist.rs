@@ -88,6 +88,19 @@ pub enum NetlistError {
         /// The offending node.
         node: u32,
     },
+    /// Fewer input values/streams were supplied than the netlist has
+    /// input nodes.
+    InputShortage {
+        /// The input node that received no value.
+        node: u32,
+    },
+    /// A PE instance configuration failed datapath validation.
+    BadConfig {
+        /// The offending node.
+        node: u32,
+        /// The datapath's complaint.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for NetlistError {
@@ -100,6 +113,12 @@ impl std::fmt::Display for NetlistError {
             }
             NetlistError::Cyclic => write!(f, "netlist contains a cycle"),
             NetlistError::UnknownRule { node } => write!(f, "node {node}: unknown rule"),
+            NetlistError::InputShortage { node } => {
+                write!(f, "input node {node}: no value supplied")
+            }
+            NetlistError::BadConfig { node, message } => {
+                write!(f, "node {node}: bad instance configuration: {message}")
+            }
         }
     }
 }
@@ -302,16 +321,17 @@ impl Netlist {
     /// Inputs are bound to `WordInput`/`BitInput` nodes in index order;
     /// returns word-output and bit-output values in index order.
     ///
-    /// # Panics
-    /// Panics if the netlist is invalid or inputs are missing.
+    /// # Errors
+    /// Fails on cyclic netlists, missing input values, and invalid
+    /// instance configurations.
     pub fn evaluate(
         &self,
         dp: &MergedDatapath,
         rules: &RuleSet,
         word_inputs: &[u16],
         bit_inputs: &[bool],
-    ) -> (Vec<u16>, Vec<bool>) {
-        let order = self.topo_order().expect("acyclic netlist");
+    ) -> Result<(Vec<u16>, Vec<bool>), NetlistError> {
+        let order = self.topo_order()?;
         let mut values: Vec<Vec<Value>> = vec![Vec::new(); self.nodes.len()];
         let mut wi = word_inputs.iter();
         let mut bi = bit_inputs.iter();
@@ -319,10 +339,12 @@ impl Netlist {
         for (i, node) in self.nodes.iter().enumerate() {
             match node.kind {
                 NetKind::WordInput => {
-                    values[i] = vec![Value::Word(*wi.next().expect("enough word inputs"))]
+                    let v = wi.next().ok_or(NetlistError::InputShortage { node: i as u32 })?;
+                    values[i] = vec![Value::Word(*v)];
                 }
                 NetKind::BitInput => {
-                    values[i] = vec![Value::Bit(*bi.next().expect("enough bit inputs"))]
+                    let v = bi.next().ok_or(NetlistError::InputShortage { node: i as u32 })?;
+                    values[i] = vec![Value::Bit(*v)];
                 }
                 _ => {}
             }
@@ -353,7 +375,10 @@ impl Netlist {
                         .collect();
                     let (w, b) = dp
                         .evaluate_as_source(&cfg, &words, &bits)
-                        .expect("valid instance config");
+                        .map_err(|e| NetlistError::BadConfig {
+                            node: u,
+                            message: e.to_string(),
+                        })?;
                     let mut out: Vec<Value> = w.into_iter().map(Value::Word).collect();
                     out.extend(b.into_iter().map(Value::Bit));
                     values[u as usize] = out;
@@ -372,7 +397,7 @@ impl Netlist {
                 _ => {}
             }
         }
-        (word_out, bit_out)
+        Ok((word_out, bit_out))
     }
 
     /// Cycle-accurate simulation. Each input stream drives one
@@ -381,8 +406,8 @@ impl Netlist {
     /// depth. Runs long enough to drain all state and returns the full
     /// output streams.
     ///
-    /// # Panics
-    /// Panics on invalid netlists or mismatched stream counts.
+    /// # Errors
+    /// Fails on invalid netlists or mismatched stream counts.
     pub fn simulate(
         &self,
         dp: &MergedDatapath,
@@ -390,7 +415,7 @@ impl Netlist {
         word_streams: &[Vec<u16>],
         bit_streams: &[Vec<bool>],
         pe_latency: u32,
-    ) -> (Vec<Vec<u16>>, Vec<Vec<bool>>) {
+    ) -> Result<(Vec<Vec<u16>>, Vec<Vec<bool>>), NetlistError> {
         self.simulate_with(dp, rules, word_streams, bit_streams, pe_latency, &std::collections::BTreeMap::new())
     }
 
@@ -399,8 +424,8 @@ impl Netlist {
     /// simulate from *decoded bitstream* configurations, proving the
     /// configuration encoding faithful.
     ///
-    /// # Panics
-    /// Panics on invalid netlists or mismatched stream counts.
+    /// # Errors
+    /// Fails on invalid netlists or mismatched stream counts.
     pub fn simulate_with(
         &self,
         dp: &MergedDatapath,
@@ -409,8 +434,8 @@ impl Netlist {
         bit_streams: &[Vec<bool>],
         pe_latency: u32,
         config_overrides: &std::collections::BTreeMap<u32, apex_merge::DatapathConfig>,
-    ) -> (Vec<Vec<u16>>, Vec<Vec<bool>>) {
-        let order = self.topo_order().expect("acyclic netlist");
+    ) -> Result<(Vec<Vec<u16>>, Vec<Vec<bool>>), NetlistError> {
+        let order = self.topo_order()?;
         let n_cycles = word_streams
             .first()
             .map(Vec::len)
@@ -461,7 +486,10 @@ impl Netlist {
                 match node.kind {
                     NetKind::WordInput => {
                         let v = if cycle < n_cycles {
-                            word_streams[wi][cycle]
+                            let s = word_streams
+                                .get(wi)
+                                .ok_or(NetlistError::InputShortage { node: i as u32 })?;
+                            s.get(cycle).copied().unwrap_or(0)
                         } else {
                             0
                         };
@@ -470,7 +498,10 @@ impl Netlist {
                     }
                     NetKind::BitInput => {
                         let v = if cycle < n_cycles {
-                            bit_streams[bi][cycle]
+                            let s = bit_streams
+                                .get(bi)
+                                .ok_or(NetlistError::InputShortage { node: i as u32 })?;
+                            s.get(cycle).copied().unwrap_or(false)
                         } else {
                             false
                         };
@@ -507,7 +538,10 @@ impl Netlist {
                             .collect();
                         let (w, b) = dp
                             .evaluate_as_source(&cfg, &words, &bits)
-                            .expect("valid instance config");
+                            .map_err(|e| NetlistError::BadConfig {
+                                node: u,
+                                message: e.to_string(),
+                            })?;
                         let mut out: Vec<Value> = w.into_iter().map(Value::Word).collect();
                         out.extend(b.into_iter().map(Value::Bit));
                         Some(out)
@@ -515,11 +549,12 @@ impl Netlist {
                 };
                 if let Some(comb) = comb {
                     let q = &mut queues[u as usize];
-                    if q.is_empty() {
-                        values[u as usize] = comb;
-                    } else {
-                        values[u as usize] = q.pop_front().expect("non-empty");
-                        q.push_back(comb);
+                    match q.pop_front() {
+                        Some(front) => {
+                            values[u as usize] = front;
+                            q.push_back(comb);
+                        }
+                        None => values[u as usize] = comb,
                     }
                 }
             }
@@ -541,6 +576,6 @@ impl Netlist {
                 }
             }
         }
-        (word_out, bit_out)
+        Ok((word_out, bit_out))
     }
 }

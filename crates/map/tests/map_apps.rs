@@ -58,7 +58,7 @@ fn check_equivalence(app: &apex_apps::Application, trials: usize) -> apex_map::M
             })
             .collect();
         let golden = ir_eval(&app.graph, &golden_in);
-        let (got_w, got_b) = design.netlist.evaluate(&pe.datapath, &rules, &words, &bits);
+        let (got_w, got_b) = design.netlist.evaluate(&pe.datapath, &rules, &words, &bits).unwrap();
         let mut gw = got_w.into_iter();
         let mut gb = got_b.into_iter();
         for (po, g) in app.graph.primary_outputs().iter().zip(golden) {
@@ -153,20 +153,23 @@ fn complex_rules_reduce_pe_count() {
             max_pattern_nodes: 4,
             ..MinerConfig::default()
         },
-    );
+    )
+    .unwrap()
+    .subgraphs;
     // the top 2-node subgraph (const→mul) saves nothing over constant
     // folding; pick the best subgraph that fuses at least 3 operations
     let top = mined
         .iter()
         .find(|m| m.pattern.len() >= 3)
         .expect("a 3-node frequent subgraph exists");
-    let sub = top.to_datapath(&app.graph, "sg0");
+    let sub = top.to_datapath(&app.graph, "sg0").unwrap();
     let (merged, _) = merge_graph(
         &pe.datapath,
         &sub,
         &TechModel::default(),
         &MergeOptions::default(),
-    );
+    )
+    .unwrap();
     let (rules_merged, _) = standard_ruleset(&merged, &[sub], &[&app.graph]);
     let spec = map_application(&app.graph, &merged, &rules_merged).unwrap();
     assert!(

@@ -1,12 +1,16 @@
 //! Maximum-weight clique search over the compatibility graph
 //! (Fig. 5d of the paper).
 //!
-//! Exact branch-and-bound with a weight-sum upper bound and a node budget;
-//! a greedy multi-start pass seeds the incumbent, so when the budget runs
-//! out the result degrades gracefully to the greedy answer. An optional
-//! *set feasibility* predicate supports constraints that are not pairwise
-//! (datapath merging must reject candidate sets whose union would create a
-//! combinational cycle).
+//! Exact branch-and-bound with a weight-sum upper bound under a
+//! [`StageBudget`] (search-node budget, wall-clock deadline, cooperative
+//! cancellation); a greedy multi-start pass seeds the incumbent, so when
+//! any limit trips the result degrades gracefully to the best clique found
+//! so far and the [`Provenance`] in the solution says why the search
+//! stopped. An optional *set feasibility* predicate supports constraints
+//! that are not pairwise (datapath merging must reject candidate sets
+//! whose union would create a combinational cycle).
+
+use apex_fault::{BudgetMeter, Provenance, StageBudget};
 
 /// A max-weight-clique instance.
 pub struct CliqueProblem<'a> {
@@ -19,15 +23,33 @@ pub struct CliqueProblem<'a> {
     pub feasible: Option<&'a dyn Fn(&[usize], usize) -> bool>,
     /// Branch-and-bound node budget before falling back to the incumbent.
     pub budget: usize,
+    /// Deadline / cancellation limits layered on top of the node budget.
+    pub stage_budget: StageBudget,
+}
+
+/// The result of a clique search: the members plus how the search ended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliqueSolution {
+    /// The best clique found (exact iff `provenance == Completed`).
+    pub members: Vec<usize>,
+    /// Whether the branch-and-bound ran to completion or was interrupted.
+    pub provenance: Provenance,
+    /// Search-tree nodes explored.
+    pub explored: u64,
 }
 
 impl CliqueProblem<'_> {
-    /// Solves the instance, returning the best clique found (exact when
-    /// the budget is not exhausted).
-    pub fn solve(&self) -> Vec<usize> {
+    /// Solves the instance. The greedy seeding pass always runs, so even a
+    /// zero budget or an already-expired deadline yields a valid clique —
+    /// just one with partial provenance.
+    pub fn solve(&self) -> CliqueSolution {
         let n = self.weights.len();
         if n == 0 {
-            return Vec::new();
+            return CliqueSolution {
+                members: Vec::new(),
+                provenance: Provenance::Completed,
+                explored: 0,
+            };
         }
         // order by weight descending for a tight suffix bound
         let mut order: Vec<usize> = (0..n).collect();
@@ -41,7 +63,8 @@ impl CliqueProblem<'_> {
             suffix[i] = suffix[i + 1] + self.weights[order[i]];
         }
 
-        // greedy seed: best of n single-start greedy passes
+        // greedy seed: best of n single-start greedy passes (not metered —
+        // this is the incumbent every degraded path relies on)
         let mut best: Vec<usize> = Vec::new();
         let mut best_w = f64::NEG_INFINITY;
         for start in 0..n.min(32) {
@@ -53,16 +76,33 @@ impl CliqueProblem<'_> {
             }
         }
 
+        let node_budget = self.budget as u64;
+        let meter_budget = StageBudget {
+            deadline: self.stage_budget.deadline,
+            max_steps: Some(match self.stage_budget.max_steps {
+                Some(s) => s.min(node_budget),
+                None => node_budget,
+            }),
+            cancel: self.stage_budget.cancel.clone(),
+        };
+        let mut meter = meter_budget.start();
         let mut state = Search {
             problem: self,
             order: &order,
             suffix: &suffix,
             best,
             best_w,
-            explored: 0,
         };
-        state.recurse(&mut Vec::new(), 0.0, 0);
-        state.best
+        // an already-expired deadline or tripped cancel flag skips the
+        // branch-and-bound entirely and reports why
+        if meter.check_slow() {
+            state.recurse(&mut Vec::new(), 0.0, 0, &mut meter);
+        }
+        CliqueSolution {
+            members: state.best,
+            provenance: meter.provenance(),
+            explored: meter.steps(),
+        }
     }
 
     fn greedy(&self, order: &[usize], start: usize) -> Vec<usize> {
@@ -88,13 +128,11 @@ struct Search<'p, 'a> {
     suffix: &'p [f64],
     best: Vec<usize>,
     best_w: f64,
-    explored: usize,
 }
 
 impl Search<'_, '_> {
-    fn recurse(&mut self, clique: &mut Vec<usize>, weight: f64, depth: usize) {
-        self.explored += 1;
-        if self.explored > self.problem.budget {
+    fn recurse(&mut self, clique: &mut Vec<usize>, weight: f64, depth: usize, meter: &mut BudgetMeter) {
+        if !meter.tick() {
             return;
         }
         if weight > self.best_w {
@@ -111,11 +149,11 @@ impl Search<'_, '_> {
             && self.problem.feasible.is_none_or(|f| f(clique, cand))
         {
             clique.push(cand);
-            self.recurse(clique, weight + self.problem.weights[cand], depth + 1);
+            self.recurse(clique, weight + self.problem.weights[cand], depth + 1, meter);
             clique.pop();
         }
         // branch 2: skip cand
-        self.recurse(clique, weight, depth + 1);
+        self.recurse(clique, weight, depth + 1, meter);
     }
 }
 
@@ -126,13 +164,16 @@ pub fn max_weight_clique(weights: &[f64], compatible: &[Vec<bool>], budget: usiz
         compatible: compatible.to_vec(),
         feasible: None,
         budget,
+        stage_budget: StageBudget::unlimited(),
     }
     .solve()
+    .members
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn full_matrix(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<bool>> {
         let mut m = vec![vec![false; n]; n];
@@ -182,9 +223,48 @@ mod tests {
             compatible: compat,
             feasible: Some(&feasible),
             budget: 1 << 20,
+            stage_budget: StageBudget::unlimited(),
         };
-        let c = p.solve();
-        assert_eq!(c.len(), 2, "best feasible clique has 2 nodes: {c:?}");
+        let sol = p.solve();
+        assert_eq!(sol.provenance, Provenance::Completed);
+        assert_eq!(sol.members.len(), 2, "best feasible clique has 2 nodes: {sol:?}");
+    }
+
+    #[test]
+    fn exhausted_node_budget_reports_truncation() {
+        // a path graph (incomplete, so the root bound cannot prune) with a
+        // 3-node budget: the search is cut off mid-tree
+        let compat = full_matrix(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let w = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let p = CliqueProblem {
+            weights: w.clone(),
+            compatible: compat,
+            feasible: None,
+            budget: 3,
+            stage_budget: StageBudget::unlimited(),
+        };
+        let sol = p.solve();
+        assert_eq!(sol.provenance, Provenance::TruncatedByBudget);
+        // the greedy incumbent already found the optimum {3, 4}
+        let weight: f64 = sol.members.iter().map(|&i| w[i]).sum();
+        assert_eq!(weight, 9.0, "{sol:?}");
+    }
+
+    #[test]
+    fn expired_deadline_reports_timeout_but_returns_greedy() {
+        let compat = full_matrix(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let w = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let p = CliqueProblem {
+            weights: w.clone(),
+            compatible: compat,
+            feasible: None,
+            budget: 1 << 22,
+            stage_budget: StageBudget::unlimited().with_deadline(Duration::ZERO),
+        };
+        let sol = p.solve();
+        assert_eq!(sol.provenance, Provenance::TimedOut);
+        let weight: f64 = sol.members.iter().map(|&i| w[i]).sum();
+        assert_eq!(weight, 9.0, "greedy incumbent survives timeout: {sol:?}");
     }
 
     #[test]

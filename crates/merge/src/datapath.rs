@@ -188,6 +188,9 @@ impl MergedDatapath {
                 }
                 Op::Output | Op::BitOutput => {}
                 Op::Reg | Op::BitReg | Op::Fifo(_) => {
+                    // invariant: merging runs before pipelining; merge_graph
+                    // rejects register-bearing graphs with
+                    // MergeError::Registers before reaching this point
                     panic!("registers are not allowed in merged datapaths")
                 }
                 op => {
@@ -376,7 +379,10 @@ impl MergedDatapath {
     /// # Panics
     /// Panics if a node source is out of range (see
     /// [`MergedDatapath::try_source_type`] for a checked variant).
+    #[allow(clippy::expect_used)]
     pub fn source_type(&self, src: DpSource) -> ValueType {
+        // invariant: documented panic; untrusted sources (decoded
+        // bitstreams) must go through try_source_type instead
         self.try_source_type(src).expect("source in range")
     }
 
@@ -401,6 +407,9 @@ impl MergedDatapath {
     /// # Panics
     /// Panics if the input slices are shorter than the declared port
     /// counts.
+    // invariant: the `expect` in `read` — validate_config guarantees every
+    // selected source is an active node evaluated earlier in topo order
+    #[allow(clippy::expect_used)]
     pub fn evaluate(
         &self,
         cfg: &DatapathConfig,
@@ -416,6 +425,9 @@ impl MergedDatapath {
             match src {
                 DpSource::WordInput(k) => Value::Word(word_inputs[k as usize]),
                 DpSource::BitInput(k) => Value::Bit(bit_inputs[k as usize]),
+                // invariant: validate_config guarantees every selected
+                // source is an active node, and topo order evaluates
+                // sources before their consumers
                 DpSource::Node(j) => values[j as usize].expect("active source evaluated"),
             }
         };

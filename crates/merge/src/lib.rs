@@ -36,7 +36,7 @@
 //! g2.output(d);
 //!
 //! let tech = TechModel::default();
-//! let (pe, _) = merge_all(&[g1, g2], &tech, &MergeOptions::default());
+//! let (pe, _) = merge_all(&[g1, g2], &tech, &MergeOptions::default()).unwrap();
 //! assert_eq!(pe.configs.len(), 2);
 //! // the two adders share one unit, so the PE has 3 nodes (mul, add, add/sub)
 //! assert!(pe.node_count() <= 3);
@@ -49,8 +49,8 @@ mod clique;
 mod datapath;
 mod merge;
 
-pub use clique::{max_weight_clique, CliqueProblem};
+pub use clique::{max_weight_clique, CliqueProblem, CliqueSolution};
 pub use datapath::{
     DatapathConfig, DatapathError, DpNode, DpSource, MergedDatapath, NodeConfig,
 };
-pub use merge::{merge_all, merge_graph, MergeOptions, MergeReport};
+pub use merge::{merge_all, merge_graph, MergeError, MergeOptions, MergeReport};

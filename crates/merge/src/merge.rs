@@ -15,22 +15,83 @@
 
 use crate::clique::CliqueProblem;
 use crate::datapath::{DatapathConfig, DpNode, DpSource, MergedDatapath, NodeConfig};
+use apex_fault::{fail_point, ApexError, Provenance, Stage, StageBudget};
 use apex_ir::{Graph, NodeId, Op, ValueType};
 use apex_tech::{fu_class, FuClass, TechModel};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 /// Options controlling the merge search.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MergeOptions {
     /// Branch-and-bound budget for the clique search.
     pub clique_budget: usize,
+    /// Deadline / cancellation limits for the clique search.
+    pub budget: StageBudget,
 }
 
 impl Default for MergeOptions {
     fn default() -> Self {
         MergeOptions {
             clique_budget: 500_000,
+            budget: StageBudget::unlimited(),
         }
+    }
+}
+
+/// Errors from folding a subgraph into a PE datapath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The subgraph contains register/FIFO nodes, which only appear after
+    /// pipelining and cannot be merged.
+    Registers {
+        /// Name of the offending graph.
+        graph: String,
+    },
+    /// No input port of the merged node is free for one of its operands.
+    NoFreePort {
+        /// Subgraph node whose operand could not be wired.
+        node: u32,
+    },
+    /// Two operands of one node were wired to the same port.
+    PortCollision {
+        /// Subgraph node with the colliding operands.
+        node: u32,
+    },
+    /// A subgraph input could not be assigned a PE input port.
+    InputPortsExhausted,
+    /// `merge_all` was called with no graphs.
+    EmptyInput,
+    /// A deterministic test fault (fault-injection builds only).
+    Injected(&'static str),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Registers { graph } => {
+                write!(f, "graph '{graph}' contains registers; merged datapaths must be combinational")
+            }
+            MergeError::NoFreePort { node } => {
+                write!(f, "no free input port while wiring subgraph node n{node}")
+            }
+            MergeError::PortCollision { node } => {
+                write!(f, "port collision while wiring subgraph node n{node}")
+            }
+            MergeError::InputPortsExhausted => {
+                write!(f, "ran out of PE input ports for subgraph primary inputs")
+            }
+            MergeError::EmptyInput => write!(f, "merge_all needs at least one graph"),
+            MergeError::Injected(site) => write!(f, "injected fault at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl From<MergeError> for ApexError {
+    fn from(e: MergeError) -> Self {
+        ApexError::with_source(Stage::Merge, e)
     }
 }
 
@@ -43,6 +104,8 @@ pub struct MergeReport {
     pub clique_size: usize,
     /// Estimated area saved by the chosen merges, µm².
     pub saved_area: f64,
+    /// Whether the clique search completed or was cut short by its budget.
+    pub provenance: Provenance,
 }
 
 /// One merge opportunity (a node of the compatibility graph).
@@ -97,20 +160,28 @@ fn node_feasible(node: &DpNode, b_op: Op) -> bool {
 /// existing candidates are stable) and appends one configuration
 /// implementing `graph`.
 ///
-/// # Panics
-/// Panics if `graph` contains register/FIFO nodes.
+/// # Errors
+/// Rejects subgraphs containing register/FIFO nodes and reports wiring
+/// conflicts; a budget-limited clique search is *not* an error — the
+/// greedy incumbent is used and [`MergeReport::provenance`] says so.
+// invariant: the two `expect`s in the port-selection loop are reachable
+// only if the merge-opportunity enumeration above them is internally
+// inconsistent (an operand neither placed nor registered as a candidate)
+#[allow(clippy::expect_used)]
 pub fn merge_graph(
     acc: &MergedDatapath,
     graph: &Graph,
     tech: &TechModel,
     options: &MergeOptions,
-) -> (MergedDatapath, MergeReport) {
+) -> Result<(MergedDatapath, MergeReport), MergeError> {
+    fail_point!("merge::start", MergeError::Injected("merge::start"));
     let b_nodes: Vec<NodeId> = graph.compute_nodes();
     for &b in &b_nodes {
-        assert!(
-            !matches!(graph.op(b), Op::Reg | Op::BitReg | Op::Fifo(_)),
-            "registers are not allowed in merged datapaths"
-        );
+        if matches!(graph.op(b), Op::Reg | Op::BitReg | Op::Fifo(_)) {
+            return Err(MergeError::Registers {
+                graph: graph.name().to_owned(),
+            });
+        }
     }
     let b_set: BTreeSet<NodeId> = b_nodes.iter().copied().collect();
     // B edges between compute nodes: (bd, q, bs)
@@ -211,13 +282,15 @@ pub fn merge_graph(
         }
         projection_acyclic(acc, &acc_edges, &b_nodes, &b_edges, &mapping)
     };
-    let clique = CliqueProblem {
+    let solution = CliqueProblem {
         weights: weights.clone(),
         compatible,
         feasible: Some(&feasible),
         budget: options.clique_budget,
+        stage_budget: options.budget.clone(),
     }
     .solve();
+    let clique = solution.members;
     let saved_area: f64 = clique.iter().map(|&i| weights[i]).sum();
 
     // ---- 4. reconstruction -------------------------------------------------
@@ -251,8 +324,8 @@ pub fn merge_graph(
     }
 
     // input assignment (greedy overlap with existing connection wiring)
-    let word_input_map = assign_inputs(graph, &out, &mapping, ValueType::Word);
-    let bit_input_map = assign_inputs(graph, &out, &mapping, ValueType::Bit);
+    let word_input_map = assign_inputs(graph, &out, &mapping, ValueType::Word)?;
+    let bit_input_map = assign_inputs(graph, &out, &mapping, ValueType::Bit)?;
     out.word_inputs = out
         .word_inputs
         .max(word_input_map.iter().map(|&k| k as usize + 1).max().unwrap_or(0));
@@ -329,9 +402,11 @@ pub fn merge_graph(
                         best = Some(p as u8);
                     }
                 }
-                best.expect("a free port exists for every operand")
+                best.ok_or(MergeError::NoFreePort { node: b.0 })?
             };
-            assert!(!used[port as usize], "port collision wiring {b}");
+            if used[port as usize] {
+                return Err(MergeError::PortCollision { node: b.0 });
+            }
             used[port as usize] = true;
             port_of_operand[q] = Some(port);
             let cands = &mut out.nodes[t].port_candidates[port as usize];
@@ -342,6 +417,8 @@ pub fn merge_graph(
         // 3) build the per-port selection
         let mut port_sel = vec![0u32; arity];
         for q in 0..arity {
+            // invariant: both loops above either assign the operand's port
+            // and register its source as a candidate, or return early
             let p = port_of_operand[q].expect("operand placed") as usize;
             let src = match rides.get(&(b, q as u8)) {
                 Some(&(_, _, u)) => DpSource::Node(u),
@@ -389,8 +466,9 @@ pub fn merge_graph(
         candidates: n,
         clique_size: clique.len(),
         saved_area,
+        provenance: solution.provenance,
     };
-    (out, report)
+    Ok((out, report))
 }
 
 /// Adds `op` to a node's op set (constant-like ops are deduplicated by
@@ -507,7 +585,7 @@ fn assign_inputs(
     out: &MergedDatapath,
     mapping: &BTreeMap<NodeId, u32>,
     ty: ValueType,
-) -> Vec<u16> {
+) -> Result<Vec<u16>, MergeError> {
     let pis: Vec<NodeId> = graph
         .node_ids()
         .filter(|&id| match ty {
@@ -556,29 +634,31 @@ fn assign_inputs(
                 best = Some((score, port));
             }
         }
-        let (_, port) = best.expect("enough input ports");
+        let (_, port) = best.ok_or(MergeError::InputPortsExhausted)?;
         taken[port] = true;
         result[k] = port as u16;
     }
-    result
+    Ok(result)
 }
 
 /// Folds a list of datapath graphs into one merged PE datapath.
 ///
-/// # Panics
-/// Panics if `graphs` is empty.
+/// # Errors
+/// Rejects an empty graph list and propagates the first merge failure.
 pub fn merge_all(
     graphs: &[Graph],
     tech: &TechModel,
     options: &MergeOptions,
-) -> (MergedDatapath, Vec<MergeReport>) {
-    assert!(!graphs.is_empty(), "merge_all needs at least one graph");
+) -> Result<(MergedDatapath, Vec<MergeReport>), MergeError> {
+    if graphs.is_empty() {
+        return Err(MergeError::EmptyInput);
+    }
     let mut acc = MergedDatapath::from_graph(&graphs[0]);
     let mut reports = Vec::new();
     for g in &graphs[1..] {
-        let (next, report) = merge_graph(&acc, g, tech, options);
+        let (next, report) = merge_graph(&acc, g, tech, options)?;
         acc = next;
         reports.push(report);
     }
-    (acc, reports)
+    Ok((acc, reports))
 }

@@ -100,7 +100,7 @@ fn weighted_conv() -> Graph {
 
 #[test]
 fn merged_mac_and_subchain_share_adder() {
-    let (dp, reports) = merge_all(&[mac(), sub_chain()], &tech(), &MergeOptions::default());
+    let (dp, reports) = merge_all(&[mac(), sub_chain()], &tech(), &MergeOptions::default()).unwrap();
     assert!(dp.validate().is_ok());
     assert_eq!(dp.configs.len(), 2);
     // mac: mul + add; subchain: 2 subs. Adder unit is shared with one sub:
@@ -119,7 +119,7 @@ fn merging_identical_graphs_adds_no_hardware() {
     let g1 = mac();
     let mut g2 = mac();
     g2.set_name("mac2");
-    let (dp, _) = merge_all(&[g1, g2], &tech(), &MergeOptions::default());
+    let (dp, _) = merge_all(&[g1, g2], &tech(), &MergeOptions::default()).unwrap();
     assert_eq!(dp.node_count(), 2, "identical graphs fully overlap:\n{dp}");
     assert_eq!(dp.mux_leg_count(), 0, "no muxes needed:\n{dp}");
     assert_config_matches(&dp, 0, &mac(), 30);
@@ -143,7 +143,7 @@ fn merge_keeps_noncommutative_operand_order() {
     let d = g2.add(Op::Sub, &[c, s]); // add feeds port 1
     g2.output(d);
 
-    let (dp, _) = merge_all(&[g1.clone(), g2.clone()], &tech(), &MergeOptions::default());
+    let (dp, _) = merge_all(&[g1.clone(), g2.clone()], &tech(), &MergeOptions::default()).unwrap();
     assert!(dp.validate().is_ok());
     assert_config_matches(&dp, 0, &g1, 60);
     assert_config_matches(&dp, 1, &g2, 60);
@@ -169,7 +169,7 @@ fn cross_directional_merge_cannot_create_cycle() {
     let m = g2.add(Op::Mul, &[s, c]);
     g2.output(m);
 
-    let (dp, _) = merge_all(&[g1.clone(), g2.clone()], &tech(), &MergeOptions::default());
+    let (dp, _) = merge_all(&[g1.clone(), g2.clone()], &tech(), &MergeOptions::default()).unwrap();
     assert!(dp.validate().is_ok(), "merged datapath must stay acyclic");
     assert_config_matches(&dp, 0, &g1, 50);
     assert_config_matches(&dp, 1, &g2, 50);
@@ -183,7 +183,7 @@ fn constants_merge_into_reloadable_registers() {
     let w = g2.constant(9);
     let m = g2.add(Op::Mul, &[x, w]);
     g2.output(m);
-    let (dp, _) = merge_all(&[g1.clone(), g2.clone()], &tech(), &MergeOptions::default());
+    let (dp, _) = merge_all(&[g1.clone(), g2.clone()], &tech(), &MergeOptions::default()).unwrap();
     // second graph reuses a multiplier and a const register
     assert!(dp.node_count() <= 5, "{dp}");
     assert_config_matches(&dp, 0, &g1, 40);
@@ -202,7 +202,7 @@ fn merge_inserts_muxes_on_conflicting_sources() {
     let n = g2.add(Op::Mul, &[m, y]);
     let s = g2.add(Op::Add, &[m, n]);
     g2.output(s);
-    let (dp, _) = merge_all(&[g1.clone(), g2.clone()], &tech(), &MergeOptions::default());
+    let (dp, _) = merge_all(&[g1.clone(), g2.clone()], &tech(), &MergeOptions::default()).unwrap();
     assert!(dp.mux_leg_count() > 0, "conflicting sources need muxes:\n{dp}");
     assert_config_matches(&dp, 0, &g1, 40);
     assert_config_matches(&dp, 1, &g2, 40);
@@ -212,7 +212,7 @@ fn merge_inserts_muxes_on_conflicting_sources() {
 fn merge_order_area_is_monotone_with_subgraphs() {
     // merging more distinct subgraphs never loses existing configs
     let graphs = vec![mac(), sub_chain(), weighted_conv()];
-    let (dp, _) = merge_all(&graphs, &tech(), &MergeOptions::default());
+    let (dp, _) = merge_all(&graphs, &tech(), &MergeOptions::default()).unwrap();
     assert_eq!(dp.configs.len(), 3);
     for (i, g) in graphs.iter().enumerate() {
         assert_config_matches(&dp, i, g, 40);
@@ -242,19 +242,21 @@ fn merge_mined_subgraphs_from_convolution() {
             max_pattern_nodes: 4,
             ..MinerConfig::default()
         },
-    );
+    )
+    .unwrap()
+    .subgraphs;
     assert!(mined.len() >= 3);
     let datapaths: Vec<Graph> = mined
         .iter()
         .take(3)
         .enumerate()
         .map(|(i, m)| {
-            let mut dpg = m.to_datapath(&g, "sg");
+            let mut dpg = m.to_datapath(&g, "sg").unwrap();
             dpg.set_name(format!("sg{i}"));
             dpg
         })
         .collect();
-    let (pe, _) = merge_all(&datapaths, &tech(), &MergeOptions::default());
+    let (pe, _) = merge_all(&datapaths, &tech(), &MergeOptions::default()).unwrap();
     assert!(pe.validate().is_ok());
     for (i, sg) in datapaths.iter().enumerate() {
         assert_config_matches(&pe, i, sg, 40);
@@ -303,7 +305,8 @@ proptest! {
             &g2,
             &tech(),
             &MergeOptions::default(),
-        );
+        )
+        .unwrap();
         prop_assert!(dp.validate().is_ok());
         assert_config_matches(&dp, 0, &g1, 12);
         assert_config_matches(&dp, 1, &g2, 12);
@@ -312,4 +315,41 @@ proptest! {
             + MergedDatapath::from_graph(&g2).node_count();
         prop_assert!(dp.node_count() <= parts);
     }
+}
+
+#[test]
+fn tiny_clique_budget_truncates_but_merges_validly() {
+    use apex_fault::Provenance;
+    let opts = MergeOptions {
+        clique_budget: 1,
+        ..MergeOptions::default()
+    };
+    let (dp, reports) = merge_all(&[mac(), sub_chain()], &tech(), &opts).unwrap();
+    assert!(dp.validate().is_ok(), "greedy incumbent must be a valid merge");
+    assert_eq!(dp.configs.len(), 2);
+    assert!(
+        reports.iter().any(|r| r.provenance == Provenance::TruncatedByBudget),
+        "a 1-node clique budget must report truncation: {reports:?}"
+    );
+    // both source graphs still execute on the degraded datapath
+    assert_config_matches(&dp, 0, &mac(), 50);
+    assert_config_matches(&dp, 1, &sub_chain(), 50);
+}
+
+#[test]
+fn zero_deadline_times_out_but_merges_validly() {
+    use apex_fault::{Provenance, StageBudget};
+    use std::time::Duration;
+    let opts = MergeOptions {
+        budget: StageBudget::unlimited().with_deadline(Duration::ZERO),
+        ..MergeOptions::default()
+    };
+    let (dp, reports) = merge_all(&[mac(), sub_chain()], &tech(), &opts).unwrap();
+    assert!(dp.validate().is_ok(), "greedy incumbent must be a valid merge");
+    assert!(
+        reports.iter().any(|r| r.provenance == Provenance::TimedOut),
+        "an expired deadline must report a timeout: {reports:?}"
+    );
+    assert_config_matches(&dp, 0, &mac(), 50);
+    assert_config_matches(&dp, 1, &sub_chain(), 50);
 }

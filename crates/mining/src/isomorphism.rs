@@ -6,6 +6,7 @@
 //! (our GraMi substitute) is built on.
 
 use crate::pattern::Pattern;
+use apex_fault::{BudgetMeter, StageBudget};
 use apex_ir::{Graph, NodeId, OpKind};
 use std::collections::BTreeMap;
 
@@ -114,6 +115,19 @@ impl<'g> GraphIndex<'g> {
 /// Enumerates embeddings of `pattern` into the indexed graph, stopping at
 /// `limit`.
 pub fn find_embeddings(pattern: &Pattern, index: &GraphIndex<'_>, limit: usize) -> EmbeddingSet {
+    let mut meter = StageBudget::unlimited().start();
+    find_embeddings_metered(pattern, index, limit, &mut meter)
+}
+
+/// Like [`find_embeddings`], but accounts every backtracking step against
+/// an external [`BudgetMeter`] (the miner's stage budget). When the meter
+/// trips, the set found so far is returned with `truncated` set.
+pub fn find_embeddings_metered(
+    pattern: &Pattern,
+    index: &GraphIndex<'_>,
+    limit: usize,
+    meter: &mut BudgetMeter,
+) -> EmbeddingSet {
     let n = pattern.len();
     if n == 0 {
         return EmbeddingSet {
@@ -133,6 +147,7 @@ pub fn find_embeddings(pattern: &Pattern, index: &GraphIndex<'_>, limit: usize) 
         out: Vec::new(),
         limit,
         truncated: false,
+        meter,
     };
     state.recurse(0);
     EmbeddingSet {
@@ -180,6 +195,7 @@ struct SearchState<'a, 'g> {
     out: Vec<Embedding>,
     limit: usize,
     truncated: bool,
+    meter: &'a mut BudgetMeter,
 }
 
 impl SearchState<'_, '_> {
@@ -187,12 +203,13 @@ impl SearchState<'_, '_> {
         if self.truncated {
             return;
         }
+        if !self.meter.tick() {
+            self.truncated = true;
+            return;
+        }
         if depth == self.order.len() {
-            let mapping: Vec<NodeId> = self
-                .assignment
-                .iter()
-                .map(|a| a.expect("complete assignment"))
-                .collect();
+            let mapping: Option<Vec<NodeId>> = self.assignment.iter().copied().collect();
+            let Some(mapping) = mapping else { return };
             if ports_feasible(self.pattern, self.index.graph(), &mapping) {
                 self.out.push(Embedding(mapping));
                 if self.out.len() >= self.limit {

@@ -5,9 +5,11 @@
 //! node-plus-edge or one internal edge, de-duplicate via canonical codes,
 //! and prune with GraMi's anti-monotone MNI support.
 
-use crate::isomorphism::{find_embeddings, EmbeddingSet, GraphIndex};
+use crate::isomorphism::{find_embeddings_metered, EmbeddingSet, GraphIndex};
 use crate::mis::maximal_independent_set;
 use crate::pattern::Pattern;
+use crate::MineError;
+use apex_fault::{Provenance, StageBudget};
 use apex_ir::{Graph, NodeId, OpKind};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -27,6 +29,8 @@ pub struct MinerConfig {
     pub max_embeddings: usize,
     /// Cap on the total number of frequent patterns explored.
     pub max_patterns: usize,
+    /// Wall-clock / step budget for the whole mining run.
+    pub budget: StageBudget,
 }
 
 impl Default for MinerConfig {
@@ -37,6 +41,7 @@ impl Default for MinerConfig {
             min_pattern_nodes: 2,
             max_embeddings: 20_000,
             max_patterns: 400,
+            budget: StageBudget::unlimited(),
         }
     }
 }
@@ -64,7 +69,11 @@ pub struct MinedSubgraph {
 impl MinedSubgraph {
     /// Materializes the pattern as an executable datapath graph (see
     /// [`Pattern::to_datapath`]).
-    pub fn to_datapath(&self, source: &Graph, name: &str) -> Graph {
+    ///
+    /// # Errors
+    /// Fails when the representative embedding no longer matches the
+    /// pattern (see [`Pattern::to_datapath`]).
+    pub fn to_datapath(&self, source: &Graph, name: &str) -> Result<Graph, MineError> {
         self.pattern.to_datapath(source, &self.representative, name)
     }
 
@@ -150,10 +159,29 @@ fn convex(fanouts: &[Vec<NodeId>], set: &std::collections::BTreeSet<NodeId>) -> 
     true
 }
 
+/// Result of a mining run: ranked subgraphs plus how the search ended.
+#[derive(Debug, Clone)]
+pub struct MineOutcome {
+    /// Mined subgraphs, ranked by MIS size then pattern size.
+    pub subgraphs: Vec<MinedSubgraph>,
+    /// Whether the pattern-growth search ran to completion or was cut
+    /// short by the configured [`StageBudget`].
+    pub provenance: Provenance,
+}
+
 /// Mines frequent subgraphs of `graph`, returning them ranked by MIS size
 /// (descending), then pattern size (descending) — the order in which the
 /// paper's flow considers subgraphs for merging.
-pub fn mine(graph: &Graph, config: &MinerConfig) -> Vec<MinedSubgraph> {
+///
+/// The search honours `config.budget`; when the budget trips, the
+/// subgraphs found so far are returned with a partial [`Provenance`].
+///
+/// # Errors
+/// Fails only on an armed fault-injection site (tests only).
+pub fn mine(graph: &Graph, config: &MinerConfig) -> Result<MineOutcome, MineError> {
+    apex_fault::fail_point!("mine::start", MineError::Injected("mine::start"));
+    let mut meter = config.budget.start();
+    meter.check_slow();
     let index = GraphIndex::new(graph);
     let mut seen: BTreeSet<String> = BTreeSet::new();
     let mut results: Vec<MinedSubgraph> = Vec::new();
@@ -166,7 +194,7 @@ pub fn mine(graph: &Graph, config: &MinerConfig) -> Vec<MinedSubgraph> {
     for (label, nodes) in index.labels() {
         if nodes.len() >= config.min_support {
             let p = Pattern::single(label);
-            let es = find_embeddings(&p, &index, config.max_embeddings);
+            let es = find_embeddings_metered(&p, &index, config.max_embeddings, &mut meter);
             seen.insert(p.canonical_code());
             frontier.push_back((p, es));
         }
@@ -175,16 +203,23 @@ pub fn mine(graph: &Graph, config: &MinerConfig) -> Vec<MinedSubgraph> {
     let mut explored = frontier.len();
     while let Some((pattern, embeddings)) = frontier.pop_front() {
         if pattern.len() >= config.min_pattern_nodes && pattern.edge_count() > 0 {
-            let occurrences = embeddings.occurrences();
-            let mis = maximal_independent_set(&occurrences);
-            results.push(MinedSubgraph {
-                representative: embeddings.embeddings[0].0.clone(),
-                mni_support: embeddings.mni_support(pattern.len()),
-                mis_size: mis.len(),
-                truncated: embeddings.truncated,
-                occurrences,
-                pattern: pattern.clone(),
-            });
+            if let Some(first) = embeddings.embeddings.first() {
+                let occurrences = embeddings.occurrences();
+                let mis = maximal_independent_set(&occurrences);
+                results.push(MinedSubgraph {
+                    representative: first.0.clone(),
+                    mni_support: embeddings.mni_support(pattern.len()),
+                    mis_size: mis.len(),
+                    truncated: embeddings.truncated,
+                    occurrences,
+                    pattern: pattern.clone(),
+                });
+            }
+        }
+        // budget exhausted: drain the frontier (patterns already found stay
+        // in the results) but stop growing new ones
+        if !meter.tick() {
+            continue;
         }
         if explored >= config.max_patterns {
             continue;
@@ -203,7 +238,7 @@ pub fn mine(graph: &Graph, config: &MinerConfig) -> Vec<MinedSubgraph> {
             if !seen.insert(code) {
                 continue;
             }
-            let es = find_embeddings(&child, &index, config.max_embeddings);
+            let es = find_embeddings_metered(&child, &index, config.max_embeddings, &mut meter);
             if es.mni_support(child.len()) >= config.min_support {
                 explored += 1;
                 frontier.push_back((child, es));
@@ -212,7 +247,10 @@ pub fn mine(graph: &Graph, config: &MinerConfig) -> Vec<MinedSubgraph> {
     }
 
     rank(&mut results);
-    results
+    Ok(MineOutcome {
+        subgraphs: results,
+        provenance: meter.provenance(),
+    })
 }
 
 /// Ranks mined subgraphs: MIS size descending, then node count
@@ -360,7 +398,7 @@ mod tests {
             max_pattern_nodes: 3,
             ..MinerConfig::default()
         };
-        let mined = mine(&g, &cfg);
+        let mined = mine(&g, &cfg).unwrap().subgraphs;
         assert!(!mined.is_empty());
         // const→mul (Fig. 3b) must be found with 4 non-overlapping occurrences
         let const_mul = mined
@@ -370,7 +408,7 @@ mod tests {
                     && m.pattern.labels().contains(&OpKind::Const)
                     && m.pattern.labels().contains(&OpKind::Mul)
             })
-            .expect("const→mul should be frequent");
+            .unwrap();
         assert_eq!(const_mul.occurrences.len(), 4);
         assert_eq!(const_mul.mis_size, 4);
     }
@@ -383,11 +421,11 @@ mod tests {
             max_pattern_nodes: 2,
             ..MinerConfig::default()
         };
-        let mined = mine(&g, &cfg);
+        let mined = mine(&g, &cfg).unwrap().subgraphs;
         let add_add = mined
             .iter()
             .find(|m| m.pattern.labels() == [OpKind::Add, OpKind::Add])
-            .expect("add→add chain should be frequent");
+            .unwrap();
         // the 4-tap conv has a 4-add chain: 3 overlapping add→add
         // occurrences, of which only 2 are disjoint (the Fig. 4 effect)
         assert_eq!(add_add.occurrences.len(), 3);
@@ -402,10 +440,32 @@ mod tests {
             max_pattern_nodes: 3,
             ..MinerConfig::default()
         };
-        let mined = mine(&g, &cfg);
+        let mined = mine(&g, &cfg).unwrap().subgraphs;
         for w in mined.windows(2) {
             assert!(w[0].mis_size >= w[1].mis_size);
         }
+    }
+
+    #[test]
+    fn step_budget_cuts_mining_short_with_partial_provenance() {
+        let g = conv_graph();
+        let cfg = MinerConfig {
+            min_support: 2,
+            budget: StageBudget::unlimited().with_max_steps(8),
+            ..MinerConfig::default()
+        };
+        let out = mine(&g, &cfg).unwrap();
+        assert_eq!(out.provenance, Provenance::TruncatedByBudget);
+        // an unlimited run finds strictly more
+        let full = mine(
+            &g,
+            &MinerConfig {
+                min_support: 2,
+                ..MinerConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(full.subgraphs.len() >= out.subgraphs.len());
     }
 
     #[test]
@@ -416,7 +476,7 @@ mod tests {
             max_pattern_nodes: 3,
             ..MinerConfig::default()
         };
-        let mined = mine(&g, &cfg);
+        let mined = mine(&g, &cfg).unwrap().subgraphs;
         // nothing appears 5+ times disjointly in this tiny graph except
         // nothing — all multi-node patterns have ≤ 5 occurrences; MNI ≤ 5
         for m in &mined {
@@ -433,10 +493,12 @@ mod tests {
                 min_support: 2,
                 ..MinerConfig::default()
             },
-        );
-        for m in &mined {
+        )
+        .unwrap();
+        assert_eq!(mined.provenance, Provenance::Completed);
+        for m in &mined.subgraphs {
             assert!(m.pattern.is_connected(), "{}", m.pattern);
-            let dp = m.to_datapath(&g, "p");
+            let dp = m.to_datapath(&g, "p").unwrap();
             assert!(dp.validate().is_ok());
         }
     }
@@ -451,7 +513,9 @@ mod tests {
                 min_support: 2,
                 ..MinerConfig::default()
             },
-        );
+        )
+        .unwrap()
+        .subgraphs;
         for m in &mined {
             for occ in &m.occurrences {
                 let (p2, _) = Pattern::from_occurrence(&g, occ);

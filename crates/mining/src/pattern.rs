@@ -6,6 +6,7 @@
 //! `y - x` are different computations, while `x + y` and `y + x` are not
 //! (Section 3.3's destination-port matching rule).
 
+use crate::MineError;
 use apex_ir::{Graph, NodeId, OpKind, ValueType};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -176,6 +177,7 @@ impl Pattern {
     /// lexicographically smallest edge encoding wins. Pattern sizes are
     /// small (the miner caps them), so the class-restricted permutation
     /// search is cheap.
+    #[allow(clippy::expect_used)]
     pub fn canonical_code(&self) -> String {
         let n = self.len();
         let mut outdeg = vec![0usize; n];
@@ -228,6 +230,9 @@ impl Pattern {
                 _ => best = Some(code),
             }
         });
+        // invariant: permute_classes always visits the identity permutation,
+        // so `best` is set for every non-empty pattern (and single() makes
+        // empty patterns unconstructible from the public API)
         best.expect("at least one permutation")
     }
 
@@ -239,25 +244,43 @@ impl Pattern {
     /// primary outputs. Pattern edges without a port constraint are
     /// assigned to free ports left-to-right.
     ///
-    /// # Panics
-    /// Panics if `occurrence` does not map every pattern node or the ops
-    /// mismatch the labels.
-    pub fn to_datapath(&self, source: &Graph, occurrence: &[NodeId], name: &str) -> Graph {
-        assert_eq!(occurrence.len(), self.len(), "occurrence size mismatch");
+    /// # Errors
+    /// Fails when `occurrence` does not map every pattern node, the ops
+    /// mismatch the labels, or the in-edges overflow the ops' ports.
+    pub fn to_datapath(
+        &self,
+        source: &Graph,
+        occurrence: &[NodeId],
+        name: &str,
+    ) -> Result<Graph, MineError> {
+        if occurrence.len() != self.len() {
+            return Err(MineError::OccurrenceSize {
+                expected: self.len(),
+                got: occurrence.len(),
+            });
+        }
         let mut g = Graph::new(name);
         let order = self.topo_order();
         let mut new_id: Vec<Option<NodeId>> = vec![None; self.len()];
         for &pi in &order {
             let op = source.op(occurrence[pi as usize]);
-            assert_eq!(op.kind(), self.labels[pi as usize], "label mismatch");
+            if op.kind() != self.labels[pi as usize] {
+                return Err(MineError::LabelMismatch { node: pi });
+            }
             let arity = op.arity();
             let mut port_src: Vec<Option<NodeId>> = vec![None; arity];
             // constrained edges first
             for e in &self.in_edges[pi as usize] {
                 if let Some(p) = e.port {
-                    let slot = &mut port_src[p as usize];
-                    assert!(slot.is_none(), "duplicate port constraint");
-                    *slot = Some(new_id[e.src as usize].expect("topo order"));
+                    let src = new_id[e.src as usize]
+                        .ok_or(MineError::UnplacedNode { node: e.src })?;
+                    let slot = port_src
+                        .get_mut(p as usize)
+                        .ok_or(MineError::PortsExhausted { node: pi })?;
+                    if slot.is_some() {
+                        return Err(MineError::DuplicatePort { node: pi, port: p });
+                    }
+                    *slot = Some(src);
                 }
             }
             for e in &self.in_edges[pi as usize] {
@@ -265,8 +288,11 @@ impl Pattern {
                     let free = port_src
                         .iter()
                         .position(Option::is_none)
-                        .expect("too many in-edges");
-                    port_src[free] = Some(new_id[e.src as usize].expect("topo order"));
+                        .ok_or(MineError::PortsExhausted { node: pi })?;
+                    port_src[free] = Some(
+                        new_id[e.src as usize]
+                            .ok_or(MineError::UnplacedNode { node: e.src })?,
+                    );
                 }
             }
             let tys = op.input_types();
@@ -289,14 +315,14 @@ impl Pattern {
         }
         for i in 0..self.len() {
             if !has_consumer[i] {
-                let id = new_id[i].expect("all nodes placed");
+                let id = new_id[i].ok_or(MineError::UnplacedNode { node: i as u32 })?;
                 match g.op(id).output_type() {
                     ValueType::Word => g.output(id),
                     ValueType::Bit => g.bit_output(id),
                 };
             }
         }
-        g
+        Ok(g)
     }
 
     /// Builds the pattern corresponding to a concrete set of graph nodes:
@@ -445,7 +471,7 @@ mod tests {
         let (p, order) = Pattern::from_occurrence(&g, &[m, s]);
         assert_eq!(p.len(), 2);
         assert_eq!(p.edge_count(), 1);
-        let dp = p.to_datapath(&g, &order, "mac_pattern");
+        let dp = p.to_datapath(&g, &order, "mac_pattern").unwrap();
         assert!(dp.validate().is_ok());
         assert_eq!(dp.primary_inputs().len(), 3);
         let out = evaluate(&dp, &[Value::Word(3), Value::Word(4), Value::Word(5)]);
@@ -488,7 +514,7 @@ mod tests {
         g.output(sq);
         let (p, order) = Pattern::from_occurrence(&g, &[x, sq]);
         assert_eq!(p.edge_count(), 2);
-        let dp = p.to_datapath(&g, &order, "sq");
+        let dp = p.to_datapath(&g, &order, "sq").unwrap();
         // both mul ports fed by the add; add has two fresh inputs
         assert_eq!(dp.primary_inputs().len(), 2);
         let out = evaluate(&dp, &[Value::Word(3), Value::Word(4)]);

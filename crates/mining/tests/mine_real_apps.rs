@@ -6,14 +6,20 @@ use apex_mining::{mine, MinerConfig};
 fn mine_all_analyzed_apps() {
     for app in apex_apps::analyzed_apps() {
         let t0 = std::time::Instant::now();
-        let mined = mine(&app.graph, &MinerConfig::default());
+        let outcome = mine(&app.graph, &MinerConfig::default()).unwrap();
         let dt = t0.elapsed();
+        assert!(
+            !outcome.provenance.is_partial(),
+            "{}: default budget must complete",
+            app.info.name
+        );
+        let mined = outcome.subgraphs;
         assert!(!mined.is_empty(), "{}: no frequent subgraphs", app.info.name);
         // ranked by MIS
         assert!(mined.windows(2).all(|w| w[0].mis_size >= w[1].mis_size));
         // all datapaths materialize and validate
         for m in mined.iter().take(10) {
-            let dp = m.to_datapath(&app.graph, "p");
+            let dp = m.to_datapath(&app.graph, "p").unwrap();
             assert!(dp.validate().is_ok());
         }
         println!(

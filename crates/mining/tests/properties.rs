@@ -45,7 +45,9 @@ proptest! {
             max_pattern_nodes: 4,
             max_patterns: 60,
             ..MinerConfig::default()
-        });
+        })
+        .unwrap()
+        .subgraphs;
         let index = GraphIndex::new(&g);
         for m in mined.iter().take(20) {
             // re-searching must find at least the reported occurrences
@@ -73,7 +75,9 @@ proptest! {
             max_pattern_nodes: 3,
             max_patterns: 40,
             ..MinerConfig::default()
-        });
+        })
+        .unwrap()
+        .subgraphs;
         for m in mined.iter().take(10) {
             let adj = overlap_graph(&m.occurrences);
             let mis = maximal_independent_set(&m.occurrences);
@@ -118,7 +122,9 @@ proptest! {
             max_pattern_nodes: 3,
             max_patterns: 30,
             ..MinerConfig::default()
-        });
+        })
+        .unwrap()
+        .subgraphs;
         for m in mined.iter().take(10) {
             let u = m.utilizable_occurrences(&g);
             prop_assert!(u.len() <= m.occurrences.len());
@@ -136,9 +142,11 @@ proptest! {
             max_pattern_nodes: 4,
             max_patterns: 30,
             ..MinerConfig::default()
-        });
+        })
+        .unwrap()
+        .subgraphs;
         for m in mined.iter().take(10) {
-            let dp = m.to_datapath(&g, "p");
+            let dp = m.to_datapath(&g, "p").unwrap();
             prop_assert!(dp.validate().is_ok());
             prop_assert!(!dp.primary_outputs().is_empty());
         }

@@ -139,7 +139,10 @@ pub fn config_energy(
 /// Critical-path delay of one configuration, ns: the longest
 /// combinational path through the *selected* edges, including a small mux
 /// penalty on ports that carry a configuration mux.
+#[allow(clippy::expect_used)]
 pub fn config_critical_path(dp: &MergedDatapath, cfg: &DatapathConfig, tech: &TechModel) -> f64 {
+    // invariant: merged datapaths are built acyclic by construction
+    // (merge_graph rejects back-edges), so topo_order cannot fail here
     let order = dp.topo_order().expect("valid datapath");
     let mut arrival = vec![0.0f64; dp.nodes.len()];
     for &i in &order {
@@ -186,7 +189,9 @@ pub fn worst_critical_path(dp: &MergedDatapath, tech: &TechModel) -> f64 {
 /// Structural upper bound on the combinational path, ns: longest path over
 /// the union of candidate edges with each node at its slowest op. Used for
 /// PEs without stored configurations (e.g. the baseline PE).
+#[allow(clippy::expect_used)]
 pub fn structural_critical_path(dp: &MergedDatapath, tech: &TechModel) -> f64 {
+    // invariant: merged datapaths are built acyclic by construction
     let order = dp.topo_order().expect("valid datapath");
     let mut arrival = vec![0.0f64; dp.nodes.len()];
     let mut worst = 0.0f64;

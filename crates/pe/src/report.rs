@@ -84,6 +84,9 @@ pub fn datasheet(spec: &PeSpec, tech: &TechModel) -> String {
 ///
 /// # Panics
 /// Panics if the configuration is invalid for the datapath.
+// invariant: the `expect` below — stored configurations were
+// validate_config-checked when the PE was built
+#[allow(clippy::expect_used)]
 pub fn emit_testbench(
     spec: &PeSpec,
     cfg: &DatapathConfig,
@@ -150,6 +153,8 @@ pub fn emit_testbench(
         for (k, b) in pe_bits.iter().enumerate() {
             let _ = writeln!(s, "    bit_in{k} = 1'b{};", u8::from(*b));
         }
+        // invariant: `cfg` comes from the spec's own stored configurations,
+        // which validate_config checked when the PE was built
         let (exp_w, exp_b) = dp
             .evaluate(cfg, &pe_words, &pe_bits)
             .expect("valid configuration");
@@ -186,7 +191,7 @@ pub fn emit_testbench(
 fn pack_bits(dp: &apex_merge::MergedDatapath, cfg: &DatapathConfig) -> Vec<bool> {
     use apex_ir::Op;
     let mut bits: Vec<bool> = Vec::new();
-    let mut push_val = |bits: &mut Vec<bool>, value: u64, width: usize| {
+    let push_val = |bits: &mut Vec<bool>, value: u64, width: usize| {
         for k in 0..width {
             bits.push((value >> k) & 1 == 1);
         }

@@ -113,7 +113,9 @@ impl PeSpec {
     }
 
     /// Worst combinational delay within any single pipeline stage, ns.
+    #[allow(clippy::expect_used)]
     pub fn max_stage_delay(&self, p: &PePipeline, tech: &TechModel) -> f64 {
+        // invariant: merged datapaths are built acyclic by construction
         let order = self.datapath.topo_order().expect("valid datapath");
         let mut arrival = vec![0.0f64; self.datapath.nodes.len()];
         let mut worst = 0.0f64;

@@ -7,6 +7,7 @@
 //! register files used as FIFOs (Fig. 9), which is dramatically cheaper
 //! and more routable than long switch-box register chains.
 
+use crate::PipelineError;
 use apex_ir::ValueType;
 use apex_map::{NetKind, NetRef, Netlist};
 use apex_rewrite::RuleSet;
@@ -43,21 +44,25 @@ pub struct AppPipelineReport {
 /// streaming semantics: every output is the original combinational output
 /// delayed by `report.latency` cycles.
 ///
-/// # Panics
-/// Panics if the input netlist is cyclic or already contains delay
+/// # Errors
+/// Fails if the input netlist is cyclic or already contains delay
 /// elements.
 pub fn pipeline_application(
     netlist: &Netlist,
     rules: &RuleSet,
     pe_latency: u32,
     options: &AppPipelineOptions,
-) -> (Netlist, AppPipelineReport) {
-    assert_eq!(
-        netlist.reg_count() + netlist.fifo_count(),
-        0,
-        "netlist already pipelined"
+) -> Result<(Netlist, AppPipelineReport), PipelineError> {
+    apex_fault::fail_point!(
+        "pipeline::app",
+        PipelineError::Injected("pipeline::app")
     );
-    let order = netlist.topo_order().expect("acyclic netlist");
+    if netlist.reg_count() + netlist.fifo_count() != 0 {
+        return Err(PipelineError::AlreadyPipelined);
+    }
+    let order = netlist
+        .topo_order()
+        .map_err(|_| PipelineError::Cyclic { what: "netlist" })?;
 
     // arrival cycle of each node's outputs
     let mut arrival: BTreeMap<u32, u32> = BTreeMap::new();
@@ -130,7 +135,7 @@ pub fn pipeline_application(
         fifos_inserted,
         latency: out_target,
     };
-    (out, report)
+    Ok((out, report))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -202,7 +207,8 @@ mod tests {
             &rules,
             2, // 2-cycle PEs
             &AppPipelineOptions::default(),
-        );
+        )
+        .unwrap();
         assert!(pipelined.validate(&rules).is_ok());
         // path a→add skips two 2-cycle PEs: needs 4 cycles of delay;
         // with cutoff 2 that is one FIFO
@@ -222,7 +228,8 @@ mod tests {
             &rules,
             pe_latency,
             &AppPipelineOptions::default(),
-        );
+        )
+        .unwrap();
         // stream 8 input triples through and compare with per-vector
         // combinational evaluation
         let streams: Vec<Vec<u16>> = vec![
@@ -230,14 +237,19 @@ mod tests {
             (11..=18).collect(),
             (21..=28).collect(),
         ];
-        let (outs, _) = pipelined.simulate(&pe.datapath, &rules, &streams, &[], pe_latency);
+        let (outs, _) = pipelined
+            .simulate(&pe.datapath, &rules, &streams, &[], pe_latency)
+            .unwrap();
         for t in 0..8 {
-            let (golden, _) = design.netlist.evaluate(
-                &pe.datapath,
-                &rules,
-                &[streams[0][t], streams[1][t], streams[2][t]],
-                &[],
-            );
+            let (golden, _) = design
+                .netlist
+                .evaluate(
+                    &pe.datapath,
+                    &rules,
+                    &[streams[0][t], streams[1][t], streams[2][t]],
+                    &[],
+                )
+                .unwrap();
             assert_eq!(
                 outs[0][t + report.latency as usize],
                 golden[0],
@@ -257,7 +269,8 @@ mod tests {
             &rules,
             3, // deep PEs → 6-cycle skips
             &AppPipelineOptions::default(),
-        );
+        )
+        .unwrap();
         assert!(report.fifos_inserted >= 1, "{report:?}");
         let max_fifo = pipelined
             .nodes
@@ -282,7 +295,8 @@ mod tests {
             &rules,
             2,
             &AppPipelineOptions { rf_chain_cutoff: 0 },
-        );
+        )
+        .unwrap();
         assert_eq!(report.regs_inserted, 0, "all word delays become FIFOs");
         assert!(report.fifos_inserted > 0);
     }
@@ -298,7 +312,8 @@ mod tests {
             &rules,
             0,
             &AppPipelineOptions::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(report.regs_inserted + report.fifos_inserted, 0);
         assert_eq!(report.latency, 0);
         assert_eq!(pipelined.nodes.len(), design.netlist.nodes.len());

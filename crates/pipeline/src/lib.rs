@@ -30,15 +30,52 @@
 //! let tech = TechModel::default();
 //! assert!(spec.cycle_delay(&tech) > tech.clock_period_ns);
 //! // ...until the automated pipeliner splits it
-//! let achieved = auto_pipeline(&mut spec, &tech, &PePipelineOptions::default());
+//! let achieved = auto_pipeline(&mut spec, &tech, &PePipelineOptions::default()).unwrap();
 //! assert!(achieved <= tech.clock_period_ns);
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use apex_fault::{ApexError, Stage};
+use std::fmt;
+
 mod app_pipeline;
 mod pe_pipeline;
 
 pub use app_pipeline::{pipeline_application, AppPipelineOptions, AppPipelineReport};
 pub use pe_pipeline::{auto_pipeline, pipeline_pe, stages_for_period, PePipelineOptions};
+
+/// Errors raised by the pipelining stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The netlist already contains registers or FIFOs.
+    AlreadyPipelined,
+    /// The datapath or netlist is cyclic and cannot be staged.
+    Cyclic {
+        /// What was cyclic ("datapath" / "netlist").
+        what: &'static str,
+    },
+    /// A deterministic fault-injection site fired (tests only).
+    Injected(&'static str),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::AlreadyPipelined => {
+                write!(f, "netlist already contains delay elements")
+            }
+            PipelineError::Cyclic { what } => write!(f, "{what} is cyclic"),
+            PipelineError::Injected(site) => write!(f, "injected fault at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<PipelineError> for ApexError {
+    fn from(e: PipelineError) -> Self {
+        ApexError::with_source(Stage::Pipeline, e)
+    }
+}

@@ -6,6 +6,7 @@
 //! clustering) places the stage boundaries to minimize the worst
 //! intra-stage delay.
 
+use crate::PipelineError;
 use apex_merge::DpSource;
 use apex_pe::{PePipeline, PeSpec};
 use apex_tech::TechModel;
@@ -35,9 +36,18 @@ impl Default for PePipelineOptions {
 /// Assigns pipeline stages so that no intra-stage combinational path
 /// exceeds `period`, using longest-path clustering over the union of
 /// candidate edges.
-pub fn stages_for_period(spec: &PeSpec, tech: &TechModel, period: f64) -> PePipeline {
+///
+/// # Errors
+/// Fails when the datapath is cyclic.
+pub fn stages_for_period(
+    spec: &PeSpec,
+    tech: &TechModel,
+    period: f64,
+) -> Result<PePipeline, PipelineError> {
     let dp = &spec.datapath;
-    let order = dp.topo_order().expect("valid datapath");
+    let order = dp
+        .topo_order()
+        .map_err(|_| PipelineError::Cyclic { what: "datapath" })?;
     let mut stage = vec![0u32; dp.nodes.len()];
     let mut arrival = vec![0.0f64; dp.nodes.len()];
     for &i in &order {
@@ -79,10 +89,10 @@ pub fn stages_for_period(spec: &PeSpec, tech: &TechModel, period: f64) -> PePipe
         arrival[i as usize] = arr;
     }
     let stages = stage.iter().copied().max().unwrap_or(0) + 1;
-    PePipeline {
+    Ok(PePipeline {
         stage_of_node: stage,
         stages,
-    }
+    })
 }
 
 /// Iteratively explores pipeline depths (the paper's critical-path model):
@@ -90,18 +100,29 @@ pub fn stages_for_period(spec: &PeSpec, tech: &TechModel, period: f64) -> PePipe
 /// cycle delay still improves significantly, stopping at the target
 /// period or the configured cap. Returns the chosen pipelining, or `None`
 /// if the PE already meets timing without registers.
-pub fn pipeline_pe(spec: &PeSpec, tech: &TechModel, options: &PePipelineOptions) -> Option<PePipeline> {
+///
+/// # Errors
+/// Fails when the datapath is cyclic or a fault-injection site is armed.
+pub fn pipeline_pe(
+    spec: &PeSpec,
+    tech: &TechModel,
+    options: &PePipelineOptions,
+) -> Result<Option<PePipeline>, PipelineError> {
+    apex_fault::fail_point!(
+        "pipeline::start",
+        PipelineError::Injected("pipeline::start")
+    );
     let target = options.target_period_ns.unwrap_or(tech.clock_period_ns);
     let flat = spec.cycle_delay(tech);
     if flat <= target {
-        return None;
+        return Ok(None);
     }
     let mut best: Option<(PePipeline, f64)> = None;
     // sweep candidate periods from the target upwards; clustering at a
     // period yields the fewest stages meeting it
     let mut period = target;
     for _ in 0..16 {
-        let p = stages_for_period(spec, tech, period);
+        let p = stages_for_period(spec, tech, period)?;
         if p.stages > options.max_stages {
             period *= 1.15;
             continue;
@@ -125,15 +146,22 @@ pub fn pipeline_pe(spec: &PeSpec, tech: &TechModel, options: &PePipelineOptions)
         }
         period *= 1.15;
     }
-    best.map(|(p, _)| p)
+    Ok(best.map(|(p, _)| p))
 }
 
 /// Applies [`pipeline_pe`] in place, returning the achieved cycle delay.
-pub fn auto_pipeline(spec: &mut PeSpec, tech: &TechModel, options: &PePipelineOptions) -> f64 {
-    if let Some(p) = pipeline_pe(spec, tech, options) {
+///
+/// # Errors
+/// Fails when the datapath is cyclic or a fault-injection site is armed.
+pub fn auto_pipeline(
+    spec: &mut PeSpec,
+    tech: &TechModel,
+    options: &PePipelineOptions,
+) -> Result<f64, PipelineError> {
+    if let Some(p) = pipeline_pe(spec, tech, options)? {
         spec.pipeline = Some(p);
     }
-    spec.cycle_delay(tech)
+    Ok(spec.cycle_delay(tech))
 }
 
 #[cfg(test)]
@@ -158,7 +186,7 @@ mod tests {
     fn stage_assignment_respects_period() {
         let tech = TechModel::default();
         let spec = chain_spec(4);
-        let p = stages_for_period(&spec, &tech, 1.1);
+        let p = stages_for_period(&spec, &tech, 1.1).unwrap();
         let mut staged = spec.clone();
         staged.pipeline = Some(p.clone());
         assert!(staged.cycle_delay(&tech) <= 1.1 + 1e-9);
@@ -170,7 +198,7 @@ mod tests {
     fn stage_assignment_is_monotone_along_edges() {
         let tech = TechModel::default();
         let spec = chain_spec(5);
-        let p = stages_for_period(&spec, &tech, 1.1);
+        let p = stages_for_period(&spec, &tech, 1.1).unwrap();
         for (v, node) in spec.datapath.nodes.iter().enumerate() {
             for port in &node.port_candidates {
                 for src in port {
@@ -194,7 +222,9 @@ mod tests {
         let s = g.add(Op::Add, &[a, b]);
         g.output(s);
         let spec = PeSpec::new("adder", MergedDatapath::from_graph(&g), false);
-        assert!(pipeline_pe(&spec, &tech, &PePipelineOptions::default()).is_none());
+        assert!(pipeline_pe(&spec, &tech, &PePipelineOptions::default())
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -203,7 +233,7 @@ mod tests {
         let mut spec = chain_spec(3);
         let before = spec.cycle_delay(&tech);
         assert!(before > tech.clock_period_ns);
-        let after = auto_pipeline(&mut spec, &tech, &PePipelineOptions::default());
+        let after = auto_pipeline(&mut spec, &tech, &PePipelineOptions::default()).unwrap();
         assert!(after <= tech.clock_period_ns + 1e-9, "{after}");
         assert!(spec.latency() >= 1);
     }
@@ -212,8 +242,8 @@ mod tests {
     fn deeper_pipelines_cost_registers() {
         let tech = TechModel::default();
         let spec = chain_spec(4);
-        let shallow = stages_for_period(&spec, &tech, 2.0);
-        let deep = stages_for_period(&spec, &tech, 1.0);
+        let shallow = stages_for_period(&spec, &tech, 2.0).unwrap();
+        let deep = stages_for_period(&spec, &tech, 1.0).unwrap();
         assert!(deep.stages > shallow.stages);
         assert!(
             spec.pipeline_register_count(&deep) > spec.pipeline_register_count(&shallow)

@@ -28,6 +28,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use apex_fault::{ApexError, Stage};
+use apex_ir::Graph;
+use apex_merge::MergedDatapath;
+use std::fmt;
+
 mod rule;
 mod synth;
 
@@ -36,3 +41,46 @@ pub use synth::{
     const_passthrough_rule, lut_rule_for_bit_op, needed_templates, rules_from_configs,
     standard_ruleset, synthesize_op_rule, RuleSet, SynthesisReport,
 };
+
+/// Errors raised by the rewrite-rule synthesis stage.
+///
+/// Synthesis itself is total (missing templates are reported, not fatal),
+/// so today the only failure mode is an injected test fault; the type
+/// exists so the rewrite stage participates in the workspace-wide
+/// [`ApexError`] hierarchy like every other stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewriteError {
+    /// A deterministic fault-injection site fired (tests only).
+    Injected(&'static str),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::Injected(site) => write!(f, "injected fault at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<RewriteError> for ApexError {
+    fn from(e: RewriteError) -> Self {
+        ApexError::with_source(Stage::Rewrite, e)
+    }
+}
+
+/// Fallible synthesis entry point used by the resilient DSE driver; same
+/// result as [`standard_ruleset`] but carries the stage's fault-injection
+/// site.
+///
+/// # Errors
+/// Fails only when the `rewrite::start` fault-injection site is armed.
+pub fn try_standard_ruleset(
+    dp: &MergedDatapath,
+    sources: &[Graph],
+    apps: &[&Graph],
+) -> Result<(RuleSet, SynthesisReport), RewriteError> {
+    apex_fault::fail_point!("rewrite::start", RewriteError::Injected("rewrite::start"));
+    Ok(standard_ruleset(dp, sources, apps))
+}

@@ -35,6 +35,9 @@ impl RewriteRule {
     /// # Panics
     /// Panics if `payloads` does not match the bindings, or a binding
     /// points at a node the template leaves inactive.
+    // invariant: documented panic — payload bindings are built against
+    // the same template configuration, so bound nodes are active
+    #[allow(clippy::expect_used)]
     pub fn instantiate(&self, payloads: &[Op]) -> DatapathConfig {
         assert_eq!(payloads.len(), self.payload_bindings.len());
         let mut cfg = self.config.clone();
@@ -69,6 +72,9 @@ impl RewriteRule {
 /// `∃x ∀y: P(x, y) = Op(y)` (DESIGN.md §3): the configuration `x` is
 /// constructed structurally, and `∀y` is checked over corner values plus
 /// `trials` random vectors.
+// invariant: the word/bit vectors are sized from the pattern's own
+// input counts two lines above the iterators that consume them
+#[allow(clippy::expect_used)]
 pub fn verify_rule(dp: &MergedDatapath, rule: &RewriteRule, trials: usize) -> bool {
     let mut seed = 0xDEAD_BEEF_CAFE_1234u64;
     let mut next = move || {

@@ -59,6 +59,9 @@ const VERIFY_TRIALS: usize = 64;
 ///
 /// # Panics
 /// Panics if `sources` is not aligned with the stored configurations.
+// invariant: merge_graph maps every source node into the datapath, so
+// payload nodes are always present in the config's node_map
+#[allow(clippy::expect_used)]
 pub fn rules_from_configs(dp: &MergedDatapath, sources: &[Graph]) -> Vec<RewriteRule> {
     assert_eq!(
         sources.len(),
@@ -156,6 +159,9 @@ fn is_const_reg(node: &apex_merge::DpNode, ty: ValueType) -> bool {
 /// Structurally synthesizes a rule executing a single operation, with the
 /// given operand indices bound to constant registers. Returns a verified
 /// rule or `None`.
+// invariant: the operand-placement loop assigns every port before the
+// `expect`s that read them back
+#[allow(clippy::expect_used)]
 pub fn synthesize_op_rule(
     dp: &MergedDatapath,
     op: Op,
@@ -413,6 +419,8 @@ fn normalize(op: Op) -> Op {
 /// Synthesizes the full ruleset for a PE: complex rules from its stored
 /// configurations (`sources` aligned with `dp.configs`) plus single-op and
 /// LUT-fallback rules for everything `apps` need.
+// invariant: a synthesis worker thread can only terminate by returning
+#[allow(clippy::expect_used)]
 pub fn standard_ruleset(
     dp: &MergedDatapath,
     sources: &[Graph],

@@ -47,7 +47,8 @@ proptest! {
             &[g1.clone(), g2.clone()],
             &tech,
             &MergeOptions::default(),
-        );
+        )
+        .unwrap();
         let (rules, _) = standard_ruleset(&dp, &[g1.clone(), g2.clone()], &[&g1, &g2]);
         // every admitted rule re-verifies with a fresh battery
         for r in &rules.rules {

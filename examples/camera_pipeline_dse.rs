@@ -29,14 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &MinerConfig::default(),
         &MergeOptions::default(),
         &tech,
-    );
+    )?;
 
     let options = EvalOptions {
         pipelined: true,
         ..EvalOptions::default()
     };
     let mut variants: Vec<(String, PeVariant)> =
-        vec![("PE Base".into(), baseline_variant(&[&app]))];
+        vec![("PE Base".into(), baseline_variant(&[&app])?)];
     for (i, v) in ladder.into_iter().enumerate() {
         variants.push((format!("PE {}", i + 1), v));
     }

@@ -43,8 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &MergeOptions::default(),
         &tech,
         &extra,
-    );
-    let baseline = baseline_variant(&eval_apps);
+    )?;
+    let baseline = baseline_variant(&eval_apps)?;
     println!(
         "\nPE IP merges {} subgraphs; PE area {:.0} um2 (baseline {:.0} um2)",
         pe_ip.sources.len(),

@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &MergeOptions::default(),
         &tech,
         &BTreeSet::new(),
-    );
+    )?;
     println!(
         "PE ML: {} functional units, {} configs, {} rewrite rules, {:.0} um2",
         pe_ml.spec.datapath.node_count(),
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         path.display()
     );
 
-    let baseline = baseline_variant(&refs);
+    let baseline = baseline_variant(&refs)?;
     let options = EvalOptions {
         pipelined: true,
         ..EvalOptions::default()

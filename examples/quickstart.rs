@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         app.info.unroll);
 
     // 1. the general-purpose baseline CGRA (paper Fig. 1)
-    let baseline = baseline_variant(&[&app]);
+    let baseline = baseline_variant(&[&app])?;
     let base = evaluate_app(&baseline, &app, &tech, &options)?;
     println!(
         "\nbaseline PE : {:>4} PEs | PE area {:>9.0} um2 | CGRA energy {:>7.1} pJ/cycle",
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &MergeOptions::default(),
         &tech,
         &BTreeSet::new(),
-    );
+    )?;
     println!(
         "\nAPEX merged {} frequent subgraphs into '{}' ({} functional units, {} rewrite rules)",
         spec.sources.len(),

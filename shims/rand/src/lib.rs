@@ -1,0 +1,6 @@
+//! Empty stand-in for `rand`.
+//!
+//! Every crate in the workspace declares `rand` as a dev-dependency but the
+//! code rolls its own deterministic xorshift generators and never imports
+//! it. The container cannot reach crates.io, so this empty crate satisfies
+//! the dependency edge.

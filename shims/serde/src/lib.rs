@@ -1,0 +1,16 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! for future wire formats but performs no serde-based serialization today
+//! (JSON emission is hand-rolled). This shim provides the two trait names
+//! and no-op derive macros so those annotations compile without network
+//! access to crates.io.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the no-op derive
+/// generates no impl and nothing in the workspace requires one).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,19 @@
+//! No-op stand-in for `serde_derive`.
+//!
+//! The build container has no registry access, so the real crate cannot be
+//! fetched. The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! forward-looking annotations — nothing serializes through serde yet (JSON
+//! output is hand-rolled) — so empty derives keep every annotation compiling
+//! without generating code.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

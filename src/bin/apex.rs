@@ -14,26 +14,53 @@
 //! apex describe <variant>           PE datasheet (units, configs, costs)
 //! ```
 
+use apex::fault::ApexError;
 use std::fmt::Write as _;
+
+fn usage() {
+    eprintln!("usage: apex <list|dot|mine|dse|verilog|array|report|save|dse-file|describe> [...]");
+    eprintln!("see `apex` source docs for details");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
-    match cmd {
-        "list" => list(),
-        "dot" => dot(&args[1..]),
+    let result = match cmd {
+        "list" => {
+            list();
+            Ok(())
+        }
+        "dot" => {
+            dot(&args[1..]);
+            Ok(())
+        }
         "mine" => mine(&args[1..]),
         "dse" => dse(&args[1..]),
         "verilog" => verilog(&args[1..], false),
         "array" => verilog(&args[1..], true),
-        "report" => report(&args[1..]),
-        "save" => save(&args[1..]),
+        "report" => {
+            report(&args[1..]);
+            Ok(())
+        }
+        "save" => {
+            save(&args[1..]);
+            Ok(())
+        }
         "dse-file" => dse_file(&args[1..]),
         "describe" => describe(&args[1..]),
-        _ => {
-            eprintln!("usage: apex <list|dot|mine|dse|verilog|array|report|save|dse-file|describe> [...]");
-            eprintln!("see `apex` source docs for details");
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
         }
+        other => {
+            eprintln!("unknown command '{other}'");
+            usage();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("{}", e.render_chain());
+        std::process::exit(1);
     }
 }
 
@@ -73,7 +100,7 @@ fn dot(args: &[String]) {
     print!("{}", app.graph.to_dot());
 }
 
-fn mine(args: &[String]) {
+fn mine(args: &[String]) -> Result<(), ApexError> {
     let app = app_or_exit(args.first());
     let min_support = args
         .get(1)
@@ -85,14 +112,17 @@ fn mine(args: &[String]) {
             min_support,
             ..apex::mining::MinerConfig::default()
         },
-    );
+    )?;
     println!(
         "{} frequent subgraphs in '{}' (min support {min_support}):",
-        mined.len(),
+        mined.subgraphs.len(),
         app.info.name
     );
+    if mined.provenance.is_partial() {
+        println!("note: mining stopped early ({})", mined.provenance.marker());
+    }
     println!("{:>4} {:>5} {:>5} {:>6}  pattern", "#", "occ", "MIS", "uMIS");
-    for (i, m) in mined.iter().take(25).enumerate() {
+    for (i, m) in mined.subgraphs.iter().take(25).enumerate() {
         println!(
             "{:>4} {:>5} {:>5} {:>6}  {}",
             i + 1,
@@ -102,16 +132,17 @@ fn mine(args: &[String]) {
             m.pattern
         );
     }
-    if mined.len() > 25 {
-        println!("... ({} more)", mined.len() - 25);
+    if mined.subgraphs.len() > 25 {
+        println!("... ({} more)", mined.subgraphs.len() - 25);
     }
+    Ok(())
 }
 
-fn dse(args: &[String]) {
+fn dse(args: &[String]) -> Result<(), ApexError> {
     let app = app_or_exit(args.first());
     let tech = apex::tech::TechModel::default();
     println!("specializing a PE for '{}'...", app.info.name);
-    let base = apex::core::baseline_variant(&[&app]);
+    let base = apex::core::baseline_variant(&[&app])?;
     let spec = apex::core::specialized_variant(
         &format!("pe_spec_{}", app.info.name),
         &[&app],
@@ -121,10 +152,18 @@ fn dse(args: &[String]) {
         &apex::merge::MergeOptions::default(),
         &tech,
         &std::collections::BTreeSet::new(),
-    );
-    let opts = apex::core::EvalOptions::default();
-    let b = apex::core::evaluate_app(&base, &app, &tech, &opts).expect("baseline evaluates");
-    let s = apex::core::evaluate_app(&spec, &app, &tech, &opts).expect("specialized evaluates");
+    )?;
+    let opts = apex::core::DseOptions::default();
+    let b_outcome = apex::core::dse_evaluate_app(&base, &app, &tech, &opts);
+    let s_outcome = apex::core::dse_evaluate_app(&spec, &app, &tech, &opts);
+    for (label, o) in [("baseline", &b_outcome), ("specialized", &s_outcome)] {
+        for d in &o.degradations {
+            println!("degraded [{label}]: {d}");
+        }
+    }
+    let (b_degs, s_degs) = (b_outcome.degradations.len(), s_outcome.degradations.len());
+    let b = b_outcome.result?;
+    let s = s_outcome.result?;
     let mut out = String::new();
     let _ = writeln!(out, "{:<24} {:>12} {:>12}", "", "baseline", "specialized");
     let _ = writeln!(out, "{:<24} {:>12} {:>12}", "PEs", b.pnr.pe_tiles, s.pnr.pe_tiles);
@@ -143,6 +182,7 @@ fn dse(args: &[String]) {
         b.area.total() * 1e-6,
         s.area.total() * 1e-6
     );
+    let _ = writeln!(out, "{:<24} {:>12} {:>12}", "degradations", b_degs, s_degs);
     let _ = writeln!(
         out,
         "\nsubgraphs merged: {} | rewrite rules: {} | savings: {:.0}% PE area, {:.0}% energy",
@@ -152,9 +192,10 @@ fn dse(args: &[String]) {
         100.0 * (1.0 - s.energy_per_cycle.total() / b.energy_per_cycle.total())
     );
     print!("{out}");
+    Ok(())
 }
 
-fn variant_or_exit(name: Option<&String>) -> apex::core::PeVariant {
+fn variant_or_exit(name: Option<&String>) -> Result<apex::core::PeVariant, ApexError> {
     let Some(name) = name else {
         eprintln!("expected a variant: base | ip | ml | spec:<app>");
         std::process::exit(2);
@@ -217,8 +258,8 @@ fn variant_or_exit(name: Option<&String>) -> apex::core::PeVariant {
     }
 }
 
-fn verilog(args: &[String], full_array: bool) {
-    let variant = variant_or_exit(args.first());
+fn verilog(args: &[String], full_array: bool) -> Result<(), ApexError> {
+    let variant = variant_or_exit(args.first())?;
     let rtl = if full_array {
         let fabric = apex::cgra::Fabric::new(apex::cgra::FabricConfig::default());
         apex::cgra::emit_cgra_verilog(&fabric, &variant.spec)
@@ -227,11 +268,14 @@ fn verilog(args: &[String], full_array: bool) {
     };
     match args.get(1) {
         Some(path) => {
-            std::fs::write(path, &rtl).expect("write RTL file");
+            std::fs::write(path, &rtl).map_err(|e| {
+                ApexError::new(apex::fault::Stage::Report, format!("cannot write {path}: {e}"))
+            })?;
             eprintln!("wrote {} lines to {path}", rtl.lines().count());
         }
         None => print!("{rtl}"),
     }
+    Ok(())
 }
 
 fn save(args: &[String]) {
@@ -239,14 +283,17 @@ fn save(args: &[String]) {
     let text = apex::ir::to_text(&app.graph);
     match args.get(1) {
         Some(path) => {
-            std::fs::write(path, &text).expect("write graph file");
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
             eprintln!("wrote {} to {path}", app.info.name);
         }
         None => print!("{text}"),
     }
 }
 
-fn dse_file(args: &[String]) {
+fn dse_file(args: &[String]) -> Result<(), ApexError> {
     let Some(path) = args.first() else {
         eprintln!("expected a graph file; write one with `apex save <app> <file>`");
         std::process::exit(2);
@@ -255,10 +302,12 @@ fn dse_file(args: &[String]) {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(2);
     });
-    let graph = apex::ir::from_text(&text).unwrap_or_else(|e| {
-        eprintln!("{path}: {e}");
-        std::process::exit(2);
-    });
+    let graph = apex::ir::from_text(&text).map_err(|e| {
+        ApexError::new(apex::fault::Stage::Parse, format!("{path}: {e}"))
+    })?;
+    graph.try_validate().map_err(|e| {
+        ApexError::new(apex::fault::Stage::Parse, format!("{path}: {e}"))
+    })?;
     let app = apex::apps::Application::new(
         apex::apps::AppInfo {
             name: graph.name().to_owned(),
@@ -278,19 +327,21 @@ fn dse_file(args: &[String]) {
         &apex::merge::MergeOptions::default(),
         &tech,
         4,
-    );
-    let base = apex::core::baseline_variant(&[&app]);
-    let (bn, ba, be) = apex::core::post_mapping_estimate(&base, &app, &tech).expect("baseline maps");
-    let (sn, sa, se) = apex::core::post_mapping_estimate(&spec, &app, &tech).expect("spec maps");
+    )?;
+    let base = apex::core::baseline_variant(&[&app])?;
+    let (bn, ba, be) = apex::core::post_mapping_estimate(&base, &app, &tech)?;
+    let (sn, sa, se) = apex::core::post_mapping_estimate(&spec, &app, &tech)?;
     println!("custom app '{}': {} compute ops", app.info.name, app.graph.compute_op_count());
     println!("baseline   : {bn} PEs, {ba:.0} um2, {be:.1} pJ/cycle");
     println!("specialized: {sn} PEs, {sa:.0} um2, {se:.1} pJ/cycle ({} subgraphs merged)", spec.sources.len());
+    Ok(())
 }
 
-fn describe(args: &[String]) {
-    let variant = variant_or_exit(args.first());
+fn describe(args: &[String]) -> Result<(), ApexError> {
+    let variant = variant_or_exit(args.first())?;
     let tech = apex::tech::TechModel::default();
     print!("{}", apex::pe::datasheet(&variant.spec, &tech));
+    Ok(())
 }
 
 fn report(filter: &[String]) {

@@ -29,13 +29,14 @@
 //!
 //! let app = apex::apps::gaussian();
 //! let tech = TechModel::default();
-//! let variant = baseline_variant(&[&app]);
-//! let result = evaluate_app(&variant, &app, &tech, &EvalOptions::default())?;
+//! let variant = baseline_variant(&[&app])?;
+//! let result = evaluate_app(&variant, &app, &tech, &EvalOptions::default())
+//!     .map_err(apex::fault::ApexError::from)?;
 //! println!("{} PEs, {:.2} mm², {:.1} pJ/cycle",
 //!     result.pnr.pe_tiles,
 //!     result.area.total() * 1e-6,
 //!     result.energy_per_cycle.total());
-//! # Ok::<(), apex::core::EvalError>(())
+//! # Ok::<(), apex::fault::ApexError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -45,6 +46,7 @@ pub use apex_apps as apps;
 pub use apex_cgra as cgra;
 pub use apex_core as core;
 pub use apex_eval as eval;
+pub use apex_fault as fault;
 pub use apex_ir as ir;
 pub use apex_map as map;
 pub use apex_merge as merge;

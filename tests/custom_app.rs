@@ -67,14 +67,15 @@ fn custom_expression_app_flows_end_to_end() {
         parsed,
     );
     let tech = TechModel::default();
-    let base = baseline_variant(&[&app]);
+    let base = baseline_variant(&[&app]).unwrap();
     let spec = most_specialized_variant(
         &app,
         &MinerConfig::default(),
         &MergeOptions::default(),
         &tech,
         3,
-    );
+    )
+    .unwrap();
     assert!(spec.synthesis.missing.is_empty());
     let (bn, ba, _) = post_mapping_estimate(&base, &app, &tech).unwrap();
     let (sn, sa, _) = post_mapping_estimate(&spec, &app, &tech).unwrap();

@@ -1,0 +1,197 @@
+//! Deterministic fault injection over the full DSE flow.
+//!
+//! For every pipeline stage we arm its fail point, run the complete
+//! mine→merge→rewrite→map→pipeline→place→route flow on three real
+//! applications, and require a *reported* outcome: a [`DseOutcome`] whose
+//! degradation record names the injected stage — and never a panic or a
+//! process abort. Run with `cargo test --features fault-injection`.
+
+#![cfg(feature = "fault-injection")]
+
+use apex::apps::{gaussian, harris, unsharp, Application};
+use apex::core::{
+    dse_evaluate_app, dse_evaluate_suite, specialized_variant, DseOptions, PeVariant,
+    SubgraphSelection,
+};
+use apex::fault::{failpoints, ApexError, Stage};
+use apex::merge::MergeOptions;
+use apex::mining::MinerConfig;
+use apex::tech::TechModel;
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The fail-point registry is process-global, so tests that arm sites must
+/// not interleave; each takes this lock and disarms on drop.
+struct Armed {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Armed {
+    fn new(site: &str) -> Self {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let guard = LOCK
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        failpoints::disarm_all();
+        failpoints::arm(site);
+        Armed { _guard: guard }
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        failpoints::disarm_all();
+    }
+}
+
+fn apps() -> Vec<Application> {
+    vec![gaussian(), harris(), unsharp()]
+}
+
+fn build_variant(apps: &[Application]) -> Result<PeVariant, ApexError> {
+    let refs: Vec<&Application> = apps.iter().collect();
+    specialized_variant(
+        "pe_fault_test",
+        &refs,
+        &refs,
+        &MinerConfig::default(),
+        &SubgraphSelection::default(),
+        &MergeOptions::default(),
+        &TechModel::default(),
+        &BTreeSet::new(),
+    )
+}
+
+/// Runs the full flow with `site` armed during variant construction and
+/// evaluation, and asserts every app yields a reported, degraded outcome
+/// naming `stage`.
+fn assert_fault_is_reported(site: &str, stage: Stage) {
+    let _armed = Armed::new(site);
+    let apps = apps();
+    let tech = TechModel::default();
+    let variant = build_variant(&apps);
+    let refs: Vec<&Application> = apps.iter().collect();
+    let outcomes = dse_evaluate_suite(&variant, &refs, &tech, &DseOptions::default());
+    assert_eq!(outcomes.len(), apps.len());
+    for (app, o) in apps.iter().zip(&outcomes) {
+        assert!(
+            o.is_degraded(),
+            "{site} on {}: outcome must be degraded",
+            app.info.name
+        );
+        assert!(
+            o.degradations.iter().any(|d| d.stage == stage),
+            "{site} on {}: expected a {} degradation, got [{}]",
+            app.info.name,
+            stage,
+            o.degradation_summary()
+        );
+    }
+}
+
+#[test]
+fn injected_mine_fault_degrades_every_app() {
+    // mining failure per source app is recoverable: no subgraphs from that
+    // app, so the variant degenerates toward the baseline but still runs
+    let _armed = Armed::new("mine::start");
+    let apps = apps();
+    let tech = TechModel::default();
+    let variant = build_variant(&apps).expect("mining faults are recoverable");
+    assert!(variant.degradations.iter().any(|d| d.stage == Stage::Mine));
+    let refs: Vec<&Application> = apps.iter().collect();
+    for o in dse_evaluate_suite(&Ok(variant), &refs, &tech, &DseOptions::default()) {
+        assert!(o.is_degraded());
+        assert!(o.result.is_ok(), "degenerate variant must still evaluate");
+        assert!(o.degradations.iter().any(|d| d.stage == Stage::Mine));
+    }
+}
+
+#[test]
+fn injected_merge_fault_degrades_every_app() {
+    // merge failure keeps the previous datapath (greedy incumbent → PE1)
+    let _armed = Armed::new("merge::start");
+    let apps = apps();
+    let tech = TechModel::default();
+    let variant = build_variant(&apps).expect("merge faults are recoverable");
+    assert!(variant.degradations.iter().any(|d| d.stage == Stage::Merge));
+    let refs: Vec<&Application> = apps.iter().collect();
+    for o in dse_evaluate_suite(&Ok(variant), &refs, &tech, &DseOptions::default()) {
+        assert!(o.is_degraded());
+        assert!(o.result.is_ok(), "fallback PE must still evaluate");
+    }
+}
+
+#[test]
+fn injected_rewrite_fault_is_reported_per_app() {
+    // rewrite rules are indispensable: construction fails, and the suite
+    // reports one degraded outcome per app instead of aborting
+    assert_fault_is_reported("rewrite::start", Stage::Rewrite);
+}
+
+#[test]
+fn injected_map_fault_is_reported_per_app() {
+    assert_fault_is_reported("map::start", Stage::Map);
+}
+
+#[test]
+fn injected_pipeline_fault_falls_back_to_unpipelined() {
+    let _armed = Armed::new("pipeline::start");
+    let apps = apps();
+    let tech = TechModel::default();
+    let variant = build_variant(&apps).expect("variant builds before evaluation");
+    let mut options = DseOptions::default();
+    options.eval.pipelined = true;
+    for app in &apps {
+        let o = dse_evaluate_app(&variant, app, &tech, &options);
+        assert!(o.is_degraded());
+        assert!(
+            o.result.is_ok(),
+            "{}: unpipelined fallback must evaluate",
+            app.info.name
+        );
+        assert!(o.degradations.iter().any(|d| d.stage == Stage::Pipeline));
+    }
+}
+
+#[test]
+fn injected_place_fault_is_reported_per_app() {
+    let _armed = Armed::new("place::start");
+    let apps = apps();
+    let tech = TechModel::default();
+    let variant = build_variant(&apps).expect("variant builds before evaluation");
+    for app in &apps {
+        let o = dse_evaluate_app(&variant, app, &tech, &DseOptions::default());
+        assert!(o.is_degraded());
+        assert!(o.result.is_err(), "an unplaceable app is skipped");
+        assert!(o.degradations.iter().any(|d| d.stage == Stage::Place));
+    }
+}
+
+#[test]
+fn injected_route_fault_is_reported_per_app() {
+    let _armed = Armed::new("route::start");
+    let apps = apps();
+    let tech = TechModel::default();
+    let variant = build_variant(&apps).expect("variant builds before evaluation");
+    for app in &apps {
+        let o = dse_evaluate_app(&variant, app, &tech, &DseOptions::default());
+        assert!(o.is_degraded());
+        assert!(o.result.is_err(), "an unroutable app is skipped");
+        assert!(o.degradations.iter().any(|d| d.stage == Stage::Route));
+    }
+}
+
+#[test]
+fn disarmed_flow_is_clean() {
+    let _armed = Armed::new("no::such::site");
+    let apps = apps();
+    let tech = TechModel::default();
+    let variant = build_variant(&apps).expect("clean build");
+    assert!(variant.degradations.is_empty());
+    for app in &apps {
+        let o = dse_evaluate_app(&variant, app, &tech, &DseOptions::default());
+        assert!(!o.is_degraded(), "{}", o.degradation_summary());
+        assert!(o.result.is_ok());
+    }
+}

@@ -45,7 +45,8 @@ fn specialized_cgra_streams_bit_exact_results() {
         &MergeOptions::default(),
         &tech,
         &BTreeSet::new(),
-    );
+    )
+    .unwrap();
     assert!(variant.synthesis.missing.is_empty());
 
     let design = map_application(&app.graph, &variant.spec.datapath, &variant.rules).unwrap();
@@ -55,7 +56,8 @@ fn specialized_cgra_streams_bit_exact_results() {
         &variant.rules,
         pe_latency,
         &AppPipelineOptions::default(),
-    );
+    )
+    .unwrap();
 
     // stream 6 random frames' worth of window data
     let mut next = rng(0xFEED);
@@ -64,7 +66,9 @@ fn specialized_cgra_streams_bit_exact_results() {
     let streams: Vec<Vec<u16>> = (0..n_in)
         .map(|_| (0..CYCLES).map(|_| next() as u16 & 0xFF).collect())
         .collect();
-    let (outs, _) = pipelined.simulate(&variant.spec.datapath, &variant.rules, &streams, &[], pe_latency);
+    let (outs, _) = pipelined
+        .simulate(&variant.spec.datapath, &variant.rules, &streams, &[], pe_latency)
+        .unwrap();
 
     for t in 0..CYCLES {
         let inputs: Vec<Value> = (0..n_in).map(|i| Value::Word(streams[i][t])).collect();
@@ -82,7 +86,7 @@ fn specialized_cgra_streams_bit_exact_results() {
 #[test]
 fn full_backend_produces_consistent_artifacts() {
     let app = apex::apps::resnet_layer();
-    let variant = baseline_variant(&[&app]);
+    let variant = baseline_variant(&[&app]).unwrap();
     let design = map_application(&app.graph, &variant.spec.datapath, &variant.rules).unwrap();
     let fabric = Fabric::new(FabricConfig::default());
     let placement = place(&design.netlist, &fabric, &PlaceOptions::default()).unwrap();
@@ -126,7 +130,8 @@ fn specialization_never_loses_functionality() {
             &MergeOptions::default(),
             &tech,
             &BTreeSet::new(),
-        );
+        )
+        .unwrap();
         assert!(
             variant.synthesis.missing.is_empty(),
             "{}: {:?}",
@@ -163,10 +168,10 @@ fn specialization_never_loses_functionality() {
                 })
                 .collect();
             let golden = ir_eval(&app.graph, &golden_in);
-            let (got_w, got_b) =
-                design
-                    .netlist
-                    .evaluate(&variant.spec.datapath, &variant.rules, &words, &bits);
+            let (got_w, got_b) = design
+                .netlist
+                .evaluate(&variant.spec.datapath, &variant.rules, &words, &bits)
+                .unwrap();
             let mut gw = got_w.into_iter();
             let mut gb = got_b.into_iter();
             for (po, g) in app.graph.primary_outputs().iter().zip(golden) {
@@ -184,8 +189,8 @@ fn specialization_never_loses_functionality() {
 fn pe1_variant_drops_baseline_overhead() {
     let app = apex::apps::harris();
     let tech = TechModel::default();
-    let base = baseline_variant(&[&app]);
-    let pe1 = pe1_variant("pe1_harris", &[&app], &[&app]);
+    let base = baseline_variant(&[&app]).unwrap();
+    let pe1 = pe1_variant("pe1_harris", &[&app], &[&app]).unwrap();
     let be = evaluate_app(&base, &app, &tech, &EvalOptions::default()).unwrap();
     let pe = evaluate_app(&pe1, &app, &tech, &EvalOptions::default()).unwrap();
     assert_eq!(be.pnr.pe_tiles, pe.pnr.pe_tiles, "same mapping, smaller PE");
@@ -199,7 +204,7 @@ fn pipelined_evaluation_reports_fifos_for_deep_designs() {
     // register-file FIFOs (Table 3's #RF column)
     let app = apex::apps::camera_pipeline();
     let tech = TechModel::default();
-    let variant = baseline_variant(&[&app]);
+    let variant = baseline_variant(&[&app]).unwrap();
     let e = evaluate_app(
         &variant,
         &app,

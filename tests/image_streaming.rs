@@ -25,7 +25,8 @@ fn gaussian_frame_streams_through_the_specialized_cgra() {
         &MergeOptions::default(),
         &tech,
         &BTreeSet::new(),
-    );
+    )
+    .unwrap();
     let design = map_application(&app.graph, &variant.spec.datapath, &variant.rules)
         .expect("gaussian maps on its specialized PE");
     let pe_latency = 2;
@@ -34,7 +35,8 @@ fn gaussian_frame_streams_through_the_specialized_cgra() {
         &variant.rules,
         pe_latency,
         &AppPipelineOptions::default(),
-    );
+    )
+    .unwrap();
 
     // golden: interpreter-level reference over the image
     let img = Image::from_fn(10, 6, |x, y| ((x * 23 + y * 57) % 211) as u16);
@@ -70,7 +72,8 @@ fn gaussian_frame_streams_through_the_specialized_cgra() {
         &streams,
         &[],
         pe_latency,
-    );
+    )
+    .unwrap();
     let lat = report.latency as usize;
     let mut result = Image::filled(img.width(), img.height(), 0);
     for (t, &(x, y)) in pixels.iter().enumerate() {

@@ -1,0 +1,108 @@
+//! Robustness: the `apex` CLI must reject malformed graph files with a
+//! clean diagnostic and a nonzero exit code — never a panic and never a
+//! silent success.
+
+use std::io::Write;
+use std::process::Command;
+
+fn run_dse_file(contents: &str) -> (i32, String) {
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "apex-malformed-{}-{:x}.g",
+        std::process::id(),
+        contents.len() as u64 ^ (contents.as_bytes().first().copied().unwrap_or(0) as u64) << 32
+    ));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(contents.as_bytes()).expect("write temp file");
+    drop(f);
+    let out = Command::new(env!("CARGO_BIN_EXE_apex"))
+        .arg("dse-file")
+        .arg(&path)
+        .output()
+        .expect("apex binary runs");
+    let _ = std::fs::remove_file(&path);
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    (out.status.code().unwrap_or(-1), stderr)
+}
+
+fn assert_clean_failure(case: &str, contents: &str, expect_in_stderr: &str) {
+    let (code, stderr) = run_dse_file(contents);
+    assert_ne!(code, 0, "{case}: must exit nonzero\nstderr: {stderr}");
+    assert!(
+        !stderr.contains("panicked"),
+        "{case}: must not panic\nstderr: {stderr}"
+    );
+    assert!(
+        stderr.contains(expect_in_stderr),
+        "{case}: diagnostic should mention '{expect_in_stderr}'\nstderr: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_operation_is_a_clean_parse_error() {
+    assert_clean_failure(
+        "unknown op",
+        "graph t\nn0 = input\nn1 = frobnicate n0\nn2 = output n1\n",
+        "frobnicate",
+    );
+}
+
+#[test]
+fn forward_reference_is_rejected_not_looped() {
+    // a cycle in the sequential-id text format can only appear as a
+    // forward/self reference; it must be a diagnostic, not a hang or panic
+    assert_clean_failure(
+        "forward reference",
+        "graph t\nn0 = input\nn1 = add n2 n0\nn2 = add n1 n0\nn3 = output n2\n",
+        "error: parse",
+    );
+}
+
+#[test]
+fn truncated_file_is_a_clean_parse_error() {
+    assert_clean_failure(
+        "truncated mid-line",
+        "graph t\nn0 = input\nn1 = ad",
+        "error: parse",
+    );
+}
+
+#[test]
+fn type_mismatch_reports_the_line() {
+    assert_clean_failure(
+        "word into bit port",
+        "graph t\nn0 = input\nn1 = bitoutput n0\nn2 = output n0\n",
+        "line 3",
+    );
+}
+
+#[test]
+fn empty_file_is_a_clean_parse_error() {
+    assert_clean_failure("empty file", "", "empty");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_apex"))
+        .arg("dse-file")
+        .arg("/nonexistent/apex-no-such-file.g")
+        .output()
+        .expect("apex binary runs");
+    assert_ne!(out.status.code().unwrap_or(-1), 0);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_subcommand_exits_nonzero_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_apex"))
+        .arg("frobnicate")
+        .output()
+        .expect("apex binary runs");
+    assert_ne!(out.status.code().unwrap_or(-1), 0, "unknown subcommand must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.to_lowercase().contains("usage"),
+        "stderr should carry usage: {stderr}"
+    );
+}

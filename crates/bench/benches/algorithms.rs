@@ -98,7 +98,8 @@ fn bench_algorithms(c: &mut Criterion) {
     });
 
     // --- stage 3: instruction selection -------------------------------------
-    let (rules, _) = apex_rewrite::standard_ruleset(&base.datapath, &[], &[&gaussian.graph]);
+    let (rules, _) =
+        apex_rewrite::standard_ruleset(&base.datapath, &[], &[&gaussian.graph]).unwrap();
     g.bench_function("map_gaussian_baseline", |b| {
         b.iter(|| apex_map::map_application(&gaussian.graph, &base.datapath, &rules).unwrap())
     });

@@ -13,7 +13,7 @@ fn regenerate_all_tables() {
     eprintln!("\n######## regenerating all paper tables and figures ########");
     for (name, gen) in apex_eval::all_experiments() {
         let t0 = std::time::Instant::now();
-        let table = gen();
+        let table = gen().expect("experiment regenerates");
         println!("{table}");
         eprintln!("[{name} regenerated in {:.1?}]", t0.elapsed());
     }
@@ -29,7 +29,7 @@ fn bench_paper(c: &mut Criterion) {
 
     // Table 1 / Fig. 10: application analysis (mining + MIS + selection)
     g.bench_function("fig10_subgraph_selection_gaussian", |b| {
-        let app = apex_eval::app("gaussian");
+        let app = apex_eval::app("gaussian").unwrap();
         b.iter(|| {
             apex_core::select_subgraphs(
                 app,
@@ -41,15 +41,15 @@ fn bench_paper(c: &mut Criterion) {
 
     // Fig. 11 / Table 2: post-mapping evaluation of a ladder variant
     g.bench_function("fig11_camera_post_mapping", |b| {
-        let camera = apex_eval::app("camera");
-        let v = &apex_eval::camera_ladder()[1];
-        b.iter(|| apex_eval::experiments::post_mapping(v, camera))
+        let camera = apex_eval::app("camera").unwrap();
+        let v = &apex_eval::camera_ladder().unwrap()[1];
+        b.iter(|| apex_eval::experiments::post_mapping(v, camera).unwrap())
     });
 
     // Fig. 12/13/14: instruction selection on the domain PE
     g.bench_function("fig14_map_gaussian_on_pe_ip", |b| {
-        let app = apex_eval::app("gaussian");
-        let v = apex_eval::pe_ip();
+        let app = apex_eval::app("gaussian").unwrap();
+        let v = apex_eval::pe_ip().unwrap();
         b.iter(|| {
             apex_map::map_application(&app.graph, &v.spec.datapath, &v.rules).unwrap()
         })
@@ -57,21 +57,21 @@ fn bench_paper(c: &mut Criterion) {
 
     // Fig. 15 / Table 3: one full place-and-route evaluation
     g.bench_function("fig15_full_pnr_gaussian_baseline", |b| {
-        let app = apex_eval::app("gaussian");
-        let v = apex_eval::baseline();
+        let app = apex_eval::app("gaussian").unwrap();
+        let v = apex_eval::baseline().unwrap();
         b.iter(|| apex_eval::run(v, app, false))
     });
 
     // Fig. 16: the pipelined backend
     g.bench_function("fig16_pipelined_eval_resnet_pe_ml", |b| {
-        let app = apex_eval::app("resnet");
-        let v = apex_eval::pe_ml();
+        let app = apex_eval::app("resnet").unwrap();
+        let v = apex_eval::pe_ml().unwrap();
         b.iter(|| apex_eval::run(v, app, true))
     });
 
     // Fig. 17/18: analytic comparators
     g.bench_function("fig17_comparator_models", |b| {
-        let app = apex_eval::app("camera");
+        let app = apex_eval::app("camera").unwrap();
         let tech = apex_eval::tech();
         b.iter(|| {
             (

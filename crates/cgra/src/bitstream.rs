@@ -335,7 +335,7 @@ mod tests {
     fn bitstream_is_deterministic_and_nonempty() {
         let app = apex_apps::gaussian();
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]).unwrap();
         let d = map_application(&app.graph, &pe.datapath, &rules).unwrap();
         let fabric = Fabric::new(FabricConfig::default());
         let placement = place(&d.netlist, &fabric, &PlaceOptions::default()).unwrap();

@@ -123,7 +123,7 @@ mod tests {
     fn bitstream_driven_simulation_matches_golden_model() {
         let app = apex_apps::gaussian();
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]).unwrap();
         let design = map_application(&app.graph, &pe.datapath, &rules).unwrap();
         let fabric = Fabric::new(FabricConfig::default());
         let placement = place(&design.netlist, &fabric, &PlaceOptions::default()).unwrap();
@@ -167,7 +167,7 @@ mod tests {
     fn missing_tile_config_is_reported() {
         let app = apex_apps::gaussian();
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]).unwrap();
         let design = map_application(&app.graph, &pe.datapath, &rules).unwrap();
         let fabric = Fabric::new(FabricConfig::default());
         let placement = place(&design.netlist, &fabric, &PlaceOptions::default()).unwrap();
@@ -200,7 +200,7 @@ mod corruption_tests {
     fn corrupted_bitstreams_change_behaviour() {
         let app = apex_apps::gaussian();
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]).unwrap();
         let design = map_application(&app.graph, &pe.datapath, &rules).unwrap();
         let fabric = Fabric::new(FabricConfig::default());
         let placement = place(&design.netlist, &fabric, &PlaceOptions::default()).unwrap();

@@ -355,7 +355,7 @@ mod tests {
     fn mapped_gaussian() -> (Netlist, apex_rewrite::RuleSet) {
         let app = apex_apps::gaussian();
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]).unwrap();
         let d = map_application(&app.graph, &pe.datapath, &rules).unwrap();
         (d.netlist, rules)
     }

@@ -426,7 +426,7 @@ mod tests {
     fn routed_gaussian() -> (Netlist, RuleSet, Fabric, Placement, Routing) {
         let app = apex_apps::gaussian();
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]).unwrap();
         let d = map_application(&app.graph, &pe.datapath, &rules).unwrap();
         let fabric = Fabric::new(FabricConfig::default());
         let placement = place(&d.netlist, &fabric, &PlaceOptions::default()).unwrap();
@@ -467,7 +467,7 @@ mod tests {
         // a 2-wide fabric with 1 track cannot carry gaussian
         let app = apex_apps::gaussian();
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]).unwrap();
         let d = map_application(&app.graph, &pe.datapath, &rules).unwrap();
         let fabric = Fabric::new(FabricConfig {
             width: 30,

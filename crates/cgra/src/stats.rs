@@ -260,7 +260,7 @@ mod tests {
     fn pnr_gaussian() -> (Netlist, RuleSet, PeSpec, PnrStats, Routing) {
         let app = apex_apps::gaussian();
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]).unwrap();
         let d = map_application(&app.graph, &pe.datapath, &rules).unwrap();
         let fabric = Fabric::new(FabricConfig::default());
         let placement = place(&d.netlist, &fabric, &PlaceOptions::default()).unwrap();

@@ -49,7 +49,7 @@ proptest! {
     #[test]
     fn random_apps_place_route_and_verify(app in arb_app(), seed: u64) {
         let pe = baseline_pe();
-        let (rules, report) = standard_ruleset(&pe.datapath, &[], &[&app]);
+        let (rules, report) = standard_ruleset(&pe.datapath, &[], &[&app]).unwrap();
         prop_assert!(report.missing.is_empty());
         let design = map_application(&app, &pe.datapath, &rules).unwrap();
         let fabric = Fabric::new(FabricConfig::default());
@@ -94,7 +94,7 @@ proptest! {
     #[test]
     fn placement_seeds_change_layout_not_legality(app in arb_app()) {
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app]).unwrap();
         let design = map_application(&app, &pe.datapath, &rules).unwrap();
         let fabric = Fabric::new(FabricConfig::default());
         for seed in [1u64, 999, 424242] {

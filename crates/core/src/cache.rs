@@ -1,0 +1,883 @@
+//! Content-addressed PE-variant cache.
+//!
+//! Building a [`PeVariant`] (mining → merging → rule synthesis) is by far
+//! the most expensive part of a cold experiment run, yet it is a pure
+//! function of its inputs. This module caches finished variants on disk,
+//! keyed by a 64-bit FNV-1a hash over a *canonical text serialization* of
+//! everything the construction depends on:
+//!
+//! * the application dataflow graphs ([`apex_ir::to_text`], which
+//!   round-trips exactly — two structurally identical graphs hash equal),
+//! * the [`MinerConfig`], [`SubgraphSelection`], [`MergeOptions`] and
+//!   [`TechModel`] (via their `Debug` form — any field change changes the
+//!   key), and
+//! * a codec format version, so stale entries from older builds can never
+//!   be misread (they simply miss).
+//!
+//! Values are stored as a line-oriented text encoding of the full variant
+//! (spec + sources + rules + synthesis report + degradations) under
+//! `target/apex-cache/` — overridable with `APEX_CACHE_DIR`, disabled
+//! entirely with `APEX_CACHE=off`. Writes are atomic (temp file + rename)
+//! so concurrent sweeps can share one cache directory; a corrupt or
+//! truncated entry decodes as a miss and is rebuilt.
+//!
+//! The in-tree `serde` shim is marker-only, so the codec here is written
+//! by hand; [`encode_variant`] / [`decode_variant`] round-trip exactly,
+//! which the warm-path determinism suite (`tests/determinism.rs`) pins
+//! down to the [`datapath_hash`].
+
+use crate::variant::{PeVariant, SubgraphSelection};
+use apex_apps::Application;
+use apex_fault::{ApexError, Degradation, DegradationKind, Stage};
+use apex_ir::{from_text, op_from_token, op_to_token, to_text, Graph, NodeId, OpKind};
+use apex_merge::{DatapathConfig, DpNode, DpSource, MergeOptions, MergedDatapath, NodeConfig};
+use apex_mining::MinerConfig;
+use apex_pe::{PePipeline, PeSpec};
+use apex_rewrite::{RewriteRule, RuleSet, SynthesisReport};
+use apex_tech::TechModel;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Bump when the value encoding or anything upstream of variant
+/// construction changes semantically; old entries then miss instead of
+/// resurrecting stale designs.
+const FORMAT: &str = "apex-variant v1";
+
+// ---------------------------------------------------------------------------
+// key hashing
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a sequence of byte strings (each terminated with a
+/// separator byte so `["ab","c"]` and `["a","bc"]` hash differently).
+pub fn fnv1a(parts: &[&str]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for part in parts {
+        for b in part.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h ^= 0x1F; // unit separator
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The content-addressed cache key for one variant-construction request.
+///
+/// `kind` names the constructor (`"baseline"`, `"pe1"`, `"specialized"`);
+/// the optional parts are hashed only when the constructor consumes them.
+#[allow(clippy::too_many_arguments)]
+pub fn variant_cache_key(
+    kind: &str,
+    name: &str,
+    analysis_apps: &[&Application],
+    eval_apps: &[&Application],
+    miner: Option<&MinerConfig>,
+    selection: Option<&SubgraphSelection>,
+    merge_opts: Option<&MergeOptions>,
+    tech: Option<&TechModel>,
+    extra_kinds: &BTreeSet<OpKind>,
+) -> u64 {
+    let mut parts: Vec<String> = vec![FORMAT.to_owned(), kind.to_owned(), name.to_owned()];
+    parts.push(format!("analysis:{}", analysis_apps.len()));
+    for app in analysis_apps {
+        parts.push(to_text(&app.graph));
+    }
+    parts.push(format!("eval:{}", eval_apps.len()));
+    for app in eval_apps {
+        parts.push(to_text(&app.graph));
+    }
+    parts.push(format!("miner:{miner:?}"));
+    parts.push(format!("selection:{selection:?}"));
+    parts.push(format!("merge:{merge_opts:?}"));
+    parts.push(format!("tech:{tech:?}"));
+    parts.push(format!("extra:{extra_kinds:?}"));
+    let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    fnv1a(&refs)
+}
+
+/// A short fingerprint of a variant's architectural datapath — what the
+/// determinism suite compares to assert a cache hit reproduces the *same
+/// hardware*, not merely something equivalent.
+pub fn datapath_hash(variant: &PeVariant) -> u64 {
+    let mut s = String::new();
+    write_datapath(&mut s, &variant.spec.datapath);
+    fnv1a(&[&s])
+}
+
+// ---------------------------------------------------------------------------
+// the cache itself
+// ---------------------------------------------------------------------------
+
+/// On-disk, content-addressed store of finished [`PeVariant`]s.
+#[derive(Debug)]
+pub struct VariantCache {
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VariantCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        VariantCache {
+            dir: Some(dir.into()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A disabled cache: every load misses, stores are dropped.
+    pub fn disabled() -> Self {
+        VariantCache {
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache configured from the environment: `APEX_CACHE=off|0|no`
+    /// disables it, `APEX_CACHE_DIR` overrides the location, default is
+    /// `target/apex-cache` under the enclosing cargo workspace (falling
+    /// back to the current directory).
+    pub fn from_env() -> Self {
+        if let Ok(v) = std::env::var("APEX_CACHE") {
+            let v = v.trim().to_ascii_lowercase();
+            if v == "off" || v == "0" || v == "no" || v == "false" {
+                return VariantCache::disabled();
+            }
+        }
+        if let Ok(dir) = std::env::var("APEX_CACHE_DIR") {
+            if !dir.trim().is_empty() {
+                return VariantCache::at(dir);
+            }
+        }
+        VariantCache::at(default_cache_dir())
+    }
+
+    /// The process-wide cache used by the experiment harness and the CLI.
+    pub fn shared() -> &'static VariantCache {
+        static SHARED: OnceLock<VariantCache> = OnceLock::new();
+        SHARED.get_or_init(VariantCache::from_env)
+    }
+
+    /// Whether this cache can ever hit.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Number of successful loads since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of failed loads since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn entry_path(&self, key: u64) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key:016x}.var")))
+    }
+
+    /// Loads and decodes the entry for `key`; any I/O or decode problem is
+    /// a miss (the entry will be rebuilt and overwritten).
+    pub fn load(&self, key: u64) -> Option<PeVariant> {
+        let path = self.entry_path(key)?;
+        let decoded = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| decode_variant(&text));
+        match decoded {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Atomically stores a variant under `key`. Best-effort: an
+    /// unwritable cache directory silently degrades to pass-through
+    /// (the sweep must not fail because a cache could not be written).
+    pub fn store(&self, key: u64, variant: &PeVariant) {
+        let Some(path) = self.entry_path(key) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let text = encode_variant(variant);
+        let tmp = dir.join(format!(".{key:016x}.{}.tmp", std::process::id()));
+        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// The memoizing entry point: returns the cached variant for `key`, or
+    /// builds, stores, and returns it. Build errors are never cached.
+    ///
+    /// # Errors
+    /// Propagates the builder's error on a miss.
+    pub fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<PeVariant, ApexError>,
+    ) -> Result<PeVariant, ApexError> {
+        if let Some(v) = self.load(key) {
+            return Ok(v);
+        }
+        let v = build()?;
+        self.store(key, &v);
+        Ok(v)
+    }
+}
+
+/// `<workspace>/target/apex-cache`, where `<workspace>` is the nearest
+/// ancestor of the current directory holding a `Cargo.lock` (so tests run
+/// from member-crate directories share the workspace cache); falls back to
+/// the current directory.
+fn default_cache_dir() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut probe: &Path = &cwd;
+    loop {
+        if probe.join("Cargo.lock").exists() {
+            return probe.join("target").join("apex-cache");
+        }
+        match probe.parent() {
+            Some(p) => probe = p,
+            None => return cwd.join("target").join("apex-cache"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// value codec: encode
+// ---------------------------------------------------------------------------
+
+/// Escapes a string onto the rest of a line (newlines and backslashes).
+fn esc_line(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unesc_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Escapes a string into a single whitespace-free token.
+fn esc_tok(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            ' ' => out.push_str("\\s"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    if out.is_empty() {
+        "\\e".to_owned()
+    } else {
+        out
+    }
+}
+
+fn unesc_tok(s: &str) -> String {
+    if s == "\\e" {
+        return String::new();
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('s') => out.push(' '),
+            Some('t') => out.push('\t'),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+fn src_tok(src: DpSource) -> String {
+    match src {
+        DpSource::WordInput(k) => format!("w{k}"),
+        DpSource::BitInput(k) => format!("b{k}"),
+        DpSource::Node(k) => format!("n{k}"),
+    }
+}
+
+fn src_from_tok(tok: &str) -> Option<DpSource> {
+    let (head, rest) = tok.split_at(1);
+    match head {
+        "w" => rest.parse().ok().map(DpSource::WordInput),
+        "b" => rest.parse().ok().map(DpSource::BitInput),
+        "n" => rest.parse().ok().map(DpSource::Node),
+        _ => None,
+    }
+}
+
+fn write_config(out: &mut String, cfg: &DatapathConfig) {
+    let _ = write!(out, "C {} {}", esc_tok(&cfg.name), cfg.node_cfg.len());
+    for nc in &cfg.node_cfg {
+        match nc {
+            None => out.push_str(" -"),
+            Some(nc) => {
+                let _ = write!(out, " {} {}", op_to_token(nc.op), nc.port_sel.len());
+                for s in &nc.port_sel {
+                    let _ = write!(out, " {s}");
+                }
+            }
+        }
+    }
+    for sel in [&cfg.word_out_sel, &cfg.bit_out_sel] {
+        let _ = write!(out, " {}", sel.len());
+        for s in sel {
+            let _ = write!(out, " {}", src_tok(*s));
+        }
+    }
+    for map in [&cfg.word_input_map, &cfg.bit_input_map] {
+        let _ = write!(out, " {}", map.len());
+        for m in map {
+            let _ = write!(out, " {m}");
+        }
+    }
+    let _ = write!(out, " {}", cfg.node_map.len());
+    for (a, b) in &cfg.node_map {
+        let _ = write!(out, " {a}:{b}");
+    }
+    out.push('\n');
+}
+
+fn write_datapath(out: &mut String, dp: &MergedDatapath) {
+    let _ = writeln!(out, "dpname {}", esc_line(&dp.name));
+    let _ = writeln!(
+        out,
+        "io {} {} {} {}",
+        dp.word_inputs, dp.bit_inputs, dp.word_outputs, dp.bit_outputs
+    );
+    let _ = writeln!(out, "nodes {}", dp.nodes.len());
+    for node in &dp.nodes {
+        let _ = write!(out, "N {}", node.ops.len());
+        for op in &node.ops {
+            let _ = write!(out, " {}", op_to_token(*op));
+        }
+        let _ = write!(out, " {}", node.port_candidates.len());
+        for port in &node.port_candidates {
+            let _ = write!(out, " {}", port.len());
+            for s in port {
+                let _ = write!(out, " {}", src_tok(*s));
+            }
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "configs {}", dp.configs.len());
+    for cfg in &dp.configs {
+        write_config(out, cfg);
+    }
+}
+
+fn write_graph(out: &mut String, g: &Graph) {
+    let text = to_text(g);
+    let _ = writeln!(out, "g {}", text.lines().count());
+    out.push_str(&text);
+}
+
+/// Serializes a variant to the cache's line-oriented text format.
+pub fn encode_variant(v: &PeVariant) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{FORMAT}");
+    let _ = writeln!(out, "name {}", esc_line(&v.spec.name));
+    let _ = writeln!(out, "legacy {}", u8::from(v.spec.legacy_control));
+    match &v.spec.pipeline {
+        None => {
+            let _ = writeln!(out, "pipeline -");
+        }
+        Some(p) => {
+            let _ = write!(out, "pipeline {} {}", p.stages, p.stage_of_node.len());
+            for s in &p.stage_of_node {
+                let _ = write!(out, " {s}");
+            }
+            out.push('\n');
+        }
+    }
+    write_datapath(&mut out, &v.spec.datapath);
+    let _ = writeln!(out, "sources {}", v.sources.len());
+    for g in &v.sources {
+        write_graph(&mut out, g);
+    }
+    let _ = writeln!(out, "rules {}", v.rules.rules.len());
+    for r in &v.rules.rules {
+        let _ = write!(
+            out,
+            "rule {} {} {}",
+            esc_tok(&r.name),
+            r.ops_covered,
+            r.payload_bindings.len()
+        );
+        for (nid, dp_node) in &r.payload_bindings {
+            let _ = write!(out, " {}:{dp_node}", nid.0);
+        }
+        out.push('\n');
+        write_graph(&mut out, &r.pattern);
+        write_config(&mut out, &r.config);
+    }
+    let _ = write!(out, "missing {}", v.synthesis.missing.len());
+    for m in &v.synthesis.missing {
+        let _ = write!(out, " {}", esc_tok(m));
+    }
+    out.push('\n');
+    let _ = writeln!(out, "rejected {}", v.synthesis.rejected);
+    let _ = writeln!(out, "degradations {}", v.degradations.len());
+    for d in &v.degradations {
+        let _ = writeln!(
+            out,
+            "deg {} {} {}",
+            d.stage.name(),
+            d.kind.name(),
+            esc_line(&d.detail)
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// value codec: decode (any malformation ⇒ None ⇒ cache miss)
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    lines: Vec<&'a str>,
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            lines: text.lines().collect(),
+            at: 0,
+        }
+    }
+
+    fn line(&mut self) -> Option<&'a str> {
+        let l = self.lines.get(self.at).copied()?;
+        self.at += 1;
+        Some(l)
+    }
+
+    /// Reads a line of the form `<tag> <rest>` and returns `<rest>`.
+    fn tagged(&mut self, tag: &str) -> Option<&'a str> {
+        self.line()?.strip_prefix(tag)?.strip_prefix(' ')
+    }
+
+    /// Reads `<tag> <count>` followed by `count` raw lines, rejoined.
+    fn block(&mut self, tag: &str) -> Option<String> {
+        let n: usize = self.tagged(tag)?.trim().parse().ok()?;
+        let mut s = String::new();
+        for _ in 0..n {
+            s.push_str(self.line()?);
+            s.push('\n');
+        }
+        Some(s)
+    }
+}
+
+fn read_config(line: &str) -> Option<DatapathConfig> {
+    let mut toks = line.strip_prefix("C ")?.split_whitespace();
+    let name = unesc_tok(toks.next()?);
+    let n_nodes: usize = toks.next()?.parse().ok()?;
+    let mut node_cfg = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let head = toks.next()?;
+        if head == "-" {
+            node_cfg.push(None);
+            continue;
+        }
+        let op = op_from_token(head)?;
+        let k: usize = toks.next()?.parse().ok()?;
+        let mut port_sel = Vec::with_capacity(k);
+        for _ in 0..k {
+            port_sel.push(toks.next()?.parse().ok()?);
+        }
+        node_cfg.push(Some(NodeConfig { op, port_sel }));
+    }
+    let mut read_srcs = || -> Option<Vec<DpSource>> {
+        let k: usize = toks.next()?.parse().ok()?;
+        (0..k).map(|_| src_from_tok(toks.next()?)).collect()
+    };
+    let word_out_sel = read_srcs()?;
+    let bit_out_sel = read_srcs()?;
+    let mut read_u16s = || -> Option<Vec<u16>> {
+        let k: usize = toks.next()?.parse().ok()?;
+        (0..k).map(|_| toks.next()?.parse().ok()).collect()
+    };
+    let word_input_map = read_u16s()?;
+    let bit_input_map = read_u16s()?;
+    let k: usize = toks.next()?.parse().ok()?;
+    let mut node_map = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (a, b) = toks.next()?.split_once(':')?;
+        node_map.push((a.parse().ok()?, b.parse().ok()?));
+    }
+    if toks.next().is_some() {
+        return None;
+    }
+    Some(DatapathConfig {
+        name,
+        node_cfg,
+        word_out_sel,
+        bit_out_sel,
+        word_input_map,
+        bit_input_map,
+        node_map,
+    })
+}
+
+fn read_datapath(r: &mut Reader) -> Option<MergedDatapath> {
+    let name = unesc_line(r.tagged("dpname")?);
+    let mut io = r.tagged("io")?.split_whitespace();
+    let word_inputs = io.next()?.parse().ok()?;
+    let bit_inputs = io.next()?.parse().ok()?;
+    let word_outputs = io.next()?.parse().ok()?;
+    let bit_outputs = io.next()?.parse().ok()?;
+    let n_nodes: usize = r.tagged("nodes")?.trim().parse().ok()?;
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for _ in 0..n_nodes {
+        let line = r.line()?;
+        let mut toks = line.strip_prefix("N ")?.split_whitespace();
+        let n_ops: usize = toks.next()?.parse().ok()?;
+        let ops: Vec<_> = (0..n_ops)
+            .map(|_| toks.next().and_then(op_from_token))
+            .collect::<Option<_>>()?;
+        let n_ports: usize = toks.next()?.parse().ok()?;
+        let mut port_candidates = Vec::with_capacity(n_ports);
+        for _ in 0..n_ports {
+            let k: usize = toks.next()?.parse().ok()?;
+            let port: Vec<_> = (0..k)
+                .map(|_| toks.next().and_then(src_from_tok))
+                .collect::<Option<_>>()?;
+            port_candidates.push(port);
+        }
+        if toks.next().is_some() {
+            return None;
+        }
+        nodes.push(DpNode {
+            ops,
+            port_candidates,
+        });
+    }
+    let n_cfg: usize = r.tagged("configs")?.trim().parse().ok()?;
+    let mut configs = Vec::with_capacity(n_cfg);
+    for _ in 0..n_cfg {
+        configs.push(read_config(r.line()?)?);
+    }
+    Some(MergedDatapath {
+        name,
+        nodes,
+        word_inputs,
+        bit_inputs,
+        word_outputs,
+        bit_outputs,
+        configs,
+    })
+}
+
+fn read_graph(r: &mut Reader) -> Option<Graph> {
+    let text = r.block("g")?;
+    from_text(&text).ok()
+}
+
+/// Parses a variant from the cache text format; `None` on any
+/// malformation (the caller treats it as a miss).
+pub fn decode_variant(text: &str) -> Option<PeVariant> {
+    let mut r = Reader::new(text);
+    if r.line()? != FORMAT {
+        return None;
+    }
+    let name = unesc_line(r.tagged("name")?);
+    let legacy_control = match r.tagged("legacy")? {
+        "0" => false,
+        "1" => true,
+        _ => return None,
+    };
+    let pipe_line = r.tagged("pipeline")?;
+    let pipeline = if pipe_line == "-" {
+        None
+    } else {
+        let mut toks = pipe_line.split_whitespace();
+        let stages: u32 = toks.next()?.parse().ok()?;
+        let n: usize = toks.next()?.parse().ok()?;
+        let stage_of_node: Vec<u32> = (0..n)
+            .map(|_| toks.next().and_then(|t| t.parse().ok()))
+            .collect::<Option<_>>()?;
+        Some(PePipeline {
+            stage_of_node,
+            stages,
+        })
+    };
+    let datapath = read_datapath(&mut r)?;
+    let n_sources: usize = r.tagged("sources")?.trim().parse().ok()?;
+    let sources: Vec<Graph> = (0..n_sources)
+        .map(|_| read_graph(&mut r))
+        .collect::<Option<_>>()?;
+    let n_rules: usize = r.tagged("rules")?.trim().parse().ok()?;
+    let mut rules = Vec::with_capacity(n_rules);
+    for _ in 0..n_rules {
+        let mut toks = r.line()?.strip_prefix("rule ")?.split_whitespace();
+        let rule_name = unesc_tok(toks.next()?);
+        let ops_covered: usize = toks.next()?.parse().ok()?;
+        let n_bind: usize = toks.next()?.parse().ok()?;
+        let mut payload_bindings = Vec::with_capacity(n_bind);
+        for _ in 0..n_bind {
+            let (a, b) = toks.next()?.split_once(':')?;
+            payload_bindings.push((NodeId(a.parse().ok()?), b.parse().ok()?));
+        }
+        let pattern = read_graph(&mut r)?;
+        let config = read_config(r.line()?)?;
+        rules.push(RewriteRule {
+            name: rule_name,
+            pattern,
+            config,
+            payload_bindings,
+            ops_covered,
+        });
+    }
+    let mut miss_toks = r.tagged("missing")?.split_whitespace();
+    let n_missing: usize = miss_toks.next()?.parse().ok()?;
+    let missing: Vec<String> = (0..n_missing)
+        .map(|_| miss_toks.next().map(unesc_tok))
+        .collect::<Option<_>>()?;
+    let rejected: usize = r.tagged("rejected")?.trim().parse().ok()?;
+    let n_deg: usize = r.tagged("degradations")?.trim().parse().ok()?;
+    let mut degradations = Vec::with_capacity(n_deg);
+    for _ in 0..n_deg {
+        let rest = r.tagged("deg")?;
+        let (stage_s, rest) = rest.split_once(' ')?;
+        let (kind_s, detail) = rest.split_once(' ')?;
+        degradations.push(Degradation::new(
+            Stage::from_name(stage_s)?,
+            DegradationKind::from_name(kind_s)?,
+            unesc_line(detail),
+        ));
+    }
+    if r.line().is_some() {
+        return None;
+    }
+    // reject spec-level inconsistencies a bit-flip could smuggle in
+    datapath.validate().ok()?;
+    Some(PeVariant {
+        spec: PeSpec {
+            name,
+            datapath,
+            legacy_control,
+            pipeline,
+        },
+        sources,
+        rules: RuleSet { rules },
+        synthesis: SynthesisReport { missing, rejected },
+        degradations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::{baseline_variant, specialized_variant};
+    use apex_apps::gaussian;
+
+    fn spec_variant() -> PeVariant {
+        let app = gaussian();
+        specialized_variant(
+            "pe_cache_test",
+            &[&app],
+            &[&app],
+            &MinerConfig::default(),
+            &SubgraphSelection::default(),
+            &MergeOptions::default(),
+            &TechModel::default(),
+            &BTreeSet::new(),
+        )
+        .unwrap()
+    }
+
+    fn assert_variants_equal(a: &PeVariant, b: &PeVariant) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.sources, b.sources);
+        assert_eq!(a.rules, b.rules);
+        assert_eq!(a.synthesis, b.synthesis);
+        assert_eq!(a.degradations, b.degradations);
+    }
+
+    #[test]
+    fn codec_round_trips_a_specialized_variant() {
+        let v = spec_variant();
+        let decoded = decode_variant(&encode_variant(&v)).expect("decodes");
+        assert_variants_equal(&v, &decoded);
+        assert_eq!(datapath_hash(&v), datapath_hash(&decoded));
+    }
+
+    #[test]
+    fn codec_round_trips_the_baseline() {
+        let app = gaussian();
+        let v = baseline_variant(&[&app]).unwrap();
+        let decoded = decode_variant(&encode_variant(&v)).expect("decodes");
+        assert_variants_equal(&v, &decoded);
+    }
+
+    #[test]
+    fn corrupt_entries_decode_as_none() {
+        let v = spec_variant();
+        let good = encode_variant(&v);
+        assert!(decode_variant("").is_none());
+        assert!(decode_variant("apex-variant v999\n").is_none());
+        // truncation at every tenth line must never panic, only miss
+        let lines: Vec<&str> = good.lines().collect();
+        for cut in (0..lines.len()).step_by(10) {
+            let partial = lines[..cut].join("\n");
+            assert!(decode_variant(&partial).is_none(), "cut at {cut}");
+        }
+        // flip a count field
+        let bad = good.replacen("rules ", "rules 9", 1);
+        assert!(decode_variant(&bad).is_none());
+    }
+
+    #[test]
+    fn cache_store_load_hit_counters() {
+        let dir = std::env::temp_dir().join(format!("apex-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = VariantCache::at(&dir);
+        let v = spec_variant();
+        let key = 0xABCD_EF01_2345_6789u64;
+        assert!(cache.load(key).is_none());
+        assert_eq!(cache.misses(), 1);
+        cache.store(key, &v);
+        let loaded = cache.load(key).expect("hit after store");
+        assert_eq!(cache.hits(), 1);
+        assert_variants_equal(&v, &loaded);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn get_or_build_builds_once() {
+        let dir = std::env::temp_dir().join(format!("apex-cache-gob-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = VariantCache::at(&dir);
+        let app = gaussian();
+        let key = variant_cache_key(
+            "baseline",
+            "pe_base",
+            &[],
+            &[&app],
+            None,
+            None,
+            None,
+            None,
+            &BTreeSet::new(),
+        );
+        let mut builds = 0;
+        for _ in 0..3 {
+            let v = cache
+                .get_or_build(key, || {
+                    builds += 1;
+                    baseline_variant(&[&app])
+                })
+                .unwrap();
+            assert_eq!(v.spec.name, "pe_base");
+        }
+        assert_eq!(builds, 1, "two warm runs must not rebuild");
+        assert_eq!(cache.hits(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_is_pass_through() {
+        let cache = VariantCache::disabled();
+        let v = spec_variant();
+        cache.store(7, &v);
+        assert!(cache.load(7).is_none());
+        assert!(!cache.is_enabled());
+    }
+
+    #[test]
+    fn key_separates_apps_and_configs() {
+        let g = gaussian();
+        let h = apex_apps::harris();
+        let base = variant_cache_key(
+            "specialized",
+            "pe",
+            &[&g],
+            &[&g],
+            Some(&MinerConfig::default()),
+            Some(&SubgraphSelection::default()),
+            Some(&MergeOptions::default()),
+            Some(&TechModel::default()),
+            &BTreeSet::new(),
+        );
+        let other_app = variant_cache_key(
+            "specialized",
+            "pe",
+            &[&h],
+            &[&h],
+            Some(&MinerConfig::default()),
+            Some(&SubgraphSelection::default()),
+            Some(&MergeOptions::default()),
+            Some(&TechModel::default()),
+            &BTreeSet::new(),
+        );
+        let other_sel = variant_cache_key(
+            "specialized",
+            "pe",
+            &[&g],
+            &[&g],
+            Some(&MinerConfig::default()),
+            Some(&SubgraphSelection {
+                per_app: 3,
+                ..SubgraphSelection::default()
+            }),
+            Some(&MergeOptions::default()),
+            Some(&TechModel::default()),
+            &BTreeSet::new(),
+        );
+        assert_ne!(base, other_app);
+        assert_ne!(base, other_sel);
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in ["", "plain", "with space", "tab\tand\nnewline", "back\\slash"] {
+            assert_eq!(unesc_tok(&esc_tok(s)), s);
+            if !s.contains('\t') {
+                assert_eq!(unesc_line(&esc_line(s)), s);
+            }
+        }
+    }
+}

@@ -38,6 +38,12 @@ pub struct DseOptions {
     pub place_retries: u32,
     /// Retry a failed routing once with [`apex_cgra::RouteOptions::relaxed`].
     pub route_relax_retry: bool,
+    /// Worker threads for [`dse_evaluate_suite`] / [`dse_evaluate_grid`]:
+    /// `0` = auto ([`apex_par::default_jobs`]), `1` = serial (inline on
+    /// the caller's thread). Results are in input order and bit-identical
+    /// across any job count — the serial and parallel paths are the same
+    /// code in `apex-par`.
+    pub jobs: usize,
 }
 
 impl Default for DseOptions {
@@ -46,7 +52,16 @@ impl Default for DseOptions {
             eval: EvalOptions::default(),
             place_retries: 2,
             route_relax_retry: true,
+            jobs: 0,
         }
+    }
+}
+
+fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        apex_par::default_jobs()
+    } else {
+        jobs
     }
 }
 
@@ -231,9 +246,42 @@ pub fn dse_evaluate_app(
     }
 }
 
+/// One reported outcome standing in for an evaluation whose variant never
+/// built.
+fn failed_variant_outcome(e: &ApexError) -> AppDseOutcome {
+    DseOutcome::degraded(
+        Err(ApexError::new(e.stage(), e.message())),
+        vec![Degradation::new(
+            e.stage(),
+            DegradationKind::Skipped,
+            format!("variant construction failed ({e}); application skipped"),
+        )],
+    )
+}
+
+/// One reported outcome standing in for an evaluation whose worker thread
+/// panicked: the panic is funneled into the error hierarchy
+/// ([`Stage::Sweep`], payload on the cause chain) instead of unwinding the
+/// sweep.
+fn panicked_outcome(p: apex_par::JobPanic, app: &Application) -> AppDseOutcome {
+    let detail = format!(
+        "evaluation worker panicked ({}); application {} skipped",
+        p.payload, app.info.name
+    );
+    DseOutcome::degraded(
+        Err(p.into_apex(Stage::Sweep)),
+        vec![Degradation::new(Stage::Sweep, DegradationKind::Skipped, detail)],
+    )
+}
+
 /// Evaluates a whole application suite on a variant that may itself have
 /// failed to build: a failed variant becomes one reported (degraded)
 /// outcome per application instead of aborting the sweep.
+///
+/// Runs on the bounded `apex-par` pool with `options.jobs` workers
+/// (`0` = auto); outcomes come back in `apps` order and are bit-identical
+/// to a serial run regardless of the job count. A panicking worker costs
+/// only its own application's outcome (reported under [`Stage::Sweep`]).
 pub fn dse_evaluate_suite(
     variant: &Result<PeVariant, ApexError>,
     apps: &[&Application],
@@ -241,24 +289,58 @@ pub fn dse_evaluate_suite(
     options: &DseOptions,
 ) -> Vec<AppDseOutcome> {
     match variant {
-        Ok(v) => apps
-            .iter()
-            .map(|a| dse_evaluate_app(v, a, tech, options))
-            .collect(),
-        Err(e) => apps
-            .iter()
-            .map(|_| {
-                DseOutcome::degraded(
-                    Err(ApexError::new(e.stage(), e.message())),
-                    vec![Degradation::new(
-                        e.stage(),
-                        DegradationKind::Skipped,
-                        format!("variant construction failed ({e}); application skipped"),
-                    )],
-                )
-            })
-            .collect(),
+        Ok(v) => {
+            let jobs = effective_jobs(options.jobs);
+            apex_par::par_map(jobs, apps, |_, a| dse_evaluate_app(v, a, tech, options))
+                .into_iter()
+                .zip(apps)
+                .map(|(r, app)| r.unwrap_or_else(|p| panicked_outcome(p, app)))
+                .collect()
+        }
+        Err(e) => apps.iter().map(|_| failed_variant_outcome(e)).collect(),
     }
+}
+
+/// Evaluates a whole (variant × application) grid — the shape of every
+/// sweep in the paper's evaluation (Fig. 11/15/16, Tables 2–3) — over the
+/// bounded job pool, parallelizing across the *flattened* grid so a slow
+/// variant cannot serialize the sweep. `out[v][a]` is variant `v` on
+/// application `a`, in input order, bit-identical to nested serial loops.
+pub fn dse_evaluate_grid(
+    variants: &[Result<PeVariant, ApexError>],
+    apps: &[&Application],
+    tech: &TechModel,
+    options: &DseOptions,
+) -> Vec<Vec<AppDseOutcome>> {
+    let pairs: Vec<(usize, usize)> = (0..variants.len())
+        .flat_map(|v| (0..apps.len()).map(move |a| (v, a)))
+        .collect();
+    let jobs = effective_jobs(options.jobs);
+    let mut flat = apex_par::par_map(jobs, &pairs, |_, &(v, a)| match &variants[v] {
+        Ok(variant) => dse_evaluate_app(variant, apps[a], tech, options),
+        Err(e) => failed_variant_outcome(e),
+    })
+    .into_iter();
+    let mut out = Vec::with_capacity(variants.len());
+    for _ in 0..variants.len() {
+        let mut row = Vec::with_capacity(apps.len());
+        for app in apps {
+            // pairs.len() == variants.len() * apps.len(), so the iterator
+            // cannot run dry; a panicked worker yields a reported outcome
+            let r = flat
+                .next()
+                .unwrap_or_else(|| {
+                    Err(apex_par::JobPanic {
+                        index: 0,
+                        payload: "grid result missing".to_owned(),
+                    })
+                })
+                .unwrap_or_else(|p| panicked_outcome(p, app));
+            row.push(r);
+        }
+        out.push(row);
+    }
+    out
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use apex_fault::{ApexError, Degradation, DegradationKind, Provenance, Stage};
 use apex_ir::{Graph, Op, OpKind};
 use apex_merge::{merge_graph, MergeOptions};
 use apex_mining::{mine, MineError, MinedSubgraph, MinerConfig};
+use apex_par::JobPanic;
 use apex_pe::{baseline_pe, baseline_pe_with_ops, PeSpec};
 use apex_rewrite::{try_standard_ruleset, RuleSet, SynthesisReport};
 use apex_tech::TechModel;
@@ -98,8 +99,40 @@ pub fn required_op_kinds(apps: &[&Application]) -> BTreeSet<OpKind> {
 /// # Errors
 /// Propagates rule-synthesis failures.
 pub fn baseline_variant(eval_apps: &[&Application]) -> Result<PeVariant, ApexError> {
-    let spec = baseline_pe();
-    finish(spec, Vec::new(), eval_apps, Vec::new())
+    let key = crate::cache::variant_cache_key(
+        "baseline",
+        "pe_base",
+        &[],
+        eval_apps,
+        None,
+        None,
+        None,
+        None,
+        &BTreeSet::new(),
+    );
+    cached(key, || {
+        let spec = baseline_pe();
+        finish(spec, Vec::new(), eval_apps, Vec::new())
+    })
+}
+
+/// Memoizes a variant build through the process-wide [`VariantCache`]
+/// (content-addressed by `key`). Under the `fault-injection` feature the
+/// cache is bypassed entirely: serving a stored variant would mask armed
+/// failpoints, and fault tests exist to exercise the live flow.
+///
+/// [`VariantCache`]: crate::cache::VariantCache
+fn cached(
+    key: u64,
+    build: impl FnOnce() -> Result<PeVariant, ApexError>,
+) -> Result<PeVariant, ApexError> {
+    #[cfg(feature = "fault-injection")]
+    {
+        let _ = key;
+        build()
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    crate::cache::VariantCache::shared().get_or_build(key, build)
 }
 
 /// "PE 1": the baseline restricted to the operations the applications
@@ -112,9 +145,22 @@ pub fn pe1_variant(
     analysis_apps: &[&Application],
     eval_apps: &[&Application],
 ) -> Result<PeVariant, ApexError> {
-    let kinds = required_op_kinds(analysis_apps);
-    let spec = baseline_pe_with_ops(name, &kinds);
-    finish(spec, Vec::new(), eval_apps, Vec::new())
+    let key = crate::cache::variant_cache_key(
+        "pe1",
+        name,
+        analysis_apps,
+        eval_apps,
+        None,
+        None,
+        None,
+        None,
+        &BTreeSet::new(),
+    );
+    cached(key, || {
+        let kinds = required_op_kinds(analysis_apps);
+        let spec = baseline_pe_with_ops(name, &kinds);
+        finish(spec, Vec::new(), eval_apps, Vec::new())
+    })
 }
 
 /// How candidate subgraphs are ranked before taking the top `per_app`.
@@ -231,8 +277,9 @@ pub fn select_subgraphs(
 /// `extra_kinds` force-in additional operation kinds (e.g. keeping the
 /// bit-operation LUT in a domain PE so unseen applications still map).
 ///
-/// Mining and merge failures degrade rather than abort: a failed mining
-/// pass contributes no subgraphs, a failed or budget-limited merge keeps
+/// Mining and merge failures degrade rather than abort: a failed (or
+/// panicking — the job pool catches worker panics) mining pass contributes
+/// no subgraphs, a failed or budget-limited merge keeps
 /// the previous datapath (greedy incumbent, then effectively PE 1), and
 /// every such event is recorded in [`PeVariant::degradations`].
 ///
@@ -241,6 +288,43 @@ pub fn select_subgraphs(
 /// without them nothing maps).
 #[allow(clippy::too_many_arguments)]
 pub fn specialized_variant(
+    name: &str,
+    analysis_apps: &[&Application],
+    eval_apps: &[&Application],
+    miner: &MinerConfig,
+    selection: &SubgraphSelection,
+    merge_opts: &MergeOptions,
+    tech: &TechModel,
+    extra_kinds: &BTreeSet<OpKind>,
+) -> Result<PeVariant, ApexError> {
+    let key = crate::cache::variant_cache_key(
+        "specialized",
+        name,
+        analysis_apps,
+        eval_apps,
+        Some(miner),
+        Some(selection),
+        Some(merge_opts),
+        Some(tech),
+        extra_kinds,
+    );
+    cached(key, || {
+        build_specialized_variant(
+            name,
+            analysis_apps,
+            eval_apps,
+            miner,
+            selection,
+            merge_opts,
+            tech,
+            extra_kinds,
+        )
+    })
+}
+
+/// The uncached body of [`specialized_variant`].
+#[allow(clippy::too_many_arguments)]
+fn build_specialized_variant(
     name: &str,
     analysis_apps: &[&Application],
     eval_apps: &[&Application],
@@ -260,33 +344,48 @@ pub fn specialized_variant(
     // canonical code of the *materialized* datapath (two apps can mine the
     // same op pattern yet fold different constants or share inputs
     // differently — those are different PE rules), order by MIS size
-    // mining is independent per application: fan out across threads
-    let per_app: Vec<Result<(Vec<MinedSubgraph>, Provenance), MineError>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = analysis_apps
-                .iter()
-                .map(|app| scope.spawn(move || select_subgraphs(app, miner, selection)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("miner thread panicked"))
-                .collect()
+    // mining is independent per application: fan out over the bounded pool
+    let per_app: Vec<Result<Result<(Vec<MinedSubgraph>, Provenance), MineError>, JobPanic>> =
+        apex_par::par_map(apex_par::default_jobs(), analysis_apps, |_, app| {
+            #[cfg(feature = "fault-injection")]
+            {
+                if apex_fault::failpoints::is_armed("core::mine_panic") {
+                    panic!("injected panic at core::mine_panic");
+                }
+            }
+            select_subgraphs(app, miner, selection)
         });
     let mut chosen: Vec<(String, Graph, usize)> = Vec::new();
     let mut seen: BTreeSet<String> = BTreeSet::new();
     for (app, mined) in analysis_apps.iter().zip(per_app) {
         let mined = match mined {
-            Ok((subgraphs, provenance)) => {
+            Ok(Ok((subgraphs, provenance))) => {
                 if let Some(d) = Degradation::from_provenance(Stage::Mine, provenance) {
                     degradations.push(d);
                 }
                 subgraphs
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 degradations.push(Degradation::new(
                     Stage::Mine,
                     DegradationKind::Skipped,
                     format!("mining {} failed ({e}); no subgraphs from this app", app.info.name),
+                ));
+                Vec::new()
+            }
+            Err(p) => {
+                // a panicking miner is funneled into the error hierarchy
+                // (payload on the cause chain) and degrades like any other
+                // per-app mining failure: no subgraphs from this app
+                let err = p.into_apex(Stage::Mine);
+                degradations.push(Degradation::new(
+                    Stage::Mine,
+                    DegradationKind::Skipped,
+                    format!(
+                        "mining {} panicked ({}); no subgraphs from this app",
+                        app.info.name,
+                        err.render_chain()
+                    ),
                 ));
                 Vec::new()
             }

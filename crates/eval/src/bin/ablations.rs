@@ -12,6 +12,7 @@
 use apex_core::{specialized_variant, SelectionRank, SubgraphSelection};
 use apex_eval::experiments::post_mapping;
 use apex_eval::Table;
+use apex_fault::ApexError;
 use apex_map::map_application;
 use apex_merge::MergeOptions;
 use apex_mining::MinerConfig;
@@ -19,8 +20,15 @@ use apex_pipeline::{pipeline_application, AppPipelineOptions};
 use std::collections::BTreeSet;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("{}", e.render_chain());
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), ApexError> {
     let tech = apex_eval::tech();
-    let apps = [apex_eval::app("gaussian"), apex_eval::app("camera")];
+    let apps = [apex_eval::app("gaussian")?, apex_eval::app("camera")?];
 
     // ---- 1. ranking ablation ------------------------------------------------
     let mut t = Table::new(
@@ -45,9 +53,8 @@ fn main() {
                 &MergeOptions::default(),
                 tech,
                 &BTreeSet::new(),
-            )
-            .expect("ablation variant builds");
-            let (n, area, _) = post_mapping(&v, app);
+            )?;
+            let (n, area, _) = post_mapping(&v, app)?;
             t.push(vec![
                 app.info.name.clone(),
                 name.into(),
@@ -77,8 +84,7 @@ fn main() {
                 },
                 tech,
                 &BTreeSet::new(),
-            )
-            .expect("ablation variant builds");
+            )?;
             t.push(vec![
                 app.info.name.clone(),
                 name.into(),
@@ -94,7 +100,7 @@ fn main() {
         "Ablation 3: register-chain cutoff for the RF FIFO transform",
         &["Application", "Cutoff", "#Reg", "#RF"],
     );
-    let base = apex_eval::baseline();
+    let base = apex_eval::baseline()?;
     for app in apps {
         let design = map_application(&app.graph, &base.spec.datapath, &base.rules)
             .expect("baseline maps everything");
@@ -123,7 +129,7 @@ fn main() {
         "Ablation 4: subgraphs merged per application (gaussian)",
         &["per_app", "#PEs", "PE area/PE um2", "Total PE area um2"],
     );
-    let app = apex_eval::app("gaussian");
+    let app = apex_eval::app("gaussian")?;
     for k in [0usize, 1, 2, 3, 4] {
         let v = specialized_variant(
             "ablate_breadth",
@@ -137,9 +143,8 @@ fn main() {
             &MergeOptions::default(),
             tech,
             &BTreeSet::new(),
-        )
-        .expect("ablation variant builds");
-        let (n, area, _) = post_mapping(&v, app);
+        )?;
+        let (n, area, _) = post_mapping(&v, app)?;
         t.push(vec![
             k.to_string(),
             n.to_string(),
@@ -148,4 +153,5 @@ fn main() {
         ]);
     }
     println!("{t}");
+    Ok(())
 }

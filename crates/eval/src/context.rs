@@ -1,13 +1,20 @@
 //! Shared, lazily-built experiment context: the applications, the PE
-//! variants of Section 5, and the evaluation options. Variants are cached
-//! so the many experiments (and benches) that share them build each one
-//! once per process.
+//! variants of Section 5, and the evaluation options. Variants are
+//! memoized per process (and, through [`apex_core::VariantCache`], on
+//! disk), so the many experiments (and benches) that share them build
+//! each one once — and a warm run skips mining/merge/synthesis entirely.
+//!
+//! Everything here returns `Result` instead of panicking: a missing
+//! application or a failed variant build surfaces as an [`ApexError`]
+//! with the standard `error:` chain, which the binaries render and turn
+//! into a nonzero exit.
 
 use apex_apps::{analyzed_apps, ip_apps, ml_apps, unseen_apps, Application};
 use apex_core::{
     baseline_variant, evaluate_app, specialization_ladder, specialized_variant, AppEvaluation,
     EvalOptions, PeVariant, SubgraphSelection,
 };
+use apex_fault::{ApexError, Stage};
 use apex_ir::OpKind;
 use apex_merge::MergeOptions;
 use apex_mining::MinerConfig;
@@ -48,19 +55,56 @@ pub fn all_apps() -> &'static Vec<Application> {
 }
 
 /// Looks up an application by name from the shared set.
-pub fn app(name: &str) -> &'static Application {
-    all_apps()
-        .iter()
-        .find(|a| a.info.name == name)
-        .unwrap_or_else(|| panic!("unknown app {name}"))
+///
+/// # Errors
+/// Unknown names are a [`Stage::Parse`] error listing the known
+/// applications (rendered by the binaries as the standard `error:` chain
+/// with a nonzero exit, instead of the panic this used to be).
+pub fn app(name: &str) -> Result<&'static Application, ApexError> {
+    all_apps().iter().find(|a| a.info.name == name).ok_or_else(|| {
+        let known: Vec<&str> = all_apps().iter().map(|a| a.info.name.as_str()).collect();
+        ApexError::new(
+            Stage::Parse,
+            format!("unknown application '{name}' (known: {})", known.join(", ")),
+        )
+    })
+}
+
+/// Clones a memoized build error out of a `OnceLock` cell. The boxed
+/// cause chain cannot be cloned, so it is flattened into the message —
+/// the rendered chain text is preserved verbatim.
+fn reraise(e: &ApexError) -> ApexError {
+    let mut msg = e.message().to_owned();
+    let mut src = std::error::Error::source(e);
+    while let Some(s) = src {
+        let text = s.to_string();
+        if !msg.contains(&text) {
+            msg.push_str(": ");
+            msg.push_str(&text);
+        }
+        src = s.source();
+    }
+    ApexError::new(e.stage(), msg)
+}
+
+type VariantCell = OnceLock<Result<PeVariant, ApexError>>;
+
+fn memo(
+    cell: &'static VariantCell,
+    build: impl FnOnce() -> Result<PeVariant, ApexError>,
+) -> Result<&'static PeVariant, ApexError> {
+    cell.get_or_init(build).as_ref().map_err(reraise)
 }
 
 /// The baseline PE with rules for every application.
-pub fn baseline() -> &'static PeVariant {
-    static V: OnceLock<PeVariant> = OnceLock::new();
-    V.get_or_init(|| {
+///
+/// # Errors
+/// Propagates the variant-construction error of the first build.
+pub fn baseline() -> Result<&'static PeVariant, ApexError> {
+    static V: VariantCell = OnceLock::new();
+    memo(&V, || {
         let refs: Vec<&Application> = all_apps().iter().collect();
-        baseline_variant(&refs).expect("baseline variant builds")
+        baseline_variant(&refs)
     })
 }
 
@@ -68,9 +112,12 @@ pub fn baseline() -> &'static PeVariant {
 /// evaluated on (and given rules for) the unseen applications too. The
 /// baseline's bit-operation LUT is retained so predicate logic from
 /// outside the analysis set still maps (DESIGN.md §3).
-pub fn pe_ip() -> &'static PeVariant {
-    static V: OnceLock<PeVariant> = OnceLock::new();
-    V.get_or_init(|| {
+///
+/// # Errors
+/// Propagates the variant-construction error of the first build.
+pub fn pe_ip() -> Result<&'static PeVariant, ApexError> {
+    static V: VariantCell = OnceLock::new();
+    memo(&V, || {
         let analysis = ip_apps();
         let arefs: Vec<&Application> = analysis.iter().collect();
         let eval: Vec<&Application> = all_apps()
@@ -89,15 +136,17 @@ pub fn pe_ip() -> &'static PeVariant {
             tech(),
             &extra,
         )
-        .expect("pe_ip builds")
     })
 }
 
 /// PE IP2: one more subgraph from each application than PE IP (Fig. 12's
 /// over-merged variant).
-pub fn pe_ip2() -> &'static PeVariant {
-    static V: OnceLock<PeVariant> = OnceLock::new();
-    V.get_or_init(|| {
+///
+/// # Errors
+/// Propagates the variant-construction error of the first build.
+pub fn pe_ip2() -> Result<&'static PeVariant, ApexError> {
+    static V: VariantCell = OnceLock::new();
+    memo(&V, || {
         let analysis = ip_apps();
         let arefs: Vec<&Application> = analysis.iter().collect();
         specialized_variant(
@@ -115,15 +164,17 @@ pub fn pe_ip2() -> &'static PeVariant {
             tech(),
             &BTreeSet::new(),
         )
-        .expect("pe_ip2 builds")
     })
 }
 
 /// PE IP3: unbalanced — specializes more for camera pipeline than for the
 /// other applications (Fig. 12).
-pub fn pe_ip3() -> &'static PeVariant {
-    static V: OnceLock<PeVariant> = OnceLock::new();
-    V.get_or_init(|| {
+///
+/// # Errors
+/// Propagates the variant-construction error of the first build.
+pub fn pe_ip3() -> Result<&'static PeVariant, ApexError> {
+    static V: VariantCell = OnceLock::new();
+    memo(&V, || {
         let analysis = ip_apps();
         let arefs: Vec<&Application> = analysis.iter().collect();
         // camera: deep selection, others: a single subgraph
@@ -145,14 +196,16 @@ pub fn pe_ip3() -> &'static PeVariant {
             tech(),
             &BTreeSet::new(),
         )
-        .expect("pe_ip3 builds")
     })
 }
 
 /// PE ML: specialized for the two machine-learning layers.
-pub fn pe_ml() -> &'static PeVariant {
-    static V: OnceLock<PeVariant> = OnceLock::new();
-    V.get_or_init(|| {
+///
+/// # Errors
+/// Propagates the variant-construction error of the first build.
+pub fn pe_ml() -> Result<&'static PeVariant, ApexError> {
+    static V: VariantCell = OnceLock::new();
+    memo(&V, || {
         let analysis = ml_apps();
         let arefs: Vec<&Application> = analysis.iter().collect();
         specialized_variant(
@@ -168,52 +221,97 @@ pub fn pe_ml() -> &'static PeVariant {
             tech(),
             &BTreeSet::new(),
         )
-        .expect("pe_ml builds")
     })
 }
 
 /// PE Spec: the most specialized per-application PE.
-pub fn pe_spec(app_name: &str) -> &'static PeVariant {
+///
+/// # Errors
+/// Unknown application names and variant-construction failures propagate;
+/// failed builds are not memoized, so a later call retries.
+pub fn pe_spec(app_name: &str) -> Result<&'static PeVariant, ApexError> {
     static V: OnceLock<std::sync::Mutex<std::collections::BTreeMap<String, &'static PeVariant>>> =
         OnceLock::new();
     let cache = V.get_or_init(|| std::sync::Mutex::new(std::collections::BTreeMap::new()));
-    let mut guard = cache.lock().expect("unpoisoned");
-    if let Some(v) = guard.get(app_name) {
-        return v;
+    let a = app(app_name)?;
+    {
+        let guard = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(v) = guard.get(app_name) {
+            return Ok(v);
+        }
     }
-    let a = app(app_name);
     // the paper's stopping rule: most specialized without increasing the
-    // application's area or energy
-    let v = apex_core::most_specialized_variant(a, &miner(), &MergeOptions::default(), tech(), 4)
-        .expect("pe_spec builds");
-    let leaked: &'static PeVariant = Box::leak(Box::new(v));
-    guard.insert(app_name.to_owned(), leaked);
-    leaked
+    // application's area or energy. Built outside the lock: concurrent
+    // first calls may race to build, but every racer produces the
+    // identical (cache-reproducible) variant and the map keeps whichever
+    // lands first.
+    let v = apex_core::most_specialized_variant(a, &miner(), &MergeOptions::default(), tech(), 4)?;
+    let mut guard = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let leaked: &'static PeVariant = guard
+        .entry(app_name.to_owned())
+        .or_insert_with(|| Box::leak(Box::new(v)));
+    Ok(leaked)
 }
 
 /// The camera-pipeline specialization ladder (PE 1 … PE 4, Fig. 11 /
 /// Table 2).
-pub fn camera_ladder() -> &'static Vec<PeVariant> {
-    static V: OnceLock<Vec<PeVariant>> = OnceLock::new();
+///
+/// # Errors
+/// Propagates the ladder-construction error of the first build.
+pub fn camera_ladder() -> Result<&'static Vec<PeVariant>, ApexError> {
+    static V: OnceLock<Result<Vec<PeVariant>, ApexError>> = OnceLock::new();
     V.get_or_init(|| {
         specialization_ladder(
-            app("camera"),
+            app("camera")?,
             3,
             &miner(),
             &MergeOptions::default(),
             tech(),
         )
-        .expect("camera ladder builds")
+    })
+    .as_ref()
+    .map_err(reraise)
+}
+
+/// Evaluates a variant on an application with shared options.
+///
+/// # Errors
+/// Flow failures surface as a [`Stage::Sweep`] error naming the
+/// application and variant (experiments treat them as fatal).
+pub fn run(
+    variant: &PeVariant,
+    application: &Application,
+    pipelined: bool,
+) -> Result<AppEvaluation, ApexError> {
+    evaluate_app(variant, application, tech(), &eval_options(pipelined)).map_err(|e| {
+        ApexError::new(
+            Stage::Sweep,
+            format!(
+                "evaluating {} on {}: {e}",
+                application.info.name, variant.spec.name
+            ),
+        )
     })
 }
 
-/// Evaluates a variant on an application with shared options, panicking
-/// with context on flow failures (experiments treat them as fatal).
-pub fn run(variant: &PeVariant, application: &Application, pipelined: bool) -> AppEvaluation {
-    evaluate_app(variant, application, tech(), &eval_options(pipelined)).unwrap_or_else(|e| {
-        panic!(
-            "evaluating {} on {}: {e}",
-            application.info.name, variant.spec.name
-        )
+/// Runs a batch of `(variant, application, pipelined)` evaluations on the
+/// shared job pool and returns the results in input order.
+///
+/// Each evaluation is independent and internally deterministic, so the
+/// batch is bit-identical to calling [`run`] serially — the pool only
+/// changes scheduling, never results. The heavy experiment loops
+/// (Table 2/3, Figs. 15–18) all funnel through here.
+///
+/// # Errors
+/// The first failed (or panicked — the pool catches worker panics)
+/// evaluation in input order.
+pub fn run_batch(
+    batch: &[(&PeVariant, &Application, bool)],
+) -> Result<Vec<AppEvaluation>, ApexError> {
+    apex_par::par_map(apex_par::default_jobs(), batch, |_, (v, a, pipelined)| {
+        run(v, a, *pipelined)
     })
+    .into_iter()
+    .map(|r| r.unwrap_or_else(|p| Err(p.into_apex(Stage::Sweep))))
+    .collect()
 }

@@ -19,6 +19,9 @@ pub mod experiments;
 pub mod table;
 
 pub use baselines::{asic, fpga, simba, PlatformResult};
-pub use context::{all_apps, app, baseline, camera_ladder, pe_ip, pe_ip2, pe_ip3, pe_ml, pe_spec, run, tech};
+pub use context::{
+    all_apps, app, baseline, camera_ladder, pe_ip, pe_ip2, pe_ip3, pe_ml, pe_spec, run,
+    run_batch, tech,
+};
 pub use experiments::all_experiments;
 pub use table::Table;

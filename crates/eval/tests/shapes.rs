@@ -11,7 +11,7 @@ use apex_eval::experiments::{fig10, fig11, fig12, fig13, fig14, table1};
 
 #[test]
 fn table1_shape() {
-    let t = table1();
+    let t = table1().unwrap();
     assert_eq!(t.rows.len(), 6);
     assert_eq!(
         t.rows.iter().filter(|r| r[1] == "IP").count(),
@@ -22,7 +22,7 @@ fn table1_shape() {
 
 #[test]
 fn fig10_shape_conv_apps_mine_mac_trees() {
-    let t = fig10();
+    let t = fig10().unwrap();
     // gaussian's top subgraph is a multiply/adder tree
     let row = (0..t.rows.len())
         .find(|&r| t.cell(r, "Application") == Some("gaussian") && t.cell(r, "Rank") == Some("1"))
@@ -45,7 +45,7 @@ fn fig10_shape_conv_apps_mine_mac_trees() {
 
 #[test]
 fn fig11_shape_specialization_monotonically_helps() {
-    let t = fig11();
+    let t = fig11().unwrap();
     // PE count never increases down the ladder
     let pes: Vec<f64> = (0..t.rows.len())
         .map(|r| t.cell_f64(r, "#PEs").unwrap())
@@ -66,7 +66,7 @@ fn fig11_shape_specialization_monotonically_helps() {
 
 #[test]
 fn fig12_shape_unbalanced_merging_never_wins() {
-    let t = fig12();
+    let t = fig12().unwrap();
     // PE IP3 (unbalanced toward camera) is never better than PE IP for
     // the non-camera applications
     for app in ["harris", "gaussian", "unsharp"] {
@@ -87,7 +87,7 @@ fn fig12_shape_unbalanced_merging_never_wins() {
 
 #[test]
 fn fig13_shape_domain_energy_generalizes() {
-    let t = fig13();
+    let t = fig13().unwrap();
     // the paper's core claim: even unseen applications get large energy
     // reductions from the domain PE
     for r in 0..t.rows.len() {
@@ -105,7 +105,7 @@ fn fig13_shape_domain_energy_generalizes() {
 
 #[test]
 fn fig14_shape_bands() {
-    let t = fig14();
+    let t = fig14().unwrap();
     for r in 0..t.rows.len() {
         let variant = t.cell(r, "Variant").unwrap().to_owned();
         let area = t.cell_f64(r, "Area vs base").unwrap();

@@ -48,6 +48,8 @@ pub enum Stage {
     Verify,
     /// Cost/area/energy reporting.
     Report,
+    /// Parallel sweep execution (job pool, worker panics, cache I/O).
+    Sweep,
     /// Command-line driver.
     Cli,
 }
@@ -66,8 +68,29 @@ impl Stage {
             Stage::Route => "route",
             Stage::Verify => "verify",
             Stage::Report => "report",
+            Stage::Sweep => "sweep",
             Stage::Cli => "cli",
         }
+    }
+
+    /// Inverse of [`Stage::name`] (used by the on-disk variant-cache
+    /// codec); `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        const ALL: [Stage; 12] = [
+            Stage::Parse,
+            Stage::Mine,
+            Stage::Merge,
+            Stage::Rewrite,
+            Stage::Map,
+            Stage::Pipeline,
+            Stage::Place,
+            Stage::Route,
+            Stage::Verify,
+            Stage::Report,
+            Stage::Sweep,
+            Stage::Cli,
+        ];
+        ALL.into_iter().find(|s| s.name() == name)
     }
 }
 
@@ -367,6 +390,19 @@ impl DegradationKind {
             DegradationKind::Retried => "retried",
             DegradationKind::Skipped => "skipped",
         }
+    }
+
+    /// Inverse of [`DegradationKind::name`] (used by the on-disk
+    /// variant-cache codec); `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        const ALL: [DegradationKind; 5] = [
+            DegradationKind::Truncated,
+            DegradationKind::TimedOut,
+            DegradationKind::Fallback,
+            DegradationKind::Retried,
+            DegradationKind::Skipped,
+        ];
+        ALL.into_iter().find(|k| k.name() == name)
     }
 }
 

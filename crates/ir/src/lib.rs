@@ -52,4 +52,4 @@ pub use expr::{BitExpr, Expr, ExprGraph};
 pub use graph::{Graph, GraphError, Node, NodeId};
 pub use interp::{evaluate, pipeline_latency, simulate};
 pub use op::{Op, OpKind, Value, ValueType, ALL_OP_KINDS};
-pub use text::{from_text, to_text, ParseError};
+pub use text::{from_text, op_from_token, op_to_token, to_text, ParseError};

@@ -115,6 +115,31 @@ fn parse_node_id(s: &str) -> Option<NodeId> {
     s.strip_prefix('n')?.parse().ok().map(NodeId)
 }
 
+/// Serializes a single op as one whitespace-free token (`add`,
+/// `const:7`, `lut:0xca`, …) — the payload-carrying counterpart of the
+/// graph format's `op payload` columns, for line-oriented codecs that
+/// store ops in space-separated lists (e.g. the variant cache).
+pub fn op_to_token(op: Op) -> String {
+    match op_payload(op) {
+        Some(p) => format!("{}:{p}", op_name(op)),
+        None => op_name(op).to_owned(),
+    }
+}
+
+/// Inverse of [`op_to_token`]; `None` for malformed tokens.
+pub fn op_from_token(token: &str) -> Option<Op> {
+    let (name, payload) = match token.split_once(':') {
+        Some((n, p)) => (n, vec![p]),
+        None => (token, Vec::new()),
+    };
+    let (op, rest) = parse_op(name, &payload).ok()?;
+    // a payload-less op must not carry one, and vice versa
+    if !rest.is_empty() || (payload.is_empty() != op_payload(op).is_none()) {
+        return None;
+    }
+    Some(op)
+}
+
 fn op_name(op: Op) -> &'static str {
     match op {
         Op::Input => "input",

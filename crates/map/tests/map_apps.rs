@@ -9,7 +9,7 @@ use apex_rewrite::standard_ruleset;
 
 fn check_equivalence(app: &apex_apps::Application, trials: usize) -> apex_map::MapStats {
     let pe = baseline_pe();
-    let (rules, report) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+    let (rules, report) = standard_ruleset(&pe.datapath, &[], &[&app.graph]).unwrap();
     assert!(
         report.missing.is_empty(),
         "{}: missing rules {:?}",
@@ -143,7 +143,7 @@ fn complex_rules_reduce_pe_count() {
 
     let app = apex_apps::gaussian();
     let pe = baseline_pe();
-    let (rules_base, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+    let (rules_base, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]).unwrap();
     let base = map_application(&app.graph, &pe.datapath, &rules_base).unwrap();
 
     let mined = mine(
@@ -170,7 +170,7 @@ fn complex_rules_reduce_pe_count() {
         &MergeOptions::default(),
     )
     .unwrap();
-    let (rules_merged, _) = standard_ruleset(&merged, &[sub], &[&app.graph]);
+    let (rules_merged, _) = standard_ruleset(&merged, &[sub], &[&app.graph]).unwrap();
     let spec = map_application(&app.graph, &merged, &rules_merged).unwrap();
     assert!(
         spec.stats.pe_count < base.stats.pe_count,
@@ -184,7 +184,7 @@ fn complex_rules_reduce_pe_count() {
 fn netlist_counts_node_kinds() {
     let app = apex_apps::gaussian();
     let pe = baseline_pe();
-    let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+    let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]).unwrap();
     let design = map_application(&app.graph, &pe.datapath, &rules).unwrap();
     let inputs = design
         .netlist
@@ -200,7 +200,7 @@ fn netlist_counts_node_kinds() {
 fn netlist_dot_lists_every_node() {
     let app = apex_apps::gaussian();
     let pe = baseline_pe();
-    let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]);
+    let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app.graph]).unwrap();
     let design = map_application(&app.graph, &pe.datapath, &rules).unwrap();
     let dot = design.netlist.to_dot(&rules);
     assert!(dot.starts_with("digraph"));

@@ -10,7 +10,7 @@
 //! that are not pairwise (datapath merging must reject candidate sets
 //! whose union would create a combinational cycle).
 
-use apex_fault::{BudgetMeter, Provenance, StageBudget};
+use apex_fault::{ApexError, BudgetMeter, Provenance, Stage, StageBudget};
 
 /// A max-weight-clique instance.
 pub struct CliqueProblem<'a> {
@@ -39,9 +39,43 @@ pub struct CliqueSolution {
 }
 
 impl CliqueProblem<'_> {
+    /// Rejects instances whose weights the branch-and-bound cannot order
+    /// soundly: a NaN weight silently corrupts the descending sort and the
+    /// suffix-sum pruning bound (the search can then prune the true
+    /// max-weight clique), and an infinite weight poisons every suffix sum
+    /// it participates in. Solver construction must refuse both.
+    ///
+    /// # Errors
+    /// [`Stage::Merge`] error naming the first non-finite weight.
+    pub fn validate(&self) -> Result<(), ApexError> {
+        for (i, w) in self.weights.iter().enumerate() {
+            if !w.is_finite() {
+                return Err(ApexError::new(
+                    Stage::Merge,
+                    format!("clique weight {i} is {w}; merge savings must be finite"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the instance and solves it — the entry point the merge
+    /// stage uses, so malformed cost-model output is an error instead of a
+    /// silently mis-pruned search.
+    ///
+    /// # Errors
+    /// Propagates [`CliqueProblem::validate`] failures.
+    pub fn try_solve(&self) -> Result<CliqueSolution, ApexError> {
+        self.validate()?;
+        Ok(self.solve())
+    }
+
     /// Solves the instance. The greedy seeding pass always runs, so even a
     /// zero budget or an already-expired deadline yields a valid clique —
     /// just one with partial provenance.
+    ///
+    /// Assumes finite weights (see [`CliqueProblem::try_solve`]); with a
+    /// NaN in the instance the pruning bound is unsound.
     pub fn solve(&self) -> CliqueSolution {
         let n = self.weights.len();
         if n == 0 {
@@ -51,13 +85,11 @@ impl CliqueProblem<'_> {
                 explored: 0,
             };
         }
-        // order by weight descending for a tight suffix bound
+        // order by weight descending for a tight suffix bound; total_cmp
+        // keeps the order well-defined for every float (NaNs sort last
+        // instead of scrambling their neighbourhood)
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            self.weights[b]
-                .partial_cmp(&self.weights[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        order.sort_by(|&a, &b| f64::total_cmp(&self.weights[b], &self.weights[a]));
         let mut suffix = vec![0.0; n + 1];
         for i in (0..n).rev() {
             suffix[i] = suffix[i + 1] + self.weights[order[i]];
@@ -316,5 +348,53 @@ mod tests {
     #[test]
     fn empty_problem() {
         assert!(max_weight_clique(&[], &[], 100).is_empty());
+    }
+
+    #[test]
+    fn nan_weight_is_rejected_not_mispruned() {
+        // regression: with partial_cmp(..).unwrap_or(Equal) the NaN left
+        // the descending order (and the suffix bound) silently corrupted,
+        // so branch-and-bound could prune the true max-weight clique
+        let compat = full_matrix(4, &[(0, 1), (0, 2), (1, 2)]);
+        let w = vec![1.0, f64::NAN, 1.0, 2.5];
+        let p = CliqueProblem {
+            weights: w,
+            compatible: compat,
+            feasible: None,
+            budget: 1 << 20,
+            stage_budget: StageBudget::unlimited(),
+        };
+        let err = p.try_solve().unwrap_err();
+        assert_eq!(err.stage(), apex_fault::Stage::Merge);
+        assert!(err.message().contains("weight 1"), "{err}");
+    }
+
+    #[test]
+    fn infinite_weight_is_rejected() {
+        let compat = full_matrix(2, &[(0, 1)]);
+        for bad in [f64::INFINITY, f64::NEG_INFINITY] {
+            let p = CliqueProblem {
+                weights: vec![1.0, bad],
+                compatible: compat.clone(),
+                feasible: None,
+                budget: 1 << 20,
+                stage_budget: StageBudget::unlimited(),
+            };
+            assert!(p.try_solve().is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn finite_instances_pass_validation() {
+        let compat = full_matrix(3, &[(0, 1), (1, 2), (0, 2)]);
+        let p = CliqueProblem {
+            weights: vec![1.0, 2.0, 3.0],
+            compatible: compat,
+            feasible: None,
+            budget: 1 << 20,
+            stage_budget: StageBudget::unlimited(),
+        };
+        let sol = p.try_solve().unwrap();
+        assert_eq!(sol.members.len(), 3);
     }
 }

@@ -62,6 +62,13 @@ pub enum MergeError {
     InputPortsExhausted,
     /// `merge_all` was called with no graphs.
     EmptyInput,
+    /// The cost model produced a non-finite merge saving; the clique
+    /// search refuses the instance (a NaN silently corrupts its pruning
+    /// bound).
+    NonFiniteWeight {
+        /// The clique solver's diagnostic.
+        detail: String,
+    },
     /// A deterministic test fault (fault-injection builds only).
     Injected(&'static str),
 }
@@ -82,6 +89,7 @@ impl fmt::Display for MergeError {
                 write!(f, "ran out of PE input ports for subgraph primary inputs")
             }
             MergeError::EmptyInput => write!(f, "merge_all needs at least one graph"),
+            MergeError::NonFiniteWeight { detail } => write!(f, "{detail}"),
             MergeError::Injected(site) => write!(f, "injected fault at {site}"),
         }
     }
@@ -289,7 +297,10 @@ pub fn merge_graph(
         budget: options.clique_budget,
         stage_budget: options.budget.clone(),
     }
-    .solve();
+    .try_solve()
+    .map_err(|e| MergeError::NonFiniteWeight {
+        detail: e.message().to_owned(),
+    })?;
     let clique = solution.members;
     let saved_area: f64 = clique.iter().map(|&i| weights[i]).sum();
 

@@ -1,0 +1,443 @@
+//! # apex-par — bounded work-stealing job pool for DSE sweeps
+//!
+//! APEX's evaluation is a grid of (PE variant × application) runs, and
+//! several inner stages (mining per application, rewrite-rule synthesis
+//! per template) are embarrassingly parallel too. This crate is the
+//! workspace's one scheduler for all of them:
+//!
+//! * **bounded** — at most `jobs` worker threads, never one thread per
+//!   item (the pre-pool synthesis code spawned a thread per template and
+//!   oversubscribed the machine on large applications);
+//! * **work-stealing** — each worker owns a contiguous slice of the item
+//!   range and, when it runs dry, steals the far half of the largest
+//!   remaining slice (lazy binary splitting), so a few slow items cannot
+//!   strand the rest of the pool;
+//! * **deterministic** — results come back in input order regardless of
+//!   which worker ran which item, so a parallel sweep is bit-identical to
+//!   the serial one;
+//! * **no-panic** — a panicking job is caught in the worker and surfaces
+//!   as a [`JobPanic`] value for that item only; the pool itself never
+//!   unwinds (PR 2's unattended-operation policy).
+//!
+//! Built on `std::thread::scope` only — no registry dependencies, matching
+//! the workspace's in-tree shim policy.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use apex_fault::{ApexError, Stage};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A job panicked inside the pool; carries the stringified panic payload.
+///
+/// Converted into [`ApexError`] (with this value on the cause chain) at
+/// the stage boundary via [`JobPanic::into_apex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the item whose job panicked.
+    pub index: usize,
+    /// The panic payload, downcast to a string where possible.
+    pub payload: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.payload)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+impl JobPanic {
+    /// Funnels the panic into the workspace error hierarchy, attributing
+    /// it to the stage whose job panicked.
+    pub fn into_apex(self, stage: Stage) -> ApexError {
+        ApexError::with_source(stage, self)
+    }
+}
+
+fn payload_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Process-wide worker-count override installed by [`set_jobs`]
+/// (0 = no override).
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs a process-wide worker-count override consulted by
+/// [`default_jobs`] before the environment; `0` clears it back to
+/// automatic selection. This is where a CLI `--jobs N` flag lands so every
+/// pooled stage (mining, rule synthesis, the evaluation sweep) honours it.
+pub fn set_jobs(jobs: usize) {
+    JOBS_OVERRIDE.store(jobs, Ordering::Relaxed);
+}
+
+/// The number of workers to use when the caller does not specify one: the
+/// [`set_jobs`] override if installed, then `APEX_JOBS` if set to a
+/// positive integer, otherwise the machine's available parallelism,
+/// otherwise 1.
+pub fn default_jobs() -> usize {
+    let forced = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if forced >= 1 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("APEX_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// One worker's share of the item range, packed `next << 32 | end` so the
+/// owner (popping from the front) and thieves (halving from the back) can
+/// race over it with plain compare-exchange loops.
+struct Range(AtomicU64);
+
+const fn pack(next: u32, end: u32) -> u64 {
+    ((next as u64) << 32) | end as u64
+}
+
+const fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, (v & 0xFFFF_FFFF) as u32)
+}
+
+impl Range {
+    fn new(start: usize, end: usize) -> Self {
+        Range(AtomicU64::new(pack(start as u32, end as u32)))
+    }
+
+    /// Owner side: claim the front item of the range.
+    fn pop_front(&self) -> Option<usize> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (next, end) = unpack(cur);
+            if next >= end {
+                return None;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(next + 1, end),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(next as usize),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Thief side: split off the far half of the range, returning the
+    /// stolen sub-range.
+    fn steal_half(&self) -> Option<(usize, usize)> {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let (next, end) = unpack(cur);
+            if next >= end {
+                return None;
+            }
+            let keep = next + (end - next).div_ceil(2);
+            if keep >= end {
+                return None;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                pack(next, keep),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((keep as usize, end as usize)),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        let (next, end) = unpack(self.0.load(Ordering::Acquire));
+        end.saturating_sub(next) as usize
+    }
+}
+
+/// Maps `f` over `items` on at most `jobs` worker threads, returning the
+/// results **in input order**. `f` receives `(index, &item)`.
+///
+/// A job that panics yields `Err(JobPanic)` for its slot; every other item
+/// still completes. With `jobs <= 1` (or one item) everything runs inline
+/// on the caller's thread with identical semantics — the serial and
+/// parallel paths are the same code, which is what makes "parallel output
+/// is bit-identical to serial" a structural property rather than a test
+/// hope.
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<Result<R, JobPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let run_one = |i: usize| -> Result<R, JobPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).map_err(|p| JobPanic {
+            index: i,
+            payload: payload_string(p),
+        })
+    };
+    let workers = jobs.max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(run_one).collect();
+    }
+
+    // block-distribute the range; idle workers rebalance by stealing
+    let ranges: Vec<Range> = (0..workers)
+        .map(|w| Range::new(w * n / workers, (w + 1) * n / workers))
+        .collect();
+    let mut buckets: Vec<Vec<(usize, Result<R, JobPanic>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let ranges = &ranges;
+                let run_one = &run_one;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, Result<R, JobPanic>)> = Vec::new();
+                    loop {
+                        // drain our own range from the front
+                        while let Some(i) = ranges[w].pop_front() {
+                            out.push((i, run_one(i)));
+                        }
+                        // steal the far half of the largest remaining range
+                        let victim = (0..ranges.len())
+                            .filter(|&v| v != w)
+                            .max_by_key(|&v| ranges[v].remaining())
+                            .filter(|&v| ranges[v].remaining() > 0);
+                        let Some(v) = victim else { break };
+                        if let Some((s, e)) = ranges[v].steal_half() {
+                            for i in s..e {
+                                out.push((i, run_one(i)));
+                            }
+                        }
+                        // a failed steal (someone else got there first) just
+                        // loops back to look for the next victim
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                // the worker body only runs caught closures; an unwind here
+                // is impossible, but the no-panic policy forbids expect()
+                h.join().unwrap_or_default()
+            })
+            .collect()
+    });
+
+    // reassemble in input order
+    let mut slots: Vec<Option<Result<R, JobPanic>>> = (0..n).map(|_| None).collect();
+    for bucket in buckets.drain(..) {
+        for (i, r) in bucket {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.unwrap_or(Err(JobPanic {
+                index: i,
+                payload: "worker thread died before returning its results".to_owned(),
+            }))
+        })
+        .collect()
+}
+
+/// [`par_map`] with panics funneled straight into [`ApexError`] for the
+/// given stage — the form stage crates use to honour the no-panic policy.
+pub fn par_map_stage<T, R, F>(
+    jobs: usize,
+    stage: Stage,
+    items: &[T],
+    f: F,
+) -> Vec<Result<R, ApexError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map(jobs, items, f)
+        .into_iter()
+        .map(|r| r.map_err(|p| p.into_apex(stage)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for jobs in [1, 2, 4, 7] {
+            let out = par_map(jobs, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            let got: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+            let want: Vec<usize> = items.iter().map(|&x| x * 2).collect();
+            assert_eq!(got, want, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let items: Vec<u64> = (0..100).map(|i| i * 37 + 11).collect();
+        let f = |_: usize, &x: &u64| -> f64 { (x as f64).sqrt() * 3.25 - x as f64 / 7.0 };
+        let serial: Vec<f64> = par_map(1, &items, f).into_iter().map(|r| r.unwrap()).collect();
+        let parallel: Vec<f64> = par_map(4, &items, f).into_iter().map(|r| r.unwrap()).collect();
+        // bit-identical, not approximately equal
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn panic_is_captured_per_item() {
+        let items: Vec<usize> = (0..20).collect();
+        let out = par_map(3, &items, |_, &x| {
+            assert!(x != 13, "unlucky item");
+            x
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 13 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.index, 13);
+                assert!(e.payload.contains("unlucky"), "{e}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn panic_converts_into_apex_error_chain() {
+        let items = [1u32];
+        let out = par_map_stage(1, Stage::Rewrite, &items, |_, _| -> u32 {
+            panic!("synth exploded")
+        });
+        let err = out.into_iter().next().unwrap().unwrap_err();
+        assert_eq!(err.stage(), Stage::Rewrite);
+        let chain = err.render_chain();
+        assert!(chain.contains("synth exploded"), "{chain}");
+    }
+
+    #[test]
+    fn unbalanced_work_is_stolen() {
+        // front-loaded cost: with block distribution and no stealing,
+        // worker 0 would run ~all the slow items serially. The test
+        // asserts more than one worker participates in the slow half.
+        let items: Vec<usize> = (0..32).collect();
+        let seen = AtomicUsize::new(0);
+        let out = par_map(4, &items, |_, &x| {
+            if x < 8 {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            seen.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 32);
+        assert_eq!(out.len(), 32);
+        assert!(out.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        let one = [9u8];
+        let out = par_map(4, &one, |_, &x| x + 1);
+        assert_eq!(*out[0].as_ref().unwrap(), 10);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let items: Vec<usize> = (0..3).collect();
+        let out = par_map(64, &items, |_, &x| x);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().enumerate().all(|(i, r)| *r.as_ref().unwrap() == i));
+    }
+
+    #[test]
+    fn range_steal_takes_far_half() {
+        let r = Range::new(0, 10);
+        assert_eq!(r.pop_front(), Some(0));
+        let (s, e) = r.steal_half().unwrap();
+        // 9 items remain [1,10); thief takes the far ceil-half [5.5]→[6,10)
+        assert_eq!((s, e), (6, 10));
+        assert_eq!(r.remaining(), 5);
+        let mut owned = Vec::new();
+        while let Some(i) = r.pop_front() {
+            owned.push(i);
+        }
+        assert_eq!(owned, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn nested_pools_are_bounded() {
+        // an outer sweep whose jobs themselves par_map (like rule
+        // synthesis inside a variant build) must still complete
+        let outer: Vec<usize> = (0..4).collect();
+        let out = par_map(2, &outer, |_, &x| {
+            let inner: Vec<usize> = (0..8).collect();
+            par_map(2, &inner, |_, &y| x * 100 + y)
+                .into_iter()
+                .map(|r| r.unwrap())
+                .sum::<usize>()
+        });
+        for (i, r) in out.into_iter().enumerate() {
+            assert_eq!(r.unwrap(), i * 800 + 28);
+        }
+    }
+
+    #[test]
+    fn four_workers_overlap_in_time() {
+        // four 200 ms jobs at jobs=4 must finish well under the 800 ms a
+        // serial run needs — sleeps overlap even on a single-core host,
+        // so this asserts the pool genuinely runs jobs concurrently
+        let items: Vec<usize> = (0..4).collect();
+        let t0 = std::time::Instant::now();
+        let out = par_map(4, &items, |_, &x| {
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            x
+        });
+        let elapsed = t0.elapsed();
+        assert!(out.into_iter().all(|r| r.is_ok()));
+        assert!(
+            elapsed < std::time::Duration::from_millis(600),
+            "4 workers took {elapsed:?}; jobs did not overlap"
+        );
+    }
+
+    #[test]
+    fn set_jobs_overrides_and_clears() {
+        set_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        set_jobs(0);
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -83,9 +83,10 @@ pub fn pe_area(dp: &MergedDatapath, tech: &TechModel, legacy_control: bool) -> P
             }
         }
     }
-    // output muxes
-    mux += tech.mux_leg_area(apex_ir::ValueType::Word)
-        * dp.word_outputs.saturating_sub(1).max(if dp.word_outputs > 0 { 1 } else { 0 }) as f64;
+    // output muxes: a single output is hardwired to its driver and needs
+    // no select leg at all; each additional output adds one leg (matching
+    // the per-port leg model above)
+    mux += tech.mux_leg_area(apex_ir::ValueType::Word) * dp.word_outputs.saturating_sub(1) as f64;
     let config = config_bits(dp) as f64 * tech.fabric.config_bit_area;
     let control = if legacy_control {
         tech.baseline_control_overhead()
@@ -251,9 +252,30 @@ mod tests {
         let dp = mac_dp();
         let area = pe_area(&dp, &tech, false);
         assert!(area.functional_units >= tech.area(apex_ir::OpKind::Mul));
-        assert_eq!(area.muxes, 8.0, "single word output mux leg only");
+        assert_eq!(area.muxes, 0.0, "hardwired ports + single output: mux-free");
         assert_eq!(area.control, 0.0);
         assert!(area.total() < 300.0, "specialized MAC PE stays small");
+    }
+
+    #[test]
+    fn single_output_pays_no_mux_leg_but_extra_outputs_do() {
+        // regression: a single-output datapath used to be charged one
+        // output-mux leg even though there is nothing to select between
+        let tech = TechModel::default();
+        let mut dp = mac_dp();
+        assert_eq!(dp.word_outputs, 1);
+        let one = pe_area(&dp, &tech, false);
+        assert_eq!(one.muxes, 0.0, "one output ⇒ no output mux");
+        dp.word_outputs = 2;
+        let two = pe_area(&dp, &tech, false);
+        assert_eq!(
+            two.muxes - one.muxes,
+            tech.mux_leg_area(apex_ir::ValueType::Word),
+            "each output beyond the first adds exactly one word leg"
+        );
+        dp.word_outputs = 0;
+        let zero = pe_area(&dp, &tech, false);
+        assert_eq!(zero.muxes, 0.0, "no outputs ⇒ no underflow, no mux");
     }
 
     #[test]

@@ -200,7 +200,7 @@ mod tests {
     fn balances_reconvergent_paths() {
         let g = reconvergent();
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]).unwrap();
         let design = map_application(&g, &pe.datapath, &rules).unwrap();
         let (pipelined, report) = pipeline_application(
             &design.netlist,
@@ -220,7 +220,7 @@ mod tests {
     fn pipelined_netlist_streams_correctly() {
         let g = reconvergent();
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]).unwrap();
         let design = map_application(&g, &pe.datapath, &rules).unwrap();
         let pe_latency = 1;
         let (pipelined, report) = pipeline_application(
@@ -262,7 +262,7 @@ mod tests {
     fn long_chains_become_fifos() {
         let g = reconvergent();
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]).unwrap();
         let design = map_application(&g, &pe.datapath, &rules).unwrap();
         let (pipelined, report) = pipeline_application(
             &design.netlist,
@@ -288,7 +288,7 @@ mod tests {
     fn cutoff_zero_forbids_reg_chains() {
         let g = reconvergent();
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]).unwrap();
         let design = map_application(&g, &pe.datapath, &rules).unwrap();
         let (_, report) = pipeline_application(
             &design.netlist,
@@ -305,7 +305,7 @@ mod tests {
     fn zero_latency_pes_insert_nothing() {
         let g = reconvergent();
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&g]).unwrap();
         let design = map_application(&g, &pe.datapath, &rules).unwrap();
         let (pipelined, report) = pipeline_application(
             &design.netlist,

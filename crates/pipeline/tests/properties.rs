@@ -45,7 +45,7 @@ proptest! {
         inputs in prop::collection::vec(any::<u16>(), 3)
     ) {
         let pe = baseline_pe();
-        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app]);
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app]).unwrap();
         let design = map_application(&app, &pe.datapath, &rules).unwrap();
         let (pipelined, report) = pipeline_application(
             &design.netlist,

@@ -75,12 +75,16 @@ impl From<RewriteError> for ApexError {
 /// site.
 ///
 /// # Errors
-/// Fails only when the `rewrite::start` fault-injection site is armed.
+/// Fails when the `rewrite::start` fault-injection site is armed, or when
+/// a synthesis worker panics (see [`standard_ruleset`]).
 pub fn try_standard_ruleset(
     dp: &MergedDatapath,
     sources: &[Graph],
     apps: &[&Graph],
-) -> Result<(RuleSet, SynthesisReport), RewriteError> {
-    apex_fault::fail_point!("rewrite::start", RewriteError::Injected("rewrite::start"));
-    Ok(standard_ruleset(dp, sources, apps))
+) -> Result<(RuleSet, SynthesisReport), ApexError> {
+    apex_fault::fail_point!(
+        "rewrite::start",
+        RewriteError::Injected("rewrite::start").into()
+    );
+    standard_ruleset(dp, sources, apps)
 }

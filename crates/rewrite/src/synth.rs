@@ -15,6 +15,7 @@
 //! check.
 
 use crate::rule::{verify_rule, RewriteRule};
+use apex_fault::{ApexError, Stage};
 use apex_ir::{Graph, NodeId, Op, Value, ValueType};
 use apex_merge::{DatapathConfig, DpSource, MergedDatapath, NodeConfig};
 use std::collections::{BTreeMap, BTreeSet};
@@ -419,46 +420,54 @@ fn normalize(op: Op) -> Op {
 /// Synthesizes the full ruleset for a PE: complex rules from its stored
 /// configurations (`sources` aligned with `dp.configs`) plus single-op and
 /// LUT-fallback rules for everything `apps` need.
-// invariant: a synthesis worker thread can only terminate by returning
-#[allow(clippy::expect_used)]
+///
+/// Template synthesis fans out over the bounded [`apex_par`] pool (at most
+/// [`apex_par::default_jobs`] workers, instead of one thread per template)
+/// and results are consumed in template order, so the ruleset is
+/// deterministic regardless of scheduling.
+///
+/// # Errors
+/// A panicking synthesis worker (only reachable through fault injection
+/// today) is caught by the pool and surfaces as a [`Stage::Rewrite`] error
+/// with the panic payload on the cause chain — it never unwinds the caller.
 pub fn standard_ruleset(
     dp: &MergedDatapath,
     sources: &[Graph],
     apps: &[&Graph],
-) -> (RuleSet, SynthesisReport) {
+) -> Result<(RuleSet, SynthesisReport), ApexError> {
     let mut rules = rules_from_configs(dp, sources);
     let mut missing = Vec::new();
     // template synthesis (search + verification) is independent per
-    // template: fan out across threads, keeping deterministic order
+    // template: fan out across the pool, keeping deterministic order
     let templates: Vec<(Op, Vec<u8>)> = needed_templates(apps).into_iter().collect();
-    let synthesized: Vec<Option<RewriteRule>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = templates
-            .iter()
-            .map(|(op, const_ports)| {
-                scope.spawn(move || {
-                    synthesize_op_rule(dp, *op, const_ports).or_else(|| {
-                        if const_ports.is_empty() {
-                            lut_rule_for_bit_op(dp, *op)
-                        } else {
-                            // fall back to the const-free variant; the
-                            // constant is then covered by the passthrough
-                            // rule on another PE
-                            None
-                        }
-                    })
-                })
+    let synthesized = apex_par::par_map_stage(
+        apex_par::default_jobs(),
+        Stage::Rewrite,
+        &templates,
+        |_, (op, const_ports)| {
+            #[cfg(feature = "fault-injection")]
+            {
+                if apex_fault::failpoints::is_armed("rewrite::synth_panic") {
+                    panic!("injected panic at rewrite::synth_panic");
+                }
+            }
+            synthesize_op_rule(dp, *op, const_ports).or_else(|| {
+                if const_ports.is_empty() {
+                    lut_rule_for_bit_op(dp, *op)
+                } else {
+                    // fall back to the const-free variant; the
+                    // constant is then covered by the passthrough
+                    // rule on another PE
+                    None
+                }
             })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("synthesis thread panicked"))
-            .collect()
-    });
-    for ((op, const_ports), rule) in templates.into_iter().zip(synthesized) {
-        match rule {
+        },
+    );
+    for ((op, const_ports), rule) in templates.iter().zip(synthesized) {
+        match rule? {
             Some(r) => rules.push(r),
             None if const_ports.is_empty() => {
-                missing.push(rule_name(op, &const_ports));
+                missing.push(rule_name(*op, const_ports));
             }
             None => {}
         }
@@ -471,13 +480,13 @@ pub fn standard_ruleset(
             .cmp(&a.ops_covered)
             .then_with(|| a.name.cmp(&b.name))
     });
-    (
+    Ok((
         RuleSet { rules },
         SynthesisReport {
             missing,
             rejected: 0,
         },
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -557,7 +566,7 @@ mod tests {
         g.output(s);
         g.bit_output(cmp);
         let pe = baseline_pe();
-        let (rules, report) = standard_ruleset(&pe.datapath, &[], &[&g]);
+        let (rules, report) = standard_ruleset(&pe.datapath, &[], &[&g]).unwrap();
         assert!(report.missing.is_empty(), "missing: {:?}", report.missing);
         assert!(rules.len() >= 4, "plain + const variants + passthrough");
         // sorted by coverage
@@ -606,7 +615,7 @@ mod tests {
                 _ => {}
             }
         }
-        let (rules, report) = standard_ruleset(&pe.datapath, &[], &[&g]);
+        let (rules, report) = standard_ruleset(&pe.datapath, &[], &[&g]).unwrap();
         assert!(report.missing.is_empty(), "missing: {:?}", report.missing);
         assert!(!rules.is_empty());
     }

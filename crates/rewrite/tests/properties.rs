@@ -49,7 +49,7 @@ proptest! {
             &MergeOptions::default(),
         )
         .unwrap();
-        let (rules, _) = standard_ruleset(&dp, &[g1.clone(), g2.clone()], &[&g1, &g2]);
+        let (rules, _) = standard_ruleset(&dp, &[g1.clone(), g2.clone()], &[&g1, &g2]).unwrap();
         // every admitted rule re-verifies with a fresh battery
         for r in &rules.rules {
             prop_assert!(verify_rule(&dp, r, 48), "rule {} must verify", r.name);

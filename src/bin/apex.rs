@@ -5,10 +5,10 @@
 //! apex list                         applications in the benchmark suite
 //! apex dot <app>                    application dataflow graph as Graphviz DOT
 //! apex mine <app> [min_support]     frequent subgraphs with MIS statistics
-//! apex dse <app>                    specialize a PE for one application
+//! apex dse <app> [--jobs N]         specialize a PE for one application
 //! apex verilog <variant> [file]     PE RTL (variant: base | ip | ml | spec:<app>)
 //! apex array <variant> [file]       full 32x16 CGRA RTL for a variant
-//! apex report [ids...]              regenerate the paper's tables/figures
+//! apex report [--jobs N] [ids...]   regenerate the paper's tables/figures
 //! apex save <app> [file]            dump an application in the text graph format
 //! apex dse-file <file>              run the DSE flow on a text-format graph
 //! apex describe <variant>           PE datasheet (units, configs, costs)
@@ -22,8 +22,30 @@ fn usage() {
     eprintln!("see `apex` source docs for details");
 }
 
+/// Strips a `--jobs N` flag anywhere in the argument list and installs
+/// the worker-count override every pooled stage (mining, rule synthesis,
+/// the evaluation sweep) consults. `--jobs 1` forces the serial path;
+/// results are bit-identical at any value.
+fn take_jobs_flag(args: &mut Vec<String>) {
+    let Some(pos) = args.iter().position(|a| a == "--jobs") else {
+        return;
+    };
+    let n = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok());
+    match n {
+        Some(n) if n >= 1 => {
+            apex::par::set_jobs(n);
+            args.drain(pos..pos + 2);
+        }
+        _ => {
+            eprintln!("--jobs expects a positive integer");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    take_jobs_flag(&mut args);
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let result = match cmd {
         "list" => {
@@ -38,10 +60,7 @@ fn main() {
         "dse" => dse(&args[1..]),
         "verilog" => verilog(&args[1..], false),
         "array" => verilog(&args[1..], true),
-        "report" => {
-            report(&args[1..]);
-            Ok(())
-        }
+        "report" => report(&args[1..]),
         "save" => {
             save(&args[1..]);
             Ok(())
@@ -344,11 +363,22 @@ fn describe(args: &[String]) -> Result<(), ApexError> {
     Ok(())
 }
 
-fn report(filter: &[String]) {
-    for (name, gen) in apex::eval::all_experiments() {
+fn report(filter: &[String]) -> Result<(), ApexError> {
+    let experiments = apex::eval::all_experiments();
+    for id in filter {
+        if !experiments.iter().any(|(name, _)| name == id) {
+            let known: Vec<&str> = experiments.iter().map(|(name, _)| *name).collect();
+            return Err(ApexError::new(
+                apex::fault::Stage::Cli,
+                format!("unknown experiment '{id}' (known: {})", known.join(", ")),
+            ));
+        }
+    }
+    for (name, gen) in experiments {
         if !filter.is_empty() && !filter.iter().any(|f| f == name) {
             continue;
         }
-        println!("{}", gen());
+        println!("{}", gen()?);
     }
+    Ok(())
 }

@@ -18,6 +18,7 @@
 //! | [`map`] | instruction selection onto PEs (§4.1.2) |
 //! | [`pipeline`] | PE + application pipelining (§4.2–4.3) |
 //! | [`cgra`] | fabric generation, place-and-route, bitstreams (§2, §5.3) |
+//! | [`par`] | bounded work-stealing job pool for parallel sweeps |
 //! | [`core`] | the DSE driver: variants + full-flow evaluation (§4) |
 //! | [`eval`] | the experiment harness regenerating every table/figure (§5) |
 //!
@@ -51,6 +52,7 @@ pub use apex_ir as ir;
 pub use apex_map as map;
 pub use apex_merge as merge;
 pub use apex_mining as mining;
+pub use apex_par as par;
 pub use apex_pe as pe;
 pub use apex_pipeline as pipeline;
 pub use apex_rewrite as rewrite;

@@ -1,0 +1,66 @@
+//! CLI contract tests for the sweep-executor flags and diagnostics:
+//! `--jobs` validation, experiment-id validation in `apex report`, and
+//! unknown-application handling — all must exit nonzero with a clean
+//! diagnostic, never panic, never silently ignore the request.
+
+use std::process::Command;
+
+fn apex(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_apex"))
+        .args(args)
+        .output()
+        .expect("apex binary runs");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    (out.status.code().unwrap_or(-1), stderr)
+}
+
+#[test]
+fn report_rejects_unknown_experiment_id() {
+    // the pre-parallel CLI silently skipped unknown ids and printed
+    // nothing — a typo looked like an empty (successful) report
+    let (code, stderr) = apex(&["report", "fig99"]);
+    assert_ne!(code, 0, "unknown experiment id must fail\nstderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("unknown experiment 'fig99'"),
+        "diagnostic names the id: {stderr}"
+    );
+    assert!(
+        stderr.contains("table2"),
+        "diagnostic lists the known ids: {stderr}"
+    );
+}
+
+#[test]
+fn jobs_flag_rejects_zero_and_garbage() {
+    for bad in ["0", "many", "-3"] {
+        let (code, stderr) = apex(&["report", "--jobs", bad, "table1"]);
+        assert_ne!(code, 0, "--jobs {bad} must fail\nstderr: {stderr}");
+        assert!(
+            stderr.contains("--jobs expects a positive integer"),
+            "--jobs {bad}: {stderr}"
+        );
+    }
+    // trailing --jobs with no value
+    let (code, stderr) = apex(&["report", "table1", "--jobs"]);
+    assert_ne!(code, 0, "dangling --jobs must fail\nstderr: {stderr}");
+}
+
+#[test]
+fn jobs_flag_is_accepted_on_cheap_commands() {
+    // `mine` exercises the pooled mining stage; --jobs 2 must parse and
+    // not leak into the positional arguments
+    let (code, stderr) = apex(&["mine", "gaussian", "--jobs", "2"]);
+    assert_eq!(code, 0, "mine with --jobs should succeed\nstderr: {stderr}");
+}
+
+#[test]
+fn unknown_application_exits_nonzero() {
+    let (code, stderr) = apex(&["dse", "no-such-app"]);
+    assert_ne!(code, 0, "unknown app must fail\nstderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("unknown application 'no-such-app'"),
+        "diagnostic names the app: {stderr}"
+    );
+}

@@ -183,6 +183,58 @@ fn injected_route_fault_is_reported_per_app() {
 }
 
 #[test]
+fn injected_synth_panic_becomes_rewrite_error_with_payload() {
+    // a panicking synthesis worker must not unwind the caller: the job
+    // pool catches it and the rewrite stage reports an ApexError whose
+    // cause chain carries the panic payload
+    let _armed = Armed::new("rewrite::synth_panic");
+    let apps = apps();
+    let tech = TechModel::default();
+    let err = build_variant(&apps).expect_err("panicking synthesis worker fails construction");
+    assert_eq!(err.stage(), Stage::Rewrite);
+    let chain = err.render_chain();
+    assert!(
+        chain.contains("injected panic at rewrite::synth_panic"),
+        "panic payload missing from cause chain: {chain}"
+    );
+    // and the suite degrades per app instead of unwinding
+    let refs: Vec<&Application> = apps.iter().collect();
+    for o in dse_evaluate_suite(&Err(err), &refs, &tech, &DseOptions::default()) {
+        assert!(o.is_degraded());
+        assert!(o.result.is_err());
+        assert!(o.degradations.iter().any(|d| d.stage == Stage::Rewrite));
+    }
+}
+
+#[test]
+fn injected_mine_panic_degrades_not_aborts() {
+    // a panicking miner worker is caught by the pool and degrades exactly
+    // like a mining error: that app contributes no subgraphs
+    let _armed = Armed::new("core::mine_panic");
+    let apps = apps();
+    let variant = build_variant(&apps).expect("a panicking miner degrades, not aborts");
+    let mine_degs: Vec<_> = variant
+        .degradations
+        .iter()
+        .filter(|d| d.stage == Stage::Mine)
+        .collect();
+    assert_eq!(mine_degs.len(), apps.len(), "one skipped mining pass per app");
+    for d in &mine_degs {
+        assert!(
+            d.detail.contains("injected panic at core::mine_panic"),
+            "panic payload missing from degradation: {}",
+            d.detail
+        );
+    }
+    let tech = TechModel::default();
+    let refs: Vec<&Application> = apps.iter().collect();
+    for o in dse_evaluate_suite(&Ok(variant.clone()), &refs, &tech, &DseOptions::default()) {
+        assert!(o.is_degraded());
+        assert!(o.result.is_ok(), "degenerate variant must still evaluate");
+    }
+}
+
+#[test]
 fn disarmed_flow_is_clean() {
     let _armed = Armed::new("no::such::site");
     let apps = apps();

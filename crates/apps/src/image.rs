@@ -85,8 +85,12 @@ fn camera_pixel(g: &mut Graph, w: &[NodeId; 9]) -> [NodeId; 3] {
 pub fn camera_pipeline() -> Application {
     let mut g = Graph::new("camera_pipeline");
     for _ in 0..4 {
-        let w: Vec<NodeId> = window(&mut g, 9);
-        let rgb = camera_pixel(&mut g, &w.try_into().expect("9 taps"));
+        // window(_, 9) always yields exactly 9 taps; skip the pixel rather
+        // than panic if that ever changed
+        let Ok(w) = <[NodeId; 9]>::try_from(window(&mut g, 9)) else {
+            continue;
+        };
+        let rgb = camera_pixel(&mut g, &w);
         for ch in rgb {
             g.output(ch);
         }

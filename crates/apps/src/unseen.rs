@@ -68,7 +68,12 @@ fn stereo_pixel(g: &mut Graph, left: &[NodeId], rights: &[&[NodeId]]) -> NodeId 
             _ => unreachable!(),
         }
     }
-    best_disp.expect("at least one disparity")
+    // the caller always passes at least one disparity window; degrade to a
+    // constant-zero disparity instead of panicking if none were given
+    match best_disp {
+        Some(d) => d,
+        None => g.constant(0),
+    }
 }
 
 /// Stereo depth-map extraction (unseen app 2).

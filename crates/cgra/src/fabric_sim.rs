@@ -67,7 +67,8 @@ pub fn decode_pe_configs(
         let NetKind::Pe(inst) = &node.kind else {
             continue;
         };
-        let tile = placement.tile_of_node[i].expect("PE instances are placed");
+        let tile = placement.tile_of_node[i]
+            .ok_or(FabricSimError::MissingTileConfig { node: i as u32 })?;
         let configs = bitstream
             .tiles
             .get(&tile)

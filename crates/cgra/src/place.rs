@@ -235,7 +235,11 @@ pub fn place(
             .iter()
             .filter_map(|&v| tile_of[v as usize])
             .collect();
-        let s = slots.get_mut(&class).expect("class exists");
+        // `slots` is seeded with every class; the defensive skip keeps the
+        // placer free of panicking call sites
+        let Some(s) = slots.get_mut(&class) else {
+            continue;
+        };
         let mut best: Option<(usize, usize)> = None; // (cost, slot)
         for (k, occ) in s.occupant.iter().enumerate() {
             if occ.is_some() {
@@ -254,7 +258,15 @@ pub fn place(
                 best = Some((cost, k));
             }
         }
-        let (_, k) = best.expect("capacity checked");
+        // the capacity pre-check guarantees a free slot; if that invariant
+        // ever broke, report exhaustion instead of panicking
+        let Some((_, k)) = best else {
+            return Err(PlaceError::Capacity {
+                class,
+                needed: 1,
+                available: 0,
+            });
+        };
         s.occupant[k] = Some(u);
         tile_of[u as usize] = Some(s.tiles[k]);
         slot_of[u as usize] = Some((class, k));
@@ -297,8 +309,14 @@ pub fn place(
             let temp = options.start_temp
                 * (1.0 - step as f64 / options.moves as f64).max(0.0001);
             let u = placeable[(rand() as usize) % placeable.len()];
-            let (class, ku) = slot_of[u as usize].expect("placeable");
-            let s = slots.get_mut(&class).expect("class");
+            // `placeable` only lists nodes with a slot, and `slots` covers
+            // every class; skip the move rather than panic if either breaks
+            let Some((class, ku)) = slot_of[u as usize] else {
+                continue;
+            };
+            let Some(s) = slots.get_mut(&class) else {
+                continue;
+            };
             let kv = (rand() as usize) % s.tiles.len();
             if kv == ku {
                 continue;

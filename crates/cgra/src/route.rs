@@ -349,8 +349,12 @@ fn shortest_path(
     let mut cur = dst;
     while cur != src {
         // invariant: the fabric grid is fully connected, so Dijkstra always
-        // reaches dst and every hop has a predecessor
-        cur = prev[cur.0 as usize].expect("grid is connected");
+        // reaches dst and every hop has a predecessor; a broken chain
+        // yields a non-contiguous path that `verify_routed` rejects
+        let Some(p) = prev[cur.0 as usize] else {
+            break;
+        };
+        cur = p;
         path.push(cur);
     }
     path.reverse();

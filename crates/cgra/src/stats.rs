@@ -48,7 +48,11 @@ pub fn gather_stats(
         let Some(class) = place_class(&node.kind) else {
             continue;
         };
-        let tile = placement.tile_of_node[i].expect("placed");
+        // an unplaced node contributes nothing to utilization; stats stay
+        // panic-free even on a partial placement
+        let Some(tile) = placement.tile_of_node[i] else {
+            continue;
+        };
         functional.insert(tile);
         match class {
             PlaceClass::PeSlot => pe_tiles += 1,

@@ -18,8 +18,12 @@
 //! (spec + sources + rules + synthesis report + degradations) under
 //! `target/apex-cache/` — overridable with `APEX_CACHE_DIR`, disabled
 //! entirely with `APEX_CACHE=off`. Writes are atomic (temp file + rename)
-//! so concurrent sweeps can share one cache directory; a corrupt or
-//! truncated entry decodes as a miss and is rebuilt.
+//! so concurrent sweeps can share one cache directory. Every entry opens
+//! with a `sum <fnv1a>` checksum line over its payload, verified on read;
+//! an entry that is present but fails the checksum or the decoder is
+//! **quarantined** — renamed to `<key>.corrupt` and counted — rather than
+//! silently deleted, so disk corruption leaves evidence while the sweep
+//! transparently rebuilds the value.
 //!
 //! The in-tree `serde` shim is marker-only, so the codec here is written
 //! by hand; [`encode_variant`] / [`decode_variant`] round-trip exactly,
@@ -43,8 +47,10 @@ use std::sync::OnceLock;
 
 /// Bump when the value encoding or anything upstream of variant
 /// construction changes semantically; old entries then miss instead of
-/// resurrecting stale designs.
-const FORMAT: &str = "apex-variant v1";
+/// resurrecting stale designs. (v2: entries gained a `sum` checksum line;
+/// the version is hashed into every cache key, so v1 entries are simply
+/// never addressed again rather than misread or falsely quarantined.)
+const FORMAT: &str = "apex-variant v2";
 
 // ---------------------------------------------------------------------------
 // key hashing
@@ -121,6 +127,7 @@ pub struct VariantCache {
     dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl VariantCache {
@@ -130,6 +137,7 @@ impl VariantCache {
             dir: Some(dir.into()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -139,6 +147,7 @@ impl VariantCache {
             dir: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -182,32 +191,47 @@ impl VariantCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Number of corrupt entries renamed to `<key>.corrupt` since
+    /// construction (surfaced in the report summary).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
     fn entry_path(&self, key: u64) -> Option<PathBuf> {
         self.dir.as_ref().map(|d| d.join(format!("{key:016x}.var")))
     }
 
-    /// Loads and decodes the entry for `key`; any I/O or decode problem is
-    /// a miss (the entry will be rebuilt and overwritten).
+    /// Loads, checksum-verifies, and decodes the entry for `key`. A
+    /// missing file is a plain miss; a file that is *present* but fails
+    /// the checksum or decoder is quarantined (renamed to `<key>.corrupt`)
+    /// so corruption is preserved as evidence, then reported as a miss and
+    /// rebuilt.
     pub fn load(&self, key: u64) -> Option<PeVariant> {
         let path = self.entry_path(key)?;
-        let decoded = std::fs::read_to_string(&path)
-            .ok()
-            .and_then(|text| decode_variant(&text));
-        match decoded {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match decode_entry(&text) {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(v)
             }
             None => {
+                let quarantine = path.with_extension("corrupt");
+                if std::fs::rename(&path, &quarantine).is_ok() {
+                    self.quarantined.fetch_add(1, Ordering::Relaxed);
+                }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    /// Atomically stores a variant under `key`. Best-effort: an
-    /// unwritable cache directory silently degrades to pass-through
-    /// (the sweep must not fail because a cache could not be written).
+    /// Atomically stores a variant under `key`, prefixed with a checksum
+    /// line over the payload. Best-effort: an unwritable cache directory
+    /// silently degrades to pass-through (the sweep must not fail because
+    /// a cache could not be written).
     pub fn store(&self, key: u64, variant: &PeVariant) {
         let Some(path) = self.entry_path(key) else {
             return;
@@ -216,7 +240,7 @@ impl VariantCache {
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
-        let text = encode_variant(variant);
+        let text = encode_entry(variant);
         let tmp = dir.join(format!(".{key:016x}.{}.tmp", std::process::id()));
         if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
@@ -242,22 +266,48 @@ impl VariantCache {
     }
 }
 
-/// `<workspace>/target/apex-cache`, where `<workspace>` is the nearest
+/// `<workspace>/target/<name>`, where `<workspace>` is the nearest
 /// ancestor of the current directory holding a `Cargo.lock` (so tests run
-/// from member-crate directories share the workspace cache); falls back to
-/// the current directory.
-fn default_cache_dir() -> PathBuf {
+/// from member-crate directories share one location); falls back to the
+/// current directory. Shared by the variant cache and the sweep journal.
+pub(crate) fn workspace_target_subdir(name: &str) -> PathBuf {
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     let mut probe: &Path = &cwd;
     loop {
         if probe.join("Cargo.lock").exists() {
-            return probe.join("target").join("apex-cache");
+            return probe.join("target").join(name);
         }
         match probe.parent() {
             Some(p) => probe = p,
-            None => return cwd.join("target").join("apex-cache"),
+            None => return cwd.join("target").join(name),
         }
     }
+}
+
+fn default_cache_dir() -> PathBuf {
+    workspace_target_subdir("apex-cache")
+}
+
+// ---------------------------------------------------------------------------
+// entry envelope: checksum line + payload
+// ---------------------------------------------------------------------------
+
+/// Wraps the variant encoding in the on-disk entry envelope: a
+/// `sum <fnv1a-hex>` line over the exact payload that follows.
+fn encode_entry(variant: &PeVariant) -> String {
+    let body = encode_variant(variant);
+    format!("sum {:016x}\n{body}", fnv1a(&[&body]))
+}
+
+/// Verifies the checksum line and decodes the payload; `None` on any
+/// mismatch or malformation (the caller quarantines the file).
+fn decode_entry(text: &str) -> Option<PeVariant> {
+    let (first, body) = text.split_once('\n')?;
+    let sum = u64::from_str_radix(first.strip_prefix("sum ")?, 16).ok()?;
+    if fnv1a(&[body]) != sum {
+        return None;
+    }
+    decode_variant(body)
 }
 
 // ---------------------------------------------------------------------------
@@ -768,6 +818,36 @@ mod tests {
         // flip a count field
         let bad = good.replacen("rules ", "rules 9", 1);
         assert!(decode_variant(&bad).is_none());
+
+        // the entry envelope catches corruption the decoder might accept:
+        // a flipped payload byte fails the checksum line
+        let entry = encode_entry(&v);
+        assert!(decode_entry(&entry).is_some());
+        let flipped = entry.replacen("name ", "nbme ", 1);
+        assert!(decode_entry(&flipped).is_none());
+        assert!(decode_entry("no checksum line").is_none());
+
+        // a corrupt on-disk entry is quarantined to <key>.corrupt, counted,
+        // and reported as a miss — never silently rebuilt over
+        let dir = std::env::temp_dir().join(format!("apex-cache-quar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = VariantCache::at(&dir);
+        let key = 0x1234_5678_9ABC_DEF0u64;
+        cache.store(key, &v);
+        let path = dir.join(format!("{key:016x}.var"));
+        std::fs::write(&path, flipped).unwrap();
+        assert!(cache.load(key).is_none());
+        assert_eq!(cache.quarantined(), 1);
+        assert!(!path.exists(), "corrupt entry left in place");
+        assert!(
+            dir.join(format!("{key:016x}.corrupt")).exists(),
+            "quarantine file missing"
+        );
+        // the quarantined key rebuilds: a store+load round trip works again
+        cache.store(key, &v);
+        assert!(cache.load(key).is_some());
+        assert_eq!(cache.quarantined(), 1, "clean reload must not re-quarantine");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

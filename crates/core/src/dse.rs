@@ -25,8 +25,10 @@ use apex_cgra::{
 };
 use apex_fault::{ApexError, Degradation, DegradationKind, DseOutcome, Stage};
 use apex_map::map_application;
+use apex_par::{JobCtx, WatchdogOptions};
 use apex_pipeline::{auto_pipeline, pipeline_application, AppPipelineReport};
 use apex_tech::TechModel;
+use std::time::Duration;
 
 /// Options for the resilient DSE flow.
 #[derive(Debug, Clone)]
@@ -44,6 +46,12 @@ pub struct DseOptions {
     /// across any job count — the serial and parallel paths are the same
     /// code in `apex-par`.
     pub jobs: usize,
+    /// Per-job wall-clock deadline for the watchdog supervising
+    /// [`dse_evaluate_suite`] / [`dse_evaluate_grid`]: a job exceeding it
+    /// is cancelled cooperatively (through its stage budgets), recorded
+    /// with a [`Stage::Sweep`] timeout degradation, and the sweep
+    /// continues. `None` disables the per-job deadline.
+    pub job_deadline: Option<Duration>,
 }
 
 impl Default for DseOptions {
@@ -53,7 +61,19 @@ impl Default for DseOptions {
             place_retries: 2,
             route_relax_retry: true,
             jobs: 0,
+            job_deadline: None,
         }
+    }
+}
+
+/// Watchdog policy for a supervised sweep: the per-job deadline from
+/// `options`, plus the process-wide interrupt flag so Ctrl-C drains the
+/// pool instead of abandoning it.
+fn watchdog_options(options: &DseOptions) -> WatchdogOptions {
+    WatchdogOptions {
+        job_deadline: options.job_deadline,
+        interrupt: Some(apex_fault::interrupt::flag()),
+        poll: Duration::ZERO, // DEFAULT_TIME_SLICE
     }
 }
 
@@ -246,6 +266,66 @@ pub fn dse_evaluate_app(
     }
 }
 
+/// [`dse_evaluate_app`] under watchdog supervision: the job's cancel flag
+/// is fanned into the stage budgets (routing — the flow's open-ended
+/// search) so a deadline overrun or sweep interrupt stops the evaluation
+/// cooperatively, and a watchdog timeout is recorded as a
+/// [`Stage::Sweep`] degradation on the outcome.
+///
+/// With a detached [`JobCtx`] (no watchdog firing) this runs exactly the
+/// same code as [`dse_evaluate_app`], so supervision never perturbs a
+/// healthy sweep's results.
+pub fn dse_evaluate_app_supervised(
+    variant: &PeVariant,
+    app: &Application,
+    tech: &TechModel,
+    options: &DseOptions,
+    ctx: &JobCtx,
+) -> AppDseOutcome {
+    #[cfg(feature = "fault-injection")]
+    if apex_fault::failpoints::is_armed("sweep::job_timeout") {
+        // simulated hung job: an un-budgeted infinite loop that only the
+        // watchdog's cancel flag (or a sweep interrupt) can stop — this is
+        // the no-hang guarantee's worst case
+        while !ctx.cancelled() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let cause = if ctx.timed_out() {
+            "watchdog deadline"
+        } else {
+            "sweep interrupt"
+        };
+        return DseOutcome::degraded(
+            Err(ApexError::new(
+                Stage::Sweep,
+                format!("hung job cancelled by {cause}"),
+            )),
+            vec![Degradation::new(
+                Stage::Sweep,
+                DegradationKind::TimedOut,
+                format!("injected hang cancelled by {cause}; application skipped"),
+            )],
+        );
+    }
+
+    let mut options = options.clone();
+    options.eval.route.budget = options
+        .eval
+        .route
+        .budget
+        .clone()
+        .with_cancel(std::sync::Arc::clone(&ctx.cancel));
+    let mut outcome = dse_evaluate_app(variant, app, tech, &options);
+    if ctx.timed_out() {
+        outcome.degradations.push(Degradation::new(
+            Stage::Sweep,
+            DegradationKind::TimedOut,
+            "job exceeded its watchdog deadline; result is the cancelled incumbent",
+        ));
+    }
+    outcome
+}
+
 /// One reported outcome standing in for an evaluation whose variant never
 /// built.
 fn failed_variant_outcome(e: &ApexError) -> AppDseOutcome {
@@ -291,11 +371,14 @@ pub fn dse_evaluate_suite(
     match variant {
         Ok(v) => {
             let jobs = effective_jobs(options.jobs);
-            apex_par::par_map(jobs, apps, |_, a| dse_evaluate_app(v, a, tech, options))
-                .into_iter()
-                .zip(apps)
-                .map(|(r, app)| r.unwrap_or_else(|p| panicked_outcome(p, app)))
-                .collect()
+            let watch = watchdog_options(options);
+            apex_par::par_map_supervised(jobs, apps, &watch, |_, a, ctx| {
+                dse_evaluate_app_supervised(v, a, tech, options, ctx)
+            })
+            .into_iter()
+            .zip(apps)
+            .map(|(r, app)| r.unwrap_or_else(|p| panicked_outcome(p, app)))
+            .collect()
         }
         Err(e) => apps.iter().map(|_| failed_variant_outcome(e)).collect(),
     }
@@ -316,9 +399,12 @@ pub fn dse_evaluate_grid(
         .flat_map(|v| (0..apps.len()).map(move |a| (v, a)))
         .collect();
     let jobs = effective_jobs(options.jobs);
-    let mut flat = apex_par::par_map(jobs, &pairs, |_, &(v, a)| match &variants[v] {
-        Ok(variant) => dse_evaluate_app(variant, apps[a], tech, options),
-        Err(e) => failed_variant_outcome(e),
+    let watch = watchdog_options(options);
+    let mut flat = apex_par::par_map_supervised(jobs, &pairs, &watch, |_, &(v, a), ctx| {
+        match &variants[v] {
+            Ok(variant) => dse_evaluate_app_supervised(variant, apps[a], tech, options, ctx),
+            Err(e) => failed_variant_outcome(e),
+        }
     })
     .into_iter();
     let mut out = Vec::with_capacity(variants.len());
@@ -358,6 +444,34 @@ mod tests {
         let outcome = dse_evaluate_app(&v, &app, &tech, &DseOptions::default());
         assert!(!outcome.is_degraded(), "{}", outcome.degradation_summary());
         assert!(outcome.result.is_ok());
+    }
+
+    #[test]
+    fn supervised_with_idle_watchdog_matches_unsupervised() {
+        let app = gaussian();
+        let tech = TechModel::default();
+        let v = baseline_variant(&[&app]).unwrap();
+        let options = DseOptions::default();
+        let plain = dse_evaluate_app(&v, &app, &tech, &options);
+        let ctx = apex_par::JobCtx::detached();
+        let supervised = dse_evaluate_app_supervised(&v, &app, &tech, &options, &ctx);
+        assert_eq!(format!("{plain:?}"), format!("{supervised:?}"));
+    }
+
+    #[test]
+    fn pre_cancelled_job_drains_with_sweep_degradation() {
+        // a job dispatched after Ctrl-C starts pre-cancelled; its routing
+        // budget sees the flag and the outcome reports the cancellation
+        let app = gaussian();
+        let tech = TechModel::default();
+        let v = baseline_variant(&[&app]).unwrap();
+        let mut options = DseOptions::default();
+        options.route_relax_retry = false;
+        let ctx = apex_par::JobCtx::detached();
+        ctx.cancel.store(true, std::sync::atomic::Ordering::Relaxed);
+        let outcome = dse_evaluate_app_supervised(&v, &app, &tech, &options, &ctx);
+        assert!(outcome.is_degraded());
+        assert!(outcome.result.is_err());
     }
 
     #[test]

@@ -1,0 +1,718 @@
+//! Write-ahead checkpoint journal for crash-safe sweeps.
+//!
+//! A sweep (`apex report`, `apex dse`) is a sequence of expensive jobs
+//! whose results are pure functions of the configuration. This module
+//! journals every *completed* job to an append-only JSONL file under
+//! `target/apex-journal/<sweep-key>.jsonl` so that a crash, `kill -9`, or
+//! Ctrl-C loses at most the jobs still in flight:
+//!
+//! * **sweep key** — derived from the same content hash the variant cache
+//!   uses ([`crate::cache::fnv1a`] over the sweep's configuration), so a
+//!   config change yields a different journal file and a clean start;
+//! * **record** — one line per completed job carrying the job's own
+//!   content-addressed key, the rendered result payload, its digest, the
+//!   [`Provenance`]/degradation summary, and a whole-record checksum;
+//! * **append-then-fsync** — each record is appended and `sync_data`ed
+//!   before the job is considered checkpointed (write-ahead discipline);
+//! * **replay** — [`SweepJournal::replay`] accepts the valid prefix,
+//!   drops a torn final record (a crash mid-append), and skips corrupt
+//!   mid-file records with a count, never trusting or panicking on bad
+//!   bytes.
+//!
+//! [`run_checkpointed`] is the sweep driver: it serves journaled jobs
+//! back in input order (so a resumed sweep is byte-identical to an
+//! uninterrupted one), runs only the remainder, and stops dispatching as
+//! soon as the interrupt flag rises.
+
+use crate::cache::{fnv1a, workspace_target_subdir};
+use apex_fault::{fail_point, ApexError, Provenance, Stage};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[cfg(feature = "fault-injection")]
+use apex_fault::failpoints;
+
+/// Journal format version, embedded in every record and hashed into every
+/// record checksum; bump on any codec change so old journals replay empty
+/// (clean start) instead of being misread.
+pub const JOURNAL_FORMAT: &str = "apex-journal v1";
+
+// ---------------------------------------------------------------------------
+// records
+// ---------------------------------------------------------------------------
+
+/// One completed sweep job, as journaled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Content-addressed key of the job (same hash family as the variant
+    /// cache).
+    pub job_key: u64,
+    /// Human-readable job label (experiment id, app name) for log lines.
+    pub label: String,
+    /// How the job's search concluded.
+    pub provenance: Provenance,
+    /// Compact degradation summary (`-` when clean).
+    pub degradations: String,
+    /// The rendered result payload, fed back verbatim on resume.
+    pub payload: String,
+}
+
+fn esc_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Strict inverse of [`esc_json`]; `None` on any escape the encoder never
+/// produces (treated as corruption).
+fn unesc_json(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+impl JournalRecord {
+    /// Digest of the payload (stored in the record so replay can verify
+    /// the payload survived intact independently of the line checksum).
+    pub fn digest(&self) -> u64 {
+        fnv1a(&[&self.payload])
+    }
+
+    /// Checksum over every field, written as the record's final `sum`
+    /// field; a torn or bit-flipped line fails this and is dropped.
+    fn checksum(&self) -> u64 {
+        fnv1a(&[
+            JOURNAL_FORMAT,
+            &format!("{:016x}", self.job_key),
+            &self.label,
+            self.provenance.marker(),
+            &self.degradations,
+            &format!("{:016x}", self.digest()),
+            &self.payload,
+        ])
+    }
+
+    /// Encodes the record as one JSONL line (no trailing newline). Fields
+    /// are written in fixed order with the checksum last, so a torn write
+    /// can never produce a line that checks out.
+    pub fn encode(&self) -> String {
+        format!(
+            "{{\"v\":\"{}\",\"job\":\"{:016x}\",\"label\":\"{}\",\"prov\":\"{}\",\"deg\":\"{}\",\"digest\":\"{:016x}\",\"payload\":\"{}\",\"sum\":\"{:016x}\"}}",
+            esc_json(JOURNAL_FORMAT),
+            self.job_key,
+            esc_json(&self.label),
+            self.provenance.marker(),
+            esc_json(&self.degradations),
+            self.digest(),
+            esc_json(&self.payload),
+            self.checksum(),
+        )
+    }
+
+    /// Decodes one journal line; `None` on any malformation, unknown
+    /// format version, checksum mismatch, or payload-digest mismatch.
+    pub fn decode(line: &str) -> Option<JournalRecord> {
+        let mut rest = line.strip_prefix('{')?.strip_suffix('}')?;
+        let mut field = |key: &str, first: bool| -> Option<String> {
+            let prefix = if first {
+                format!("\"{key}\":\"")
+            } else {
+                format!(",\"{key}\":\"")
+            };
+            rest = rest.strip_prefix(prefix.as_str())?;
+            // scan to the closing unescaped quote
+            let bytes = rest.as_bytes();
+            let mut i = 0;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'"' => break,
+                    _ => i += 1,
+                }
+            }
+            if i > bytes.len() {
+                return None; // trailing lone backslash
+            }
+            let raw = rest.get(..i)?;
+            rest = rest.get(i..)?.strip_prefix('"')?;
+            unesc_json(raw)
+        };
+        let version = field("v", true)?;
+        let job = field("job", false)?;
+        let label = field("label", false)?;
+        let prov = field("prov", false)?;
+        let deg = field("deg", false)?;
+        let digest = field("digest", false)?;
+        let payload = field("payload", false)?;
+        let sum = field("sum", false)?;
+        if !rest.is_empty() || version != JOURNAL_FORMAT {
+            return None;
+        }
+        let record = JournalRecord {
+            job_key: u64::from_str_radix(&job, 16).ok()?,
+            label,
+            provenance: Provenance::from_marker(&prov)?,
+            degradations: deg,
+            payload,
+        };
+        if u64::from_str_radix(&sum, 16).ok()? != record.checksum()
+            || u64::from_str_radix(&digest, 16).ok()? != record.digest()
+        {
+            return None;
+        }
+        Some(record)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the journal file
+// ---------------------------------------------------------------------------
+
+/// Append-only journal for one sweep, addressed by sweep key.
+#[derive(Debug)]
+pub struct SweepJournal {
+    path: Option<PathBuf>,
+}
+
+/// What a journal replay recovered.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// Valid records in file order (duplicates possible; last wins).
+    pub records: Vec<JournalRecord>,
+    /// A torn final record was detected and dropped (crash mid-append).
+    pub dropped_torn: usize,
+    /// Complete lines that failed decoding or their checksum.
+    pub dropped_corrupt: usize,
+}
+
+impl JournalReplay {
+    /// The completed jobs, keyed by job key; later records win so a job
+    /// re-run after a partial resume supersedes its older entry.
+    pub fn completed(&self) -> BTreeMap<u64, &JournalRecord> {
+        let mut map = BTreeMap::new();
+        for rec in &self.records {
+            map.insert(rec.job_key, rec);
+        }
+        map
+    }
+}
+
+impl SweepJournal {
+    /// The journal for `sweep_key`, configured from the environment:
+    /// `APEX_JOURNAL=off|0|no` disables journaling, `APEX_JOURNAL_DIR`
+    /// overrides the directory, default is `target/apex-journal` under
+    /// the enclosing cargo workspace.
+    pub fn for_sweep(sweep_key: u64) -> Self {
+        if let Ok(v) = std::env::var("APEX_JOURNAL") {
+            let v = v.trim().to_ascii_lowercase();
+            if v == "off" || v == "0" || v == "no" || v == "false" {
+                return SweepJournal::disabled();
+            }
+        }
+        let dir = match std::env::var("APEX_JOURNAL_DIR") {
+            Ok(d) if !d.trim().is_empty() => PathBuf::from(d),
+            _ => workspace_target_subdir("apex-journal"),
+        };
+        SweepJournal {
+            path: Some(dir.join(format!("{sweep_key:016x}.jsonl"))),
+        }
+    }
+
+    /// A journal at an explicit file path (tests).
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        SweepJournal {
+            path: Some(path.into()),
+        }
+    }
+
+    /// A disabled journal: appends are dropped, replay is empty.
+    pub fn disabled() -> Self {
+        SweepJournal { path: None }
+    }
+
+    /// Whether records are actually persisted.
+    pub fn is_enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// The journal file location, if enabled.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Appends one record and fsyncs (write-ahead: the job only counts as
+    /// checkpointed once this returns `Ok`). Best-effort like the cache —
+    /// an unwritable journal degrades the sweep to non-resumable rather
+    /// than failing it — but I/O errors are reported so the driver can
+    /// log them.
+    ///
+    /// # Errors
+    /// Returns the underlying I/O failure (or the `sweep::journal_write`
+    /// injected fault).
+    pub fn append(&self, record: &JournalRecord) -> Result<(), ApexError> {
+        fail_point!(
+            "sweep::journal_write",
+            ApexError::new(Stage::Sweep, "injected journal write failure")
+        );
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let io = |e: std::io::Error| ApexError::with_source(Stage::Sweep, e);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(io)?;
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(io)?;
+        let mut line = record.encode();
+        line.push('\n');
+        file.write_all(line.as_bytes()).map_err(io)?;
+        file.sync_data().map_err(io)?;
+        Ok(())
+    }
+
+    /// Replays the journal: valid records in order, with torn-tail and
+    /// corrupt-line counts. Never errors and never panics — an unreadable
+    /// or absent file is simply an empty replay (clean start).
+    pub fn replay(&self) -> JournalReplay {
+        let mut out = JournalReplay::default();
+        #[cfg(feature = "fault-injection")]
+        if failpoints::is_armed("sweep::journal_replay") {
+            // injected replay fault: the journal reads as unusable, which
+            // must degrade to a clean start, not an abort
+            return out;
+        }
+        let Some(path) = &self.path else {
+            return out;
+        };
+        let Ok(bytes) = std::fs::read(path) else {
+            return out;
+        };
+        let text = String::from_utf8_lossy(&bytes);
+        let complete_tail = text.ends_with('\n');
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            match JournalRecord::decode(line) {
+                Some(rec) => out.records.push(rec),
+                // a bad final line without a trailing newline is a torn
+                // append (the crash case); bad lines elsewhere are corruption
+                None if i + 1 == lines.len() && !complete_tail => out.dropped_torn += 1,
+                None => out.dropped_corrupt += 1,
+            }
+        }
+        out
+    }
+
+    /// Removes the journal file (start of a non-resume run, so stale
+    /// records can never leak into a fresh sweep's bookkeeping).
+    pub fn clear(&self) {
+        if let Some(path) = &self.path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the checkpointed sweep driver
+// ---------------------------------------------------------------------------
+
+/// One unit of a checkpointed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Content-addressed job key (stable across runs of the same config).
+    pub key: u64,
+    /// Label for journal records and log lines.
+    pub label: String,
+}
+
+/// What one executed (or replayed) job produced.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Rendered result payload (what the CLI prints).
+    pub payload: String,
+    /// How the job concluded.
+    pub provenance: Provenance,
+    /// Compact degradation summary (`-` when clean).
+    pub degradations: String,
+}
+
+/// Per-job outcome of [`run_checkpointed`], in input order.
+#[derive(Debug, Clone)]
+pub enum SweepJobResult {
+    /// The job's report, either freshly executed or replayed.
+    Done {
+        /// The payload and provenance.
+        report: JobReport,
+        /// `true` when served from the journal instead of executed.
+        resumed: bool,
+    },
+    /// The sweep was interrupted before this job was dispatched.
+    NotRun,
+}
+
+/// Summary of one checkpointed sweep run.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// One entry per input job, in input order.
+    pub results: Vec<SweepJobResult>,
+    /// Jobs served from the journal.
+    pub replayed: usize,
+    /// Jobs executed this run.
+    pub executed: usize,
+    /// Whether the sweep stopped early on an interrupt.
+    pub interrupted: bool,
+    /// Torn journal records dropped during replay.
+    pub dropped_torn: usize,
+    /// Corrupt journal records skipped during replay.
+    pub dropped_corrupt: usize,
+}
+
+impl SweepRun {
+    /// Jobs with a report (replayed + executed).
+    pub fn done(&self) -> usize {
+        self.replayed + self.executed
+    }
+}
+
+/// Deterministic interrupt hook for tests and CI: `APEX_INTERRUPT_AFTER=n`
+/// simulates the first Ctrl-C after `n` jobs have *executed* (replayed
+/// jobs don't count — a resumed run must make fresh progress).
+fn interrupt_after_env() -> Option<usize> {
+    std::env::var("APEX_INTERRUPT_AFTER")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Runs `jobs` in order with write-ahead checkpointing.
+///
+/// With `resume`, the journal is replayed first and completed jobs are
+/// served from it verbatim, in input order — a resumed sweep's output is
+/// byte-identical to an uninterrupted one. Without `resume`, the journal
+/// is cleared and every job runs. Before dispatching each job the
+/// `interrupt` flag is consulted; once it reads `true`, remaining jobs
+/// are marked [`SweepJobResult::NotRun`] and the run returns with
+/// `interrupted` set (the journal already holds everything completed, so
+/// `--resume` picks up exactly there).
+///
+/// A journal append failure is logged and degrades the run to
+/// non-resumable; it never aborts the sweep.
+///
+/// # Errors
+/// Propagates the first `run_job` error (job failures that should degrade
+/// instead must be rendered into the [`JobReport`] by the caller).
+pub fn run_checkpointed(
+    journal: &SweepJournal,
+    jobs: &[SweepJob],
+    resume: bool,
+    interrupt: Option<&Arc<AtomicBool>>,
+    mut run_job: impl FnMut(usize) -> Result<JobReport, ApexError>,
+) -> Result<SweepRun, ApexError> {
+    let mut run = SweepRun {
+        results: Vec::with_capacity(jobs.len()),
+        replayed: 0,
+        executed: 0,
+        interrupted: false,
+        dropped_torn: 0,
+        dropped_corrupt: 0,
+    };
+    let mut completed: BTreeMap<u64, JournalRecord> = BTreeMap::new();
+    if resume {
+        let replay = journal.replay();
+        run.dropped_torn = replay.dropped_torn;
+        run.dropped_corrupt = replay.dropped_corrupt;
+        if run.dropped_torn + run.dropped_corrupt > 0 {
+            eprintln!(
+                "resume: dropped {} torn and {} corrupt journal record(s)",
+                run.dropped_torn, run.dropped_corrupt
+            );
+        }
+        for (key, rec) in replay.completed() {
+            completed.insert(key, rec.clone());
+        }
+        let known = jobs.iter().filter(|j| completed.contains_key(&j.key)).count();
+        if let Some(path) = journal.path() {
+            if known == 0 {
+                eprintln!(
+                    "resume: no completed jobs for this sweep in {} (first run or config changed); starting clean",
+                    path.display()
+                );
+            } else {
+                eprintln!(
+                    "resume: replaying {known}/{} completed job(s) from {}",
+                    jobs.len(),
+                    path.display()
+                );
+            }
+        }
+    } else {
+        journal.clear();
+    }
+
+    let interrupt_after = interrupt_after_env();
+    let mut journal_degraded = false;
+    let mut simulated = false;
+    for (i, job) in jobs.iter().enumerate() {
+        if simulated || interrupt.is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+            run.interrupted = true;
+            run.results
+                .extend((i..jobs.len()).map(|_| SweepJobResult::NotRun));
+            break;
+        }
+        if let Some(rec) = completed.get(&job.key) {
+            run.replayed += 1;
+            run.results.push(SweepJobResult::Done {
+                report: JobReport {
+                    payload: rec.payload.clone(),
+                    provenance: rec.provenance,
+                    degradations: rec.degradations.clone(),
+                },
+                resumed: true,
+            });
+            continue;
+        }
+        let report = run_job(i)?;
+        let record = JournalRecord {
+            job_key: job.key,
+            label: job.label.clone(),
+            provenance: report.provenance,
+            degradations: report.degradations.clone(),
+            payload: report.payload.clone(),
+        };
+        if let Err(e) = journal.append(&record) {
+            if !journal_degraded {
+                journal_degraded = true;
+                eprintln!(
+                    "warning: journal write failed ({e}); sweep continues but is not resumable"
+                );
+            }
+        }
+        run.executed += 1;
+        run.results.push(SweepJobResult::Done {
+            report,
+            resumed: false,
+        });
+
+        // deterministic interrupt hooks, checked after a completed job so
+        // the journal provably holds it before the "signal" lands
+        #[cfg(not(feature = "fault-injection"))]
+        let simulate = interrupt_after == Some(run.executed);
+        #[cfg(feature = "fault-injection")]
+        let simulate = interrupt_after == Some(run.executed)
+            || (run.executed == 1 && failpoints::is_armed("sweep::interrupt_midsweep"));
+        if simulate {
+            simulated = true;
+            if let Some(flag) = interrupt {
+                flag.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("apex-journal-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    fn rec(key: u64, payload: &str) -> JournalRecord {
+        JournalRecord {
+            job_key: key,
+            label: format!("job{key}"),
+            provenance: Provenance::Completed,
+            degradations: "-".to_owned(),
+            payload: payload.to_owned(),
+        }
+    }
+
+    #[test]
+    fn record_codec_round_trips() {
+        let tricky = rec(42, "line1\nline2\t\"quoted\" back\\slash\r");
+        let decoded = JournalRecord::decode(&tricky.encode()).expect("decodes");
+        assert_eq!(decoded, tricky);
+        let degraded = JournalRecord {
+            provenance: Provenance::TimedOut,
+            degradations: "sweep:timed-out".to_owned(),
+            ..rec(7, "partial result")
+        };
+        assert_eq!(
+            JournalRecord::decode(&degraded.encode()).expect("decodes"),
+            degraded
+        );
+    }
+
+    #[test]
+    fn flipped_bytes_fail_the_checksum() {
+        let line = rec(1, "payload").encode();
+        assert!(JournalRecord::decode(&line).is_some());
+        // flip one payload character: digest and checksum both break
+        let bad = line.replacen("payload", "paYload", 1);
+        assert!(JournalRecord::decode(&bad).is_none());
+        // truncate anywhere: never panics, never decodes
+        for cut in 0..line.len() {
+            assert!(JournalRecord::decode(&line[..cut]).is_none(), "cut {cut}");
+        }
+        assert!(JournalRecord::decode("").is_none());
+        assert!(JournalRecord::decode("{}").is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_corrupt_lines_skipped() {
+        let path = tmp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let journal = SweepJournal::at(&path);
+        journal.append(&rec(1, "one")).unwrap();
+        journal.append(&rec(2, "two")).unwrap();
+        journal.append(&rec(3, "three")).unwrap();
+        // corrupt the middle record in place
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("two", "twX", 1);
+        std::fs::write(&path, corrupted).unwrap();
+        // then simulate a crash mid-append: a partial record, no newline
+        let mut tail = rec(4, "four").encode();
+        tail.truncate(tail.len() / 2);
+        std::fs::write(&path, std::fs::read_to_string(&path).unwrap() + &tail).unwrap();
+
+        let replay = journal.replay();
+        assert_eq!(replay.dropped_torn, 1, "torn tail must be dropped");
+        assert_eq!(replay.dropped_corrupt, 1, "corrupt middle must be skipped");
+        let completed = replay.completed();
+        assert_eq!(completed.len(), 2);
+        assert_eq!(completed[&1].payload, "one");
+        assert_eq!(completed[&3].payload, "three");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_keys_last_record_wins() {
+        let path = tmp_path("dup");
+        let _ = std::fs::remove_file(&path);
+        let journal = SweepJournal::at(&path);
+        journal.append(&rec(5, "old")).unwrap();
+        journal.append(&rec(5, "new")).unwrap();
+        let replay = journal.replay();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.completed()[&5].payload, "new");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disabled_journal_is_pass_through() {
+        let journal = SweepJournal::disabled();
+        assert!(!journal.is_enabled());
+        journal.append(&rec(1, "x")).unwrap();
+        assert!(journal.replay().records.is_empty());
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_byte_identically() {
+        let path = tmp_path("ckpt");
+        let _ = std::fs::remove_file(&path);
+        let journal = SweepJournal::at(&path);
+        let jobs: Vec<SweepJob> = (0..4)
+            .map(|i| SweepJob {
+                key: fnv1a(&["ckpt-test", &i.to_string()]),
+                label: format!("job{i}"),
+            })
+            .collect();
+        let make = |i: usize| {
+            Ok(JobReport {
+                payload: format!("result {i}\n"),
+                provenance: Provenance::Completed,
+                degradations: "-".to_owned(),
+            })
+        };
+        let collect = |run: &SweepRun| -> String {
+            run.results
+                .iter()
+                .filter_map(|r| match r {
+                    SweepJobResult::Done { report, .. } => Some(report.payload.clone()),
+                    SweepJobResult::NotRun => None,
+                })
+                .collect()
+        };
+
+        // reference: uninterrupted
+        let full = run_checkpointed(&journal, &jobs, false, None, make).unwrap();
+        assert_eq!(full.executed, 4);
+        let reference = collect(&full);
+
+        // interrupted after 2 executed jobs: flag raised inside run_job
+        let flag = Arc::new(AtomicBool::new(false));
+        let flag2 = Arc::clone(&flag);
+        let partial = run_checkpointed(&journal, &jobs, false, Some(&flag), |i| {
+            if i == 1 {
+                flag2.store(true, Ordering::SeqCst);
+            }
+            make(i)
+        })
+        .unwrap();
+        assert!(partial.interrupted);
+        assert_eq!(partial.executed, 2);
+        assert!(matches!(partial.results[2], SweepJobResult::NotRun));
+
+        // resume: only the remainder executes, output is byte-identical
+        let fresh = Arc::new(AtomicBool::new(false));
+        let resumed = run_checkpointed(&journal, &jobs, true, Some(&fresh), make).unwrap();
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.replayed, 2);
+        assert_eq!(resumed.executed, 2);
+        assert_eq!(collect(&resumed), reference);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_resume_run_clears_stale_journal() {
+        let path = tmp_path("stale");
+        let _ = std::fs::remove_file(&path);
+        let journal = SweepJournal::at(&path);
+        journal.append(&rec(9, "stale")).unwrap();
+        let jobs = [SweepJob {
+            key: 9,
+            label: "job9".to_owned(),
+        }];
+        let run = run_checkpointed(&journal, &jobs, false, None, |_| {
+            Ok(JobReport {
+                payload: "fresh".to_owned(),
+                provenance: Provenance::Completed,
+                degradations: "-".to_owned(),
+            })
+        })
+        .unwrap();
+        assert_eq!(run.executed, 1, "stale record must not satisfy a fresh run");
+        let _ = std::fs::remove_file(&path);
+    }
+}

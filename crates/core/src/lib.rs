@@ -38,12 +38,20 @@
 mod cache;
 mod dse;
 mod evaluate;
+mod journal;
 mod variant;
 
 pub use cache::{
     datapath_hash, decode_variant, encode_variant, fnv1a, variant_cache_key, VariantCache,
 };
-pub use dse::{dse_evaluate_app, dse_evaluate_grid, dse_evaluate_suite, AppDseOutcome, DseOptions};
+pub use dse::{
+    dse_evaluate_app, dse_evaluate_app_supervised, dse_evaluate_grid, dse_evaluate_suite,
+    AppDseOutcome, DseOptions,
+};
+pub use journal::{
+    run_checkpointed, JobReport, JournalRecord, JournalReplay, SweepJob, SweepJobResult,
+    SweepJournal, SweepRun, JOURNAL_FORMAT,
+};
 pub use evaluate::{evaluate_app, post_mapping_estimate, AppEvaluation, EvalError, EvalOptions};
 pub use variant::{
     baseline_variant, most_specialized_variant, ops_used, pe1_variant, required_op_kinds,

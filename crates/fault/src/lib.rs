@@ -25,6 +25,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+pub mod interrupt;
+
 /// The pipeline stage an error or degradation originated from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Stage {
@@ -248,8 +250,11 @@ const CLOCK_CHECK_MASK: u64 = 0xFF;
 ///
 /// Call [`BudgetMeter::tick`] once per unit of work; it returns `false`
 /// once any limit trips, after which [`BudgetMeter::provenance`] reports
-/// which limit it was. The clock and cancellation flag are only consulted
-/// every 256 ticks so metering stays out of the hot path.
+/// which limit it was. The clock is only consulted every 256 ticks so
+/// metering stays out of the hot path; the cancellation flag is a single
+/// relaxed atomic load and is consulted on **every** tick, so a watchdog
+/// or Ctrl-C is observed within one unit of work rather than up to 255
+/// (possibly slow) steps later.
 #[derive(Debug)]
 pub struct BudgetMeter {
     started: Instant,
@@ -272,6 +277,15 @@ impl BudgetMeter {
         if let Some(max) = self.max_steps {
             if self.steps > max {
                 self.stopped = Some(Provenance::TruncatedByBudget);
+                return false;
+            }
+        }
+        // cancellation must propagate within one watchdog time-slice even
+        // when individual steps are slow, so the flag (one relaxed load)
+        // is checked every tick; only the clock read stays masked
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                self.stopped = Some(Provenance::Cancelled);
                 return false;
             }
         }
@@ -330,6 +344,9 @@ pub enum Provenance {
     TimedOut,
     /// An external cancellation stopped the search.
     Cancelled,
+    /// A sweep-level result covering only part of its jobs (the sweep was
+    /// interrupted and drained; completed jobs are journaled for resume).
+    Partial,
 }
 
 impl Provenance {
@@ -343,20 +360,36 @@ impl Provenance {
         use Provenance::*;
         match (self, other) {
             (Cancelled, _) | (_, Cancelled) => Cancelled,
+            (Partial, _) | (_, Partial) => Partial,
             (TimedOut, _) | (_, TimedOut) => TimedOut,
             (TruncatedByBudget, _) | (_, TruncatedByBudget) => TruncatedByBudget,
             (Completed, Completed) => Completed,
         }
     }
 
-    /// Short marker for reports (`ok` / `trunc` / `timeout` / `cancel`).
+    /// Short marker for reports (`ok` / `trunc` / `timeout` / `cancel` /
+    /// `partial`).
     pub fn marker(self) -> &'static str {
         match self {
             Provenance::Completed => "ok",
             Provenance::TruncatedByBudget => "trunc",
             Provenance::TimedOut => "timeout",
             Provenance::Cancelled => "cancel",
+            Provenance::Partial => "partial",
         }
+    }
+
+    /// Inverse of [`Provenance::marker`] (used by the on-disk sweep
+    /// journal codec); `None` for unknown markers.
+    pub fn from_marker(marker: &str) -> Option<Self> {
+        const ALL: [Provenance; 5] = [
+            Provenance::Completed,
+            Provenance::TruncatedByBudget,
+            Provenance::TimedOut,
+            Provenance::Cancelled,
+            Provenance::Partial,
+        ];
+        ALL.into_iter().find(|p| p.marker() == marker)
     }
 }
 
@@ -433,7 +466,7 @@ impl Degradation {
             Provenance::Completed => return None,
             Provenance::TruncatedByBudget => DegradationKind::Truncated,
             Provenance::TimedOut => DegradationKind::TimedOut,
-            Provenance::Cancelled => DegradationKind::Skipped,
+            Provenance::Cancelled | Provenance::Partial => DegradationKind::Skipped,
         };
         Some(Degradation::new(stage, kind, format!("search {p}")))
     }
@@ -602,6 +635,88 @@ mod tests {
             assert!(n <= 256, "deadline never observed");
         }
         assert_eq!(m.provenance(), Provenance::TimedOut);
+    }
+
+    #[test]
+    fn cancellation_observed_on_next_tick_not_at_clock_boundary() {
+        // regression: the cancel flag used to share the 256-tick clock
+        // mask, so a cancel raised at tick 1 was not seen until tick 256 —
+        // arbitrarily late when steps are slow. It must now trip on the
+        // very next tick.
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut m = StageBudget::unlimited()
+            .with_cancel(Arc::clone(&flag))
+            .start();
+        for _ in 0..3 {
+            assert!(m.tick());
+        }
+        flag.store(true, Ordering::Relaxed);
+        assert!(!m.tick(), "cancel not observed within one tick");
+        assert_eq!(m.steps(), 4);
+        assert_eq!(m.provenance(), Provenance::Cancelled);
+    }
+
+    #[test]
+    fn stage_names_round_trip() {
+        // the journal serializes these names; drift is data corruption
+        const ALL: [Stage; 12] = [
+            Stage::Parse,
+            Stage::Mine,
+            Stage::Merge,
+            Stage::Rewrite,
+            Stage::Map,
+            Stage::Pipeline,
+            Stage::Place,
+            Stage::Route,
+            Stage::Verify,
+            Stage::Report,
+            Stage::Sweep,
+            Stage::Cli,
+        ];
+        for s in ALL {
+            assert_eq!(Stage::from_name(s.name()), Some(s), "{s:?}");
+        }
+        assert_eq!(Stage::from_name("no-such-stage"), None);
+        assert_eq!(Stage::from_name(""), None);
+    }
+
+    #[test]
+    fn degradation_kind_names_round_trip() {
+        const ALL: [DegradationKind; 5] = [
+            DegradationKind::Truncated,
+            DegradationKind::TimedOut,
+            DegradationKind::Fallback,
+            DegradationKind::Retried,
+            DegradationKind::Skipped,
+        ];
+        for k in ALL {
+            assert_eq!(DegradationKind::from_name(k.name()), Some(k), "{k:?}");
+        }
+        assert_eq!(DegradationKind::from_name("no-such-kind"), None);
+    }
+
+    #[test]
+    fn provenance_markers_round_trip() {
+        const ALL: [Provenance; 5] = [
+            Provenance::Completed,
+            Provenance::TruncatedByBudget,
+            Provenance::TimedOut,
+            Provenance::Cancelled,
+            Provenance::Partial,
+        ];
+        for p in ALL {
+            assert_eq!(Provenance::from_marker(p.marker()), Some(p), "{p:?}");
+        }
+        assert_eq!(Provenance::from_marker("no-such-marker"), None);
+    }
+
+    #[test]
+    fn partial_is_worse_than_timeout_but_not_cancel() {
+        use Provenance::*;
+        assert_eq!(Partial.worst(TimedOut), Partial);
+        assert_eq!(Partial.worst(Cancelled), Cancelled);
+        assert_eq!(Completed.worst(Partial), Partial);
+        assert!(Partial.is_partial());
     }
 
     #[test]

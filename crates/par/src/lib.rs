@@ -28,7 +28,9 @@
 use apex_fault::{ApexError, Stage};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A job panicked inside the pool; carries the stringified panic payload.
 ///
@@ -279,6 +281,176 @@ where
         .collect()
 }
 
+/// Default watchdog poll period: how often active jobs are inspected for
+/// deadline overruns and pending interrupts. This is the "time-slice" in
+/// the no-hang guarantee: a hung job is cancelled within its deadline
+/// plus one slice.
+pub const DEFAULT_TIME_SLICE: Duration = Duration::from_millis(20);
+
+/// Supervision policy for [`par_map_supervised`].
+#[derive(Debug, Clone, Default)]
+pub struct WatchdogOptions {
+    /// Per-job wall-clock deadline. A job running longer gets its
+    /// [`JobCtx`] cancel flag raised (cooperative — the job observes it
+    /// through the stage budgets it fans the flag into) and is marked
+    /// timed-out.
+    pub job_deadline: Option<Duration>,
+    /// Sweep-wide interrupt (Ctrl-C). When it reads `true`, every active
+    /// job's cancel flag is raised and jobs that start afterwards begin
+    /// pre-cancelled, so the pool drains instead of hanging.
+    pub interrupt: Option<Arc<AtomicBool>>,
+    /// Watchdog poll period; `Duration::ZERO` selects
+    /// [`DEFAULT_TIME_SLICE`].
+    pub poll: Duration,
+}
+
+impl WatchdogOptions {
+    /// Whether any supervision is configured at all.
+    fn is_active(&self) -> bool {
+        self.job_deadline.is_some() || self.interrupt.is_some()
+    }
+}
+
+/// Per-job supervision handles handed to a [`par_map_supervised`] job.
+#[derive(Debug)]
+pub struct JobCtx {
+    /// Cooperative cancellation flag: raised by the watchdog on deadline
+    /// overrun or sweep interrupt. Fan it into every
+    /// `StageBudget::with_cancel` the job creates.
+    pub cancel: Arc<AtomicBool>,
+    timed_out: Arc<AtomicBool>,
+}
+
+impl JobCtx {
+    /// A context with no supervision attached (inline callers, tests).
+    pub fn detached() -> Self {
+        JobCtx {
+            cancel: Arc::new(AtomicBool::new(false)),
+            timed_out: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Whether the watchdog cancelled this job for exceeding its deadline
+    /// (as opposed to a sweep-wide interrupt).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out.load(Ordering::Relaxed)
+    }
+
+    /// Whether cancellation (deadline or interrupt) has been requested.
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+}
+
+/// One registry slot per in-flight job, inspected by the watchdog.
+struct ActiveJob {
+    started: Instant,
+    cancel: Arc<AtomicBool>,
+    timed_out: Arc<AtomicBool>,
+}
+
+/// Clears a job's registry slot even if the job panics (the unwind is
+/// caught by `par_map`'s `catch_unwind`, which would otherwise leave a
+/// stale slot for the watchdog to keep poking).
+struct SlotGuard<'a> {
+    registry: &'a Mutex<Vec<Option<ActiveJob>>>,
+    index: usize,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut slots) = self.registry.lock() {
+            slots[self.index] = None;
+        }
+    }
+}
+
+/// [`par_map`] with per-job watchdog supervision: each job receives a
+/// [`JobCtx`] whose cancel flag the watchdog raises when the job exceeds
+/// `watch.job_deadline` or the sweep-wide `watch.interrupt` flag is set.
+///
+/// Cancellation is cooperative — the job must fan `ctx.cancel` into its
+/// stage budgets (or poll [`JobCtx::cancelled`]) — so results remain
+/// deterministic: an unsupervised run and a supervised run whose watchdog
+/// never fires execute identical code. Results come back in input order,
+/// and panics surface as [`JobPanic`] per item, exactly like [`par_map`].
+pub fn par_map_supervised<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    watch: &WatchdogOptions,
+    f: F,
+) -> Vec<Result<R, JobPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &JobCtx) -> R + Sync,
+{
+    if !watch.is_active() {
+        let f = &f;
+        return par_map(jobs, items, move |i, item| f(i, item, &JobCtx::detached()));
+    }
+    let poll = if watch.poll.is_zero() {
+        DEFAULT_TIME_SLICE
+    } else {
+        watch.poll
+    };
+    let registry: Mutex<Vec<Option<ActiveJob>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let watchdog = scope.spawn(|| {
+            while !done.load(Ordering::Acquire) {
+                let interrupted = watch
+                    .interrupt
+                    .as_ref()
+                    .is_some_and(|g| g.load(Ordering::Relaxed));
+                if let Ok(slots) = registry.lock() {
+                    for slot in slots.iter().flatten() {
+                        if interrupted {
+                            slot.cancel.store(true, Ordering::Relaxed);
+                        }
+                        if let Some(deadline) = watch.job_deadline {
+                            if slot.started.elapsed() >= deadline {
+                                slot.timed_out.store(true, Ordering::Relaxed);
+                                slot.cancel.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                std::thread::park_timeout(poll);
+            }
+        });
+        let out = par_map(jobs, items, |i, item| {
+            let ctx = JobCtx::detached();
+            if watch
+                .interrupt
+                .as_ref()
+                .is_some_and(|g| g.load(Ordering::Relaxed))
+            {
+                // dispatched after the interrupt: start pre-cancelled so
+                // the job's first budget check drains it immediately
+                ctx.cancel.store(true, Ordering::Relaxed);
+            }
+            if let Ok(mut slots) = registry.lock() {
+                slots[i] = Some(ActiveJob {
+                    started: Instant::now(),
+                    cancel: Arc::clone(&ctx.cancel),
+                    timed_out: Arc::clone(&ctx.timed_out),
+                });
+            }
+            let _guard = SlotGuard {
+                registry: &registry,
+                index: i,
+            };
+            f(i, item, &ctx)
+        });
+        done.store(true, Ordering::Release);
+        watchdog.thread().unpark();
+        // the watchdog body cannot panic; join failure would only repeat one
+        let _ = watchdog.join();
+        out
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,5 +611,91 @@ mod tests {
         assert_eq!(default_jobs(), 3);
         set_jobs(0);
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn unsupervised_options_run_inline_with_detached_ctx() {
+        let items: Vec<usize> = (0..10).collect();
+        let out = par_map_supervised(2, &items, &WatchdogOptions::default(), |_, &x, ctx| {
+            assert!(!ctx.cancelled());
+            assert!(!ctx.timed_out());
+            x * 3
+        });
+        let got: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, (0..10).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn watchdog_cancels_job_past_deadline() {
+        let items: Vec<usize> = (0..3).collect();
+        let watch = WatchdogOptions {
+            job_deadline: Some(Duration::from_millis(50)),
+            interrupt: None,
+            poll: Duration::from_millis(5),
+        };
+        let t0 = std::time::Instant::now();
+        let out = par_map_supervised(3, &items, &watch, |_, &x, ctx| {
+            if x == 1 {
+                // a hung job: only the watchdog can stop it
+                while !ctx.cancelled() {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                assert!(ctx.timed_out(), "cancel without timeout mark");
+                return usize::MAX;
+            }
+            x
+        });
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "watchdog failed to cancel; pool hung"
+        );
+        let got: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, vec![0, usize::MAX, 2]);
+    }
+
+    #[test]
+    fn interrupt_flag_cancels_active_and_pending_jobs() {
+        let items: Vec<usize> = (0..6).collect();
+        let interrupt = Arc::new(AtomicBool::new(false));
+        let watch = WatchdogOptions {
+            job_deadline: None,
+            interrupt: Some(Arc::clone(&interrupt)),
+            poll: Duration::from_millis(5),
+        };
+        let cancelled = AtomicUsize::new(0);
+        let out = par_map_supervised(1, &items, &watch, |_, &x, ctx| {
+            if x == 0 {
+                // simulate Ctrl-C arriving while job 0 runs
+                interrupt.store(true, Ordering::Relaxed);
+            }
+            // jobs dispatched after the interrupt start pre-cancelled
+            if ctx.cancelled() {
+                cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            x
+        });
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|r| r.is_ok()), "drain must not drop results");
+        assert!(
+            cancelled.load(Ordering::Relaxed) >= 5,
+            "jobs after the interrupt must start pre-cancelled"
+        );
+    }
+
+    #[test]
+    fn panicking_supervised_job_clears_its_slot() {
+        let items: Vec<usize> = (0..4).collect();
+        let watch = WatchdogOptions {
+            job_deadline: Some(Duration::from_millis(200)),
+            interrupt: None,
+            poll: Duration::from_millis(5),
+        };
+        let out = par_map_supervised(2, &items, &watch, |_, &x, _ctx| {
+            assert!(x != 2, "boom");
+            x
+        });
+        assert!(out[2].is_err());
+        assert_eq!(*out[0].as_ref().unwrap(), 0);
+        assert_eq!(*out[3].as_ref().unwrap(), 3);
     }
 }

@@ -5,21 +5,50 @@
 //! apex list                         applications in the benchmark suite
 //! apex dot <app>                    application dataflow graph as Graphviz DOT
 //! apex mine <app> [min_support]     frequent subgraphs with MIS statistics
-//! apex dse <app> [--jobs N]         specialize a PE for one application
+//! apex dse <app> [--jobs N] [--resume]
+//!                                   specialize a PE for one application
 //! apex verilog <variant> [file]     PE RTL (variant: base | ip | ml | spec:<app>)
 //! apex array <variant> [file]       full 32x16 CGRA RTL for a variant
-//! apex report [--jobs N] [ids...]   regenerate the paper's tables/figures
+//! apex report [--jobs N] [--resume] [ids...]
+//!                                   regenerate the paper's tables/figures
 //! apex save <app> [file]            dump an application in the text graph format
 //! apex dse-file <file>              run the DSE flow on a text-format graph
 //! apex describe <variant>           PE datasheet (units, configs, costs)
 //! ```
+//!
+//! Sweeps (`dse`, `report`) checkpoint every completed job to a
+//! write-ahead journal; `--resume` (or `APEX_RESUME=1`) replays it and
+//! runs only the remainder, byte-identical to an uninterrupted run.
+//! Ctrl-C drains in-flight jobs and exits with code 3; a second Ctrl-C
+//! hard-exits.
 
-use apex::fault::ApexError;
+use apex::core::{JobReport, SweepJob, SweepJournal};
+use apex::fault::{ApexError, Provenance};
 use std::fmt::Write as _;
+
+/// Exit code for a sweep stopped by SIGINT/SIGTERM after flushing its
+/// journal and printing a partial report (codes 1 = pipeline error,
+/// 2 = invalid usage; see `usage()`).
+const EXIT_INTERRUPTED: i32 = 3;
 
 fn usage() {
     eprintln!("usage: apex <list|dot|mine|dse|verilog|array|report|save|dse-file|describe> [...]");
+    eprintln!("flags:");
+    eprintln!("  --jobs N    worker threads for pooled stages (1 = serial; output is identical)");
+    eprintln!("  --resume    dse/report: replay the sweep journal and run only the remainder");
+    eprintln!("              (also APEX_RESUME=1; config changes start clean automatically)");
+    eprintln!("exit codes:");
+    eprintln!("  0  success");
+    eprintln!("  1  pipeline error (an `error: <stage>: ...` chain was printed)");
+    eprintln!("  2  invalid usage or flags");
+    eprintln!("  3  interrupted: partial output printed, journal flushed; rerun with --resume");
     eprintln!("see `apex` source docs for details");
+}
+
+/// How a sweep-capable command finished.
+enum Status {
+    Done,
+    Interrupted,
 }
 
 /// Strips a `--jobs N` flag anywhere in the argument list and installs
@@ -43,33 +72,69 @@ fn take_jobs_flag(args: &mut Vec<String>) {
     }
 }
 
+/// Strips `--resume` from the argument list; `APEX_RESUME=1` is the
+/// environment equivalent (for wrappers that cannot edit the command
+/// line).
+fn take_resume_flag(args: &mut Vec<String>) -> bool {
+    let mut resume = false;
+    while let Some(pos) = args.iter().position(|a| a == "--resume") {
+        args.remove(pos);
+        resume = true;
+    }
+    if !resume {
+        if let Ok(v) = std::env::var("APEX_RESUME") {
+            let v = v.trim();
+            resume = v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("yes");
+        }
+    }
+    resume
+}
+
+/// Arms fail points named in `APEX_FAILPOINTS` (comma-separated) so CI
+/// can inject faults into a release binary; compiled only with the
+/// `fault-injection` feature.
+fn arm_failpoints_from_env() {
+    #[cfg(feature = "fault-injection")]
+    if let Ok(sites) = std::env::var("APEX_FAILPOINTS") {
+        for site in sites.split(',') {
+            let site = site.trim();
+            if !site.is_empty() {
+                apex::fault::failpoints::arm(site);
+            }
+        }
+    }
+}
+
 fn main() {
+    apex::fault::interrupt::install();
+    arm_failpoints_from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     take_jobs_flag(&mut args);
+    let resume = take_resume_flag(&mut args);
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let result = match cmd {
         "list" => {
             list();
-            Ok(())
+            Ok(Status::Done)
         }
         "dot" => {
             dot(&args[1..]);
-            Ok(())
+            Ok(Status::Done)
         }
-        "mine" => mine(&args[1..]),
-        "dse" => dse(&args[1..]),
-        "verilog" => verilog(&args[1..], false),
-        "array" => verilog(&args[1..], true),
-        "report" => report(&args[1..]),
+        "mine" => mine(&args[1..]).map(|()| Status::Done),
+        "dse" => dse(&args[1..], resume),
+        "verilog" => verilog(&args[1..], false).map(|()| Status::Done),
+        "array" => verilog(&args[1..], true).map(|()| Status::Done),
+        "report" => report(&args[1..], resume),
         "save" => {
             save(&args[1..]);
-            Ok(())
+            Ok(Status::Done)
         }
-        "dse-file" => dse_file(&args[1..]),
-        "describe" => describe(&args[1..]),
+        "dse-file" => dse_file(&args[1..]).map(|()| Status::Done),
+        "describe" => describe(&args[1..]).map(|()| Status::Done),
         "help" | "--help" | "-h" => {
             usage();
-            Ok(())
+            Ok(Status::Done)
         }
         other => {
             eprintln!("unknown command '{other}'");
@@ -77,9 +142,27 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Err(e) = result {
-        eprintln!("{}", e.render_chain());
-        std::process::exit(1);
+    match result {
+        Err(e) => {
+            eprintln!("{}", e.render_chain());
+            std::process::exit(1);
+        }
+        Ok(Status::Interrupted) => std::process::exit(EXIT_INTERRUPTED),
+        Ok(Status::Done) => {}
+    }
+}
+
+/// Prints the sweep bookkeeping footer (cache effectiveness and
+/// quarantined-entry count) on stderr, keeping stdout byte-diffable.
+fn sweep_footer() {
+    let cache = apex::core::VariantCache::shared();
+    if cache.is_enabled() {
+        eprintln!(
+            "cache: {} hit(s), {} miss(es), {} quarantined",
+            cache.hits(),
+            cache.misses(),
+            cache.quarantined()
+        );
     }
 }
 
@@ -157,33 +240,83 @@ fn mine(args: &[String]) -> Result<(), ApexError> {
     Ok(())
 }
 
-fn dse(args: &[String]) -> Result<(), ApexError> {
+fn dse(args: &[String], resume: bool) -> Result<Status, ApexError> {
     let app = app_or_exit(args.first());
     let tech = apex::tech::TechModel::default();
-    println!("specializing a PE for '{}'...", app.info.name);
-    let base = apex::core::baseline_variant(&[&app])?;
-    let spec = apex::core::specialized_variant(
+    // the sweep key is the same content hash the variant cache uses, so a
+    // config change changes the journal file and forces a clean start
+    let sweep_key = apex::core::variant_cache_key(
+        "dse-sweep",
         &format!("pe_spec_{}", app.info.name),
         &[&app],
         &[&app],
+        Some(&apex::mining::MinerConfig::default()),
+        Some(&apex::core::SubgraphSelection::default()),
+        Some(&apex::merge::MergeOptions::default()),
+        Some(&tech),
+        &std::collections::BTreeSet::new(),
+    );
+    let journal = SweepJournal::for_sweep(sweep_key);
+    let jobs = [SweepJob {
+        key: sweep_key,
+        label: format!("dse {}", app.info.name),
+    }];
+    let flag = apex::fault::interrupt::flag();
+    eprintln!("specializing a PE for '{}'...", app.info.name);
+    let run = apex::core::run_checkpointed(&journal, &jobs, resume, Some(&flag), |_| {
+        dse_job(&app, &tech)
+    })?;
+    for r in &run.results {
+        if let apex::core::SweepJobResult::Done { report, .. } = r {
+            print!("{}", report.payload);
+        }
+    }
+    sweep_footer();
+    if run.interrupted {
+        println!(
+            "# partial dse ({}): 0/1 job(s); resume with `apex dse {} --resume`",
+            Provenance::Partial.marker(),
+            app.info.name
+        );
+        return Ok(Status::Interrupted);
+    }
+    Ok(Status::Done)
+}
+
+/// Builds the `apex dse` report payload for one application (the single
+/// journaled job of the `dse` sweep).
+fn dse_job(app: &apex::apps::Application, tech: &apex::tech::TechModel) -> Result<JobReport, ApexError> {
+    let base = apex::core::baseline_variant(&[app])?;
+    let spec = apex::core::specialized_variant(
+        &format!("pe_spec_{}", app.info.name),
+        &[app],
+        &[app],
         &apex::mining::MinerConfig::default(),
         &apex::core::SubgraphSelection::default(),
         &apex::merge::MergeOptions::default(),
-        &tech,
+        tech,
         &std::collections::BTreeSet::new(),
     )?;
     let opts = apex::core::DseOptions::default();
-    let b_outcome = apex::core::dse_evaluate_app(&base, &app, &tech, &opts);
-    let s_outcome = apex::core::dse_evaluate_app(&spec, &app, &tech, &opts);
+    let b_outcome = apex::core::dse_evaluate_app(&base, app, tech, &opts);
+    let s_outcome = apex::core::dse_evaluate_app(&spec, app, tech, &opts);
+    let mut out = String::new();
     for (label, o) in [("baseline", &b_outcome), ("specialized", &s_outcome)] {
         for d in &o.degradations {
-            println!("degraded [{label}]: {d}");
+            let _ = writeln!(out, "degraded [{label}]: {d}");
         }
     }
+    let degradations = match (b_outcome.is_degraded(), s_outcome.is_degraded()) {
+        (false, false) => "-".to_owned(),
+        _ => format!(
+            "{},{}",
+            b_outcome.degradation_summary(),
+            s_outcome.degradation_summary()
+        ),
+    };
     let (b_degs, s_degs) = (b_outcome.degradations.len(), s_outcome.degradations.len());
     let b = b_outcome.result?;
     let s = s_outcome.result?;
-    let mut out = String::new();
     let _ = writeln!(out, "{:<24} {:>12} {:>12}", "", "baseline", "specialized");
     let _ = writeln!(out, "{:<24} {:>12} {:>12}", "PEs", b.pnr.pe_tiles, s.pnr.pe_tiles);
     let _ = writeln!(out, "{:<24} {:>12.0} {:>12.0}", "PE area (um2)", b.pe_core_area, s.pe_core_area);
@@ -210,8 +343,11 @@ fn dse(args: &[String]) -> Result<(), ApexError> {
         100.0 * (1.0 - s.pe_core_area / b.pe_core_area),
         100.0 * (1.0 - s.energy_per_cycle.total() / b.energy_per_cycle.total())
     );
-    print!("{out}");
-    Ok(())
+    Ok(JobReport {
+        payload: out,
+        provenance: Provenance::Completed,
+        degradations,
+    })
 }
 
 fn variant_or_exit(name: Option<&String>) -> Result<apex::core::PeVariant, ApexError> {
@@ -363,7 +499,7 @@ fn describe(args: &[String]) -> Result<(), ApexError> {
     Ok(())
 }
 
-fn report(filter: &[String]) -> Result<(), ApexError> {
+fn report(filter: &[String], resume: bool) -> Result<Status, ApexError> {
     let experiments = apex::eval::all_experiments();
     for id in filter {
         if !experiments.iter().any(|(name, _)| name == id) {
@@ -374,11 +510,46 @@ fn report(filter: &[String]) -> Result<(), ApexError> {
             ));
         }
     }
-    for (name, gen) in experiments {
-        if !filter.is_empty() && !filter.iter().any(|f| f == name) {
-            continue;
+    let selected: Vec<_> = experiments
+        .into_iter()
+        .filter(|(name, _)| filter.is_empty() || filter.iter().any(|f| f == name))
+        .collect();
+    // the sweep key covers the selected experiment set so that e.g.
+    // `apex report table1` and `apex report` journal independently
+    let mut key_parts: Vec<&str> = vec![apex::core::JOURNAL_FORMAT, "report"];
+    key_parts.extend(selected.iter().map(|(name, _)| *name));
+    let sweep_key = apex::core::fnv1a(&key_parts);
+    let journal = SweepJournal::for_sweep(sweep_key);
+    let jobs: Vec<SweepJob> = selected
+        .iter()
+        .map(|(name, _)| SweepJob {
+            key: apex::core::fnv1a(&[apex::core::JOURNAL_FORMAT, "report-job", name]),
+            label: (*name).to_owned(),
+        })
+        .collect();
+    let flag = apex::fault::interrupt::flag();
+    let run = apex::core::run_checkpointed(&journal, &jobs, resume, Some(&flag), |i| {
+        let table = (selected[i].1)()?;
+        Ok(JobReport {
+            payload: format!("{table}\n"),
+            provenance: Provenance::Completed,
+            degradations: "-".to_owned(),
+        })
+    })?;
+    for r in &run.results {
+        if let apex::core::SweepJobResult::Done { report, .. } = r {
+            print!("{}", report.payload);
         }
-        println!("{}", gen()?);
     }
-    Ok(())
+    sweep_footer();
+    if run.interrupted {
+        println!(
+            "# partial report ({}): {}/{} job(s); resume with `apex report --resume`",
+            Provenance::Partial.marker(),
+            run.done(),
+            jobs.len()
+        );
+        return Ok(Status::Interrupted);
+    }
+    Ok(Status::Done)
 }

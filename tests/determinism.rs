@@ -12,14 +12,17 @@
 
 use apex::apps::{analyzed_apps, unseen_apps, Application};
 use apex::core::{
-    baseline_variant, datapath_hash, dse_evaluate_grid, dse_evaluate_suite, encode_variant,
-    specialized_variant, DseOptions, PeVariant, SubgraphSelection, VariantCache,
+    baseline_variant, datapath_hash, dse_evaluate_app, dse_evaluate_grid, dse_evaluate_suite,
+    encode_variant, fnv1a, run_checkpointed, specialized_variant, DseOptions, JobReport, PeVariant,
+    SubgraphSelection, SweepJob, SweepJobResult, SweepJournal, VariantCache, JOURNAL_FORMAT,
 };
+use apex::fault::Provenance;
 use apex::merge::MergeOptions;
 use apex::mining::MinerConfig;
 use apex::tech::TechModel;
 use std::collections::BTreeSet;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Points the process-wide variant cache at a per-run scratch directory
 /// before anything can initialize it (the shared cache reads the
@@ -158,6 +161,93 @@ fn warm_cache_reproduces_the_exact_variant() {
     // ... and byte-identical everything (spec, sources, synthesis report,
     // degradations) under the canonical encoding
     assert_eq!(encode_variant(&cold), encode_variant(&warm));
+}
+
+/// Kill-and-resume determinism of the checkpoint journal over real sweep
+/// payloads: an interrupted `run_checkpointed` plus a `--resume`-style
+/// second pass must produce byte-for-byte the output of an uninterrupted
+/// run, re-executing only the jobs the interrupt left unfinished.
+#[test]
+fn interrupted_checkpointed_sweep_resumes_byte_identically() {
+    isolate_cache_dir();
+    let dir = std::env::temp_dir().join(format!("apex-journal-det-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let apps = analyzed_apps();
+    let refs: Vec<&Application> = apps.iter().take(3).collect();
+    let tech = TechModel::default();
+    let variant = baseline_variant(&refs).expect("baseline builds");
+    let opts = fast_options(1);
+    let jobs: Vec<SweepJob> = refs
+        .iter()
+        .map(|app| SweepJob {
+            key: fnv1a(&[JOURNAL_FORMAT, "det-test", &app.info.name]),
+            label: app.info.name.clone(),
+        })
+        .collect();
+    let run_job = |i: usize| -> Result<JobReport, apex::fault::ApexError> {
+        let outcome = dse_evaluate_app(&variant, refs[i], &tech, &opts);
+        Ok(JobReport {
+            payload: format!("{outcome:?}\n"),
+            provenance: Provenance::Completed,
+            degradations: outcome.degradation_summary(),
+        })
+    };
+    let payloads = |run: &apex::core::SweepRun| -> Vec<String> {
+        run.results
+            .iter()
+            .map(|r| match r {
+                SweepJobResult::Done { report, .. } => report.payload.clone(),
+                SweepJobResult::NotRun => "<not run>".to_owned(),
+            })
+            .collect()
+    };
+
+    // reference: uninterrupted run
+    let reference = run_checkpointed(
+        &SweepJournal::at(dir.join("reference.jsonl")),
+        &jobs,
+        false,
+        None,
+        run_job,
+    )
+    .expect("reference sweep runs");
+    assert!(!reference.interrupted);
+    assert_eq!(reference.executed, jobs.len());
+
+    // interrupted run: the flag goes up while job 0 executes, so the
+    // sweep journals job 0 and stops before dispatching job 1
+    let journal = SweepJournal::at(dir.join("interrupted.jsonl"));
+    let flag = Arc::new(AtomicBool::new(false));
+    let partial = run_checkpointed(&journal, &jobs, false, Some(&flag), |i| {
+        let report = run_job(i)?;
+        flag.store(true, Ordering::SeqCst);
+        Ok(report)
+    })
+    .expect("interrupted sweep still reports");
+    assert!(partial.interrupted, "flag must stop the sweep");
+    assert_eq!(partial.executed, 1, "only job 0 ran before the interrupt");
+    assert!(
+        matches!(partial.results[1], SweepJobResult::NotRun),
+        "job 1 was never dispatched"
+    );
+
+    // resume: replays job 0 from the journal, executes only the rest
+    let resumed = run_checkpointed(&journal, &jobs, true, None, run_job)
+        .expect("resumed sweep runs to completion");
+    assert!(!resumed.interrupted);
+    assert_eq!(resumed.replayed, 1, "job 0 comes from the journal");
+    assert_eq!(resumed.executed, jobs.len() - 1, "only the remainder re-runs");
+    assert_eq!(
+        payloads(&resumed),
+        payloads(&reference),
+        "resumed output must be byte-identical to the uninterrupted run"
+    );
+    assert!(
+        matches!(resumed.results[0], SweepJobResult::Done { resumed: true, .. }),
+        "job 0 is marked as served from the journal"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -234,6 +234,89 @@ fn injected_mine_panic_degrades_not_aborts() {
     }
 }
 
+/// The no-hang guarantee: a job hung at `sweep::job_timeout` (it spins
+/// until its cancel flag goes up) is cancelled by the watchdog within its
+/// deadline plus one time-slice, journaled as a timeout degradation, and
+/// the sweep completes instead of hanging.
+#[test]
+fn hung_job_is_cancelled_by_the_watchdog_not_forever() {
+    let _armed = Armed::new("sweep::job_timeout");
+    let apps = apps();
+    let tech = TechModel::default();
+    let refs: Vec<&Application> = apps.iter().collect();
+    let variant = apex::core::baseline_variant(&refs);
+    let mut options = DseOptions::default();
+    options.job_deadline = Some(std::time::Duration::from_millis(150));
+    options.jobs = 2;
+    let t0 = std::time::Instant::now();
+    let outcomes = dse_evaluate_suite(&variant, &refs, &tech, &options);
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(30),
+        "hung jobs must be cancelled, not waited out ({elapsed:?})"
+    );
+    assert_eq!(outcomes.len(), apps.len());
+    for (app, o) in apps.iter().zip(&outcomes) {
+        assert!(
+            o.degradations
+                .iter()
+                .any(|d| d.stage == Stage::Sweep && d.kind == apex::fault::DegradationKind::TimedOut),
+            "{}: expected a sweep timeout degradation, got [{}]",
+            app.info.name,
+            o.degradation_summary()
+        );
+    }
+}
+
+/// `sweep::interrupt_midsweep` simulates a Ctrl-C after the first
+/// executed job: the checkpointed driver stops dispatching, reports a
+/// partial run, and — once the fault is disarmed — a resume replays the
+/// journal and completes identically to a clean run.
+#[test]
+fn interrupt_midsweep_failpoint_round_trips_through_resume() {
+    use apex::core::{run_checkpointed, JobReport, SweepJob, SweepJobResult, SweepJournal};
+    use apex::fault::Provenance;
+
+    let dir = std::env::temp_dir().join(format!("apex-fault-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let journal = SweepJournal::at(dir.join("sweep.jsonl"));
+    let jobs: Vec<SweepJob> = (0..4)
+        .map(|i| SweepJob {
+            key: 0x1000 + i,
+            label: format!("job{i}"),
+        })
+        .collect();
+    let run_job = |i: usize| -> Result<JobReport, ApexError> {
+        Ok(JobReport {
+            payload: format!("payload for job {i}\n"),
+            provenance: Provenance::Completed,
+            degradations: "-".to_owned(),
+        })
+    };
+
+    let partial = {
+        let _armed = Armed::new("sweep::interrupt_midsweep");
+        run_checkpointed(&journal, &jobs, false, None, run_job).expect("partial run reports")
+    };
+    assert!(partial.interrupted, "armed fail point must stop the sweep");
+    assert_eq!(partial.executed, 1, "exactly one job ran before the interrupt");
+
+    // fault disarmed (Armed dropped): resume completes the sweep
+    let resumed = run_checkpointed(&journal, &jobs, true, None, run_job).expect("resume completes");
+    assert!(!resumed.interrupted);
+    assert_eq!(resumed.replayed, 1);
+    assert_eq!(resumed.executed, jobs.len() - 1);
+    for (i, r) in resumed.results.iter().enumerate() {
+        match r {
+            SweepJobResult::Done { report, .. } => {
+                assert_eq!(report.payload, format!("payload for job {i}\n"));
+            }
+            SweepJobResult::NotRun => panic!("job {i} missing after resume"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn disarmed_flow_is_clean() {
     let _armed = Armed::new("no::such::site");

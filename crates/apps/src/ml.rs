@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn ml_graphs_validate() {
         for app in [resnet_layer(), mobilenet_layer()] {
-            assert!(app.graph.validate().is_ok());
+            assert!(app.graph.try_validate().is_ok());
             assert!(app.graph.primary_outputs().len() >= 2);
         }
     }

@@ -62,7 +62,11 @@ fn stereo_pixel(g: &mut Graph, left: &[NodeId], rights: &[&[NodeId]]) -> NodeId 
             }
             (Some(bc), Some(bd)) => {
                 let better = g.add(Op::Ult, &[sad, bc]);
-                best_cost = Some(g.add(Op::Mux, &[bc, sad, better]));
+                // the running cost only feeds the next comparison; on the
+                // last disparity the select would be dead, so skip it
+                if d + 1 < rights.len() {
+                    best_cost = Some(g.add(Op::Mux, &[bc, sad, better]));
+                }
                 best_disp = Some(g.add(Op::Mux, &[bd, disp, better]));
             }
             _ => unreachable!(),
@@ -218,7 +222,7 @@ mod tests {
     #[test]
     fn unseen_graphs_validate() {
         for app in [laplacian_pyramid(), stereo(), fast_corner()] {
-            assert!(app.graph.validate().is_ok(), "{}", app.info.name);
+            assert!(app.graph.try_validate().is_ok(), "{}", app.info.name);
         }
     }
 }

@@ -301,9 +301,17 @@ pub fn generate_bitstream(
         for w in r.path.windows(2) {
             let link = fabric.link(w[0], w[1]);
             let t = *track_of.entry((link, r.word, r.producer)).or_insert_with(|| {
+                // tracks wrap within the capacity of the signal's own
+                // kind: bit links have bit_tracks tracks, not word_tracks
+                let cap = if r.word {
+                    fabric.config.word_tracks
+                } else {
+                    fabric.config.bit_tracks
+                }
+                .max(1) as u8;
                 let n = next_track.entry((link, r.word)).or_insert(0);
                 let t = *n;
-                *n = n.wrapping_add(1) % fabric.config.word_tracks as u8;
+                *n = n.wrapping_add(1) % cap;
                 t
             });
             sb.entry(w[0]).or_default().push((w[0], w[1], t));

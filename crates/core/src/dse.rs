@@ -85,6 +85,20 @@ fn effective_jobs(jobs: usize) -> usize {
     }
 }
 
+/// Stage-boundary invariant check (the `apex-verify` passes), active in
+/// debug builds only. A violation here is a pipeline bug, not an input
+/// error or a capacity problem, so it aborts loudly instead of degrading;
+/// release sweeps keep the cheap `verify_routed` check and the `apex
+/// verify` CLI for on-demand full verification.
+#[cfg(debug_assertions)]
+pub(crate) fn debug_verify(stage: &str, violations: &[apex_verify::Violation]) {
+    assert!(
+        violations.is_empty(),
+        "{stage} stage produced invariant violations:\n{}",
+        apex_verify::render(violations)
+    );
+}
+
 /// Outcome of one (variant, application) evaluation under the degradation
 /// policy: the evaluation or the error that finally stopped the flow, plus
 /// every degradation accepted along the way.
@@ -114,6 +128,11 @@ pub fn dse_evaluate_app(
             return DseOutcome::degraded(Err(e.into()), degradations);
         }
     };
+    #[cfg(debug_assertions)]
+    debug_verify(
+        "map",
+        &apex_verify::verify_netlist(&design.netlist, &variant.rules),
+    );
 
     // PE + application pipelining, falling back to the combinational design
     let mut spec = variant.spec.clone();
@@ -144,6 +163,14 @@ pub fn dse_evaluate_app(
                 ));
             }
         }
+    }
+    #[cfg(debug_assertions)]
+    {
+        debug_verify("pipeline", &apex_verify::verify_pe(&spec));
+        debug_verify(
+            "pipeline",
+            &apex_verify::verify_netlist(&netlist, &variant.rules),
+        );
     }
 
     // placement with bounded perturbed-seed retries
@@ -186,6 +213,11 @@ pub fn dse_evaluate_app(
             return DseOutcome::degraded(Err(e), degradations);
         }
     };
+    #[cfg(debug_assertions)]
+    debug_verify(
+        "place",
+        &apex_verify::verify_placement(&netlist, &fabric, &placement),
+    );
 
     // routing, once more with relaxed negotiation on congestion
     let routing = match route(&netlist, &variant.rules, &fabric, &placement, &options.eval.route)
@@ -223,6 +255,11 @@ pub fn dse_evaluate_app(
         degradations.push(d);
     }
 
+    #[cfg(debug_assertions)]
+    debug_verify(
+        "route",
+        &apex_verify::verify_routing(&netlist, &variant.rules, &fabric, &placement, &routing),
+    );
     if let Err(msg) = verify_routed(&netlist, &variant.rules, &fabric, &placement, &routing) {
         degradations.push(Degradation::new(
             Stage::Verify,

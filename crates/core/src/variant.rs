@@ -363,6 +363,11 @@ fn build_specialized_variant(
                 if let Some(d) = Degradation::from_provenance(Stage::Mine, provenance) {
                     degradations.push(d);
                 }
+                #[cfg(debug_assertions)]
+                crate::dse::debug_verify(
+                    "mine",
+                    &apex_verify::verify_mined(&app.graph, &subgraphs),
+                );
                 subgraphs
             }
             Ok(Err(e)) => {
@@ -548,6 +553,20 @@ fn finish(
 ) -> Result<PeVariant, ApexError> {
     let graphs: Vec<&Graph> = eval_apps.iter().map(|a| &a.graph).collect();
     let (rules, synthesis) = try_standard_ruleset(&spec.datapath, &sources, &graphs)?;
+    #[cfg(debug_assertions)]
+    {
+        // cheap static passes at the variant boundary; the expensive
+        // per-rule equivalence battery stays in `apex verify` / synthesis
+        crate::dse::debug_verify(
+            "merge",
+            &apex_verify::verify_datapath_with(&spec.datapath, &sources, 8),
+        );
+        crate::dse::debug_verify(
+            "rewrite",
+            &apex_verify::verify_ruleset(&spec.datapath, &rules.rules, 0),
+        );
+        crate::dse::debug_verify("pe", &apex_verify::verify_pe(&spec));
+    }
     Ok(PeVariant {
         spec,
         sources,

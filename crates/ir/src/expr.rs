@@ -353,7 +353,7 @@ mod tests {
         let w = b.lit(3);
         (x * w).clamp(0, 255).output();
         let g = b.finish();
-        assert!(g.validate().is_ok());
+        assert!(g.try_validate().is_ok());
         assert!(g.compute_op_count() >= 3);
     }
 }

@@ -315,14 +315,33 @@ impl Graph {
         max
     }
 
-    /// Re-validates every edge (arity, types, topological ordering). Always
-    /// true for graphs built through [`Graph::add`]; useful after
-    /// deserialization.
+    /// Deprecated alias of [`Graph::try_validate`].
     ///
     /// # Errors
     /// Returns the first violation found.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_validate`, or the `apex-verify` IR pass for full diagnostics"
+    )]
     pub fn validate(&self) -> Result<(), GraphError> {
         self.try_validate()
+    }
+
+    /// Assembles a graph from raw `(op, inputs)` rows **without any
+    /// validation** — the ingestion point for untrusted graph data
+    /// (hand-assembled tests, foreign serialization) that is expected to
+    /// go through [`Graph::try_validate`] or the `apex-verify` IR pass
+    /// before entering the flow. Everything else in this crate assumes
+    /// validated graphs; feeding an unchecked corrupt graph to other
+    /// APIs may panic.
+    pub fn from_raw_parts(name: &str, rows: Vec<(Op, Vec<NodeId>)>) -> Graph {
+        Graph {
+            name: name.to_owned(),
+            nodes: rows
+                .into_iter()
+                .map(|(op, inputs)| Node { op, inputs })
+                .collect(),
+        }
     }
 
     /// Validates every edge (arity, types, topological ordering) without
@@ -471,7 +490,7 @@ mod tests {
         assert_eq!(g.primary_outputs().len(), 1);
         assert_eq!(g.compute_op_count(), 2);
         assert_eq!(g.logic_depth(), 2);
-        assert!(g.validate().is_ok());
+        assert!(g.try_validate().is_ok());
     }
 
     #[test]
@@ -530,7 +549,7 @@ mod tests {
             .find(|&id| g.op(id) == Op::Add)
             .unwrap();
         let (sub, map) = g.extract_subgraph(&[add_id], "just_add");
-        assert!(sub.validate().is_ok());
+        assert!(sub.try_validate().is_ok());
         assert_eq!(sub.primary_inputs().len(), 2);
         assert_eq!(sub.primary_outputs().len(), 1);
         assert_eq!(sub.op(map[&add_id]), Op::Add);
@@ -542,7 +561,7 @@ mod tests {
         let mul = g.node_ids().find(|&id| g.op(id) == Op::Mul).unwrap();
         let add = g.node_ids().find(|&id| g.op(id) == Op::Add).unwrap();
         let (sub, map) = g.extract_subgraph(&[mul, add], "mac_core");
-        assert!(sub.validate().is_ok());
+        assert!(sub.try_validate().is_ok());
         // mul feeds add directly
         let add_new = map[&add];
         assert!(sub.node(add_new).inputs().contains(&map[&mul]));

@@ -1,0 +1,390 @@
+//! Merge checker pass: the merged datapath structurally covers every
+//! constituent subgraph, and a concrete select-assignment witness per
+//! source reproduces its semantics on corner and random vectors.
+
+use crate::Violation;
+use apex_ir::{evaluate as ir_eval, Graph, Op, Value};
+use apex_merge::{DpSource, MergedDatapath};
+
+/// Verifies a merged datapath against its constituent source subgraphs
+/// with the default witness-trial budget (16 vectors beyond corners).
+///
+/// `sources[i]` must be the subgraph that `dp.configs[i]` claims to
+/// implement; pass `&[]` to run the structural checks only.
+pub fn verify_datapath(dp: &MergedDatapath, sources: &[Graph]) -> Vec<Violation> {
+    verify_datapath_with(dp, sources, 16)
+}
+
+/// Verifies a merged datapath; `trials` controls how many witness
+/// evaluation vectors are tried per (source, config) pair in addition to
+/// the corner battery (0 skips the semantic witness entirely).
+///
+/// Rules:
+/// * `MERGE-STRUCT` — the candidate-edge union is cyclic, or a node's
+///   ops disagree on output type / exceed the port count,
+/// * `MERGE-PORT` — a dangling or out-of-range mux candidate (port with
+///   no candidates, self-loop, unknown node/input, type mismatch),
+/// * `MERGE-MUX` — duplicate candidates on one mux (selection would be
+///   ambiguous rather than exclusive),
+/// * `MERGE-CONFIG` — a stored configuration fails
+///   [`MergedDatapath::validate_config`],
+/// * `MERGE-IFACE` — a source subgraph's input/output interface
+///   disagrees with its configuration's maps and output selects,
+/// * `MERGE-WITNESS` — the configured datapath does not reproduce the
+///   source subgraph's outputs on a witness vector.
+pub fn verify_datapath_with(
+    dp: &MergedDatapath,
+    sources: &[Graph],
+    trials: usize,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let artifact = format!("datapath '{}'", dp.name);
+
+    // --- structure: DAG, node op sets, mux candidates ------------------
+    let mut structural = false;
+    if let Err(e) = dp.topo_order() {
+        out.push(Violation::new(
+            "MERGE-STRUCT",
+            &artifact,
+            "nodes",
+            e.to_string(),
+        ));
+        structural = true;
+    }
+    for (i, node) in dp.nodes.iter().enumerate() {
+        if node.ops.is_empty() {
+            out.push(Violation::new(
+                "MERGE-STRUCT",
+                &artifact,
+                format!("node n{i}"),
+                "functional unit with no operations".to_owned(),
+            ));
+            structural = true;
+            continue;
+        }
+        let ty = node.output_type();
+        for op in &node.ops {
+            if op.output_type() != ty {
+                out.push(Violation::new(
+                    "MERGE-STRUCT",
+                    &artifact,
+                    format!("node n{i}"),
+                    format!("{op:?} output type differs from the unit's {ty:?}"),
+                ));
+                structural = true;
+            }
+            if op.arity() > node.arity() {
+                out.push(Violation::new(
+                    "MERGE-STRUCT",
+                    &artifact,
+                    format!("node n{i}"),
+                    format!("{op:?} needs {} port(s), unit has {}", op.arity(), node.arity()),
+                ));
+                structural = true;
+            }
+        }
+        let max_arity = node.ops.iter().map(|op| op.arity()).max().unwrap_or(0);
+        for (p, cands) in node.port_candidates.iter().enumerate() {
+            let loc = format!("node n{i} port {p}");
+            if cands.is_empty() && p < max_arity {
+                out.push(Violation::new(
+                    "MERGE-PORT",
+                    &artifact,
+                    loc.clone(),
+                    "used port has no candidate sources (dangling)".to_owned(),
+                ));
+                structural = true;
+            }
+            for (leg, &c) in cands.iter().enumerate() {
+                let in_range = match c {
+                    DpSource::WordInput(k) => (k as usize) < dp.word_inputs,
+                    DpSource::BitInput(k) => (k as usize) < dp.bit_inputs,
+                    DpSource::Node(u) => (u as usize) < dp.nodes.len() && u as usize != i,
+                };
+                if !in_range {
+                    out.push(Violation::new(
+                        "MERGE-PORT",
+                        &artifact,
+                        format!("{loc} leg {leg}"),
+                        format!("candidate {c:?} out of range (or self-loop)"),
+                    ));
+                    structural = true;
+                    continue;
+                }
+                let src_ty = dp.try_source_type(c);
+                for op in &node.ops {
+                    if p < op.arity() && src_ty != Some(op.input_types()[p]) {
+                        out.push(Violation::new(
+                            "MERGE-PORT",
+                            &artifact,
+                            format!("{loc} leg {leg}"),
+                            format!("{c:?} produces {src_ty:?}, {op:?} expects {:?}", op.input_types()[p]),
+                        ));
+                        structural = true;
+                    }
+                }
+            }
+            let mut seen = cands.clone();
+            seen.sort();
+            let before = seen.len();
+            seen.dedup();
+            if seen.len() != before {
+                out.push(Violation::new(
+                    "MERGE-MUX",
+                    &artifact,
+                    loc,
+                    "duplicate mux candidates (selection not exclusive)".to_owned(),
+                ));
+            }
+        }
+    }
+
+    // --- configurations -------------------------------------------------
+    for (ci, cfg) in dp.configs.iter().enumerate() {
+        if let Err(e) = dp.validate_config(cfg) {
+            out.push(Violation::new(
+                "MERGE-CONFIG",
+                &artifact,
+                format!("config[{ci}] '{}'", cfg.name),
+                e.to_string(),
+            ));
+        }
+        for (i, &port) in cfg.word_input_map.iter().enumerate() {
+            if port as usize >= dp.word_inputs {
+                out.push(Violation::new(
+                    "MERGE-IFACE",
+                    &artifact,
+                    format!("config[{ci}] word_input_map[{i}]"),
+                    format!("PE word port {port} out of range ({} ports)", dp.word_inputs),
+                ));
+            }
+        }
+        for (i, &port) in cfg.bit_input_map.iter().enumerate() {
+            if port as usize >= dp.bit_inputs {
+                out.push(Violation::new(
+                    "MERGE-IFACE",
+                    &artifact,
+                    format!("config[{ci}] bit_input_map[{i}]"),
+                    format!("PE bit port {port} out of range ({} ports)", dp.bit_inputs),
+                ));
+            }
+        }
+    }
+
+    // --- per-source coverage witness ------------------------------------
+    if sources.is_empty() {
+        return out;
+    }
+    if sources.len() != dp.configs.len() {
+        out.push(Violation::new(
+            "MERGE-WITNESS",
+            &artifact,
+            "configs",
+            format!(
+                "{} source subgraph(s) but {} configuration(s)",
+                sources.len(),
+                dp.configs.len()
+            ),
+        ));
+        return out;
+    }
+    for (ci, (src, cfg)) in sources.iter().zip(&dp.configs).enumerate() {
+        let loc = format!("config[{ci}] '{}'", cfg.name);
+        let word_n = src.node_ids().filter(|&i| src.op(i) == Op::Input).count();
+        let bit_n = src.node_ids().filter(|&i| src.op(i) == Op::BitInput).count();
+        let word_out = src.node_ids().filter(|&i| src.op(i) == Op::Output).count();
+        let bit_out = src.node_ids().filter(|&i| src.op(i) == Op::BitOutput).count();
+        let iface_ok = word_n == cfg.word_input_map.len()
+            && bit_n == cfg.bit_input_map.len()
+            && word_out == cfg.word_out_sel.len()
+            && bit_out == cfg.bit_out_sel.len();
+        if !iface_ok {
+            out.push(Violation::new(
+                "MERGE-IFACE",
+                &artifact,
+                loc,
+                format!(
+                    "source '{}' interface {word_n}W+{bit_n}B in / {word_out}W+{bit_out}B out \
+                     != config maps {}W+{}B in / {}W+{}B out",
+                    src.name(),
+                    cfg.word_input_map.len(),
+                    cfg.bit_input_map.len(),
+                    cfg.word_out_sel.len(),
+                    cfg.bit_out_sel.len()
+                ),
+            ));
+            continue;
+        }
+        if structural || trials == 0 || dp.validate_config(cfg).is_err() {
+            continue; // witness evaluation needs a well-formed datapath
+        }
+        if let Some(v) = witness(dp, src, ci, word_n, bit_n, trials, &artifact, &loc) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Runs the corner + random witness battery for one (source, config)
+/// pair; returns the first divergence found.
+#[allow(clippy::too_many_arguments)]
+fn witness(
+    dp: &MergedDatapath,
+    src: &Graph,
+    ci: usize,
+    word_n: usize,
+    bit_n: usize,
+    trials: usize,
+    artifact: &str,
+    loc: &str,
+) -> Option<Violation> {
+    const CORNERS: [u16; 6] = [0, 1, 2, 0x7FFF, 0x8000, 0xFFFF];
+    let cfg = &dp.configs[ci];
+    let mut seed = 0x5EED_0000_0000_0001u64 ^ (ci as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for t in 0..trials.max(CORNERS.len()) {
+        let words: Vec<u16> = (0..word_n)
+            .map(|k| {
+                if t < CORNERS.len() {
+                    CORNERS[(t + k) % CORNERS.len()]
+                } else {
+                    next() as u16
+                }
+            })
+            .collect();
+        let bits: Vec<bool> = (0..bit_n).map(|_| next() & 1 == 1).collect();
+        let mut wi = words.iter();
+        let mut bi = bits.iter();
+        let golden_inputs: Vec<Value> = src
+            .primary_inputs()
+            .iter()
+            .map(|&pi| match src.op(pi) {
+                Op::Input => Value::Word(wi.next().copied().unwrap_or(0)),
+                Op::BitInput => Value::Bit(bi.next().copied().unwrap_or(false)),
+                _ => Value::Word(0),
+            })
+            .collect();
+        let golden = ir_eval(src, &golden_inputs);
+        let got = match dp.evaluate_as_source(cfg, &words, &bits) {
+            Ok(g) => g,
+            Err(e) => {
+                return Some(Violation::new(
+                    "MERGE-WITNESS",
+                    artifact,
+                    loc.to_owned(),
+                    format!("evaluation failed on witness vector {t}: {e}"),
+                ));
+            }
+        };
+        let (got_w, got_b) = got;
+        let mut gw = got_w.into_iter();
+        let mut gb = got_b.into_iter();
+        for (po, g) in src.primary_outputs().iter().zip(golden) {
+            let ok = match src.op(*po) {
+                Op::Output => gw.next() == Some(g.word()),
+                Op::BitOutput => gb.next() == Some(g.bit()),
+                _ => true,
+            };
+            if !ok {
+                return Some(Violation::new(
+                    "MERGE-WITNESS",
+                    artifact,
+                    loc.to_owned(),
+                    format!(
+                        "output {po} diverges from source '{}' on witness vector {t} \
+                         (words {words:?}, bits {bits:?})",
+                        src.name()
+                    ),
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_merge::{merge_all, MergeOptions};
+    use apex_tech::TechModel;
+
+    fn mac() -> Graph {
+        let mut g = Graph::new("mac");
+        let (a, b, c) = (g.input(), g.input(), g.input());
+        let m = g.add(Op::Mul, &[a, b]);
+        let s = g.add(Op::Add, &[m, c]);
+        g.output(s);
+        g
+    }
+
+    fn addsub() -> Graph {
+        let mut g = Graph::new("addsub");
+        let (a, b, c) = (g.input(), g.input(), g.input());
+        let s = g.add(Op::Add, &[a, b]);
+        let d = g.add(Op::Sub, &[s, c]);
+        g.output(d);
+        g
+    }
+
+    fn merged() -> (MergedDatapath, Vec<Graph>) {
+        let sources = vec![mac(), addsub()];
+        let (dp, _) = merge_all(&sources, &TechModel::default(), &MergeOptions::default())
+            .expect("merge succeeds");
+        (dp, sources)
+    }
+
+    #[test]
+    fn honest_merge_is_clean() {
+        let (dp, sources) = merged();
+        let vs = verify_datapath(&dp, &sources);
+        assert!(vs.is_empty(), "{}", crate::render(&vs));
+    }
+
+    #[test]
+    fn swapped_input_map_fails_witness() {
+        let (mut dp, sources) = merged();
+        // addsub is order-sensitive: permuting its input map changes a-b
+        let cfg = &mut dp.configs[1];
+        cfg.word_input_map.swap(0, 2);
+        let vs = verify_datapath(&dp, &sources);
+        assert!(
+            vs.iter().any(|v| v.rule == "MERGE-WITNESS"),
+            "{}",
+            crate::render(&vs)
+        );
+    }
+
+    #[test]
+    fn duplicate_mux_leg_is_caught() {
+        let (mut dp, sources) = merged();
+        let dup = dp.nodes[0].port_candidates[0][0];
+        dp.nodes[0].port_candidates[0].push(dup);
+        let vs = verify_datapath(&dp, &sources);
+        assert!(vs.iter().any(|v| v.rule == "MERGE-MUX"), "{}", crate::render(&vs));
+    }
+
+    #[test]
+    fn dangling_port_is_caught() {
+        let (mut dp, _) = merged();
+        dp.nodes[0].port_candidates[0].clear();
+        let vs = verify_datapath(&dp, &[]);
+        assert!(vs.iter().any(|v| v.rule == "MERGE-PORT"), "{}", crate::render(&vs));
+    }
+
+    #[test]
+    fn config_source_count_mismatch_is_caught() {
+        let (dp, mut sources) = merged();
+        sources.pop();
+        let vs = verify_datapath(&dp, &sources);
+        assert!(
+            vs.iter().any(|v| v.rule == "MERGE-WITNESS"),
+            "{}",
+            crate::render(&vs)
+        );
+    }
+}

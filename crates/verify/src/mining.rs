@@ -1,0 +1,244 @@
+//! Mining checker pass: every reported occurrence is a real,
+//! label/port-consistent embedding of its pattern in the source
+//! application, and the support counts are consistent with the
+//! occurrence lists.
+
+use crate::Violation;
+use apex_ir::{Graph, NodeId};
+use apex_mining::{find_embeddings, maximal_independent_set, GraphIndex, MinedSubgraph};
+
+/// Verifies mined subgraphs against their source application graph.
+///
+/// Rules:
+/// * `MINE-REP` — the representative embedding is malformed (wrong
+///   size, label mismatch, or a pattern edge with no matching graph
+///   edge at the required port),
+/// * `MINE-OCC-SIZE` — an occurrence's node count disagrees with the
+///   pattern (or repeats / out-of-range nodes),
+/// * `MINE-OCC-LABEL` — an occurrence's op-kind multiset disagrees
+///   with the pattern's labels,
+/// * `MINE-OCC-EMBED` — no injective, port-consistent embedding of the
+///   pattern exists on exactly the occurrence's nodes,
+/// * `MINE-SUPPORT` — MNI support below the MIS size (disjoint
+///   occurrences guarantee that many distinct images per position),
+/// * `MINE-MIS` — the stored MIS size disagrees with the deterministic
+///   greedy MIS recomputed from the occurrence list.
+pub fn verify_mined(app: &Graph, mined: &[MinedSubgraph]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (k, m) in mined.iter().enumerate() {
+        let artifact = format!("subgraph #{k} of app '{}'", app.name());
+        let plen = m.pattern.len();
+        let labels = m.pattern.labels();
+
+        // --- representative: pattern index -> graph node ----------------
+        if m.representative.len() != plen
+            || m
+                .representative
+                .iter()
+                .any(|n| n.index() >= app.len())
+        {
+            out.push(Violation::new(
+                "MINE-REP",
+                &artifact,
+                "representative",
+                format!(
+                    "representative maps {} node(s), pattern has {plen}",
+                    m.representative.len()
+                ),
+            ));
+        } else {
+            for (i, &n) in m.representative.iter().enumerate() {
+                if app.op(n).kind() != labels[i] {
+                    out.push(Violation::new(
+                        "MINE-REP",
+                        &artifact,
+                        format!("representative[{i}]"),
+                        format!(
+                            "{n} is {:?}, pattern label is {:?}",
+                            app.op(n).kind(),
+                            labels[i]
+                        ),
+                    ));
+                }
+            }
+            for (s, d, port) in m.pattern.edges() {
+                let src = m.representative[s as usize];
+                let dst = m.representative[d as usize];
+                let inputs = app.node(dst).inputs();
+                let present = match port {
+                    Some(p) => inputs.get(p as usize) == Some(&src),
+                    None => inputs.contains(&src),
+                };
+                if !present {
+                    out.push(Violation::new(
+                        "MINE-REP",
+                        &artifact,
+                        format!("pattern edge {s}->{d}"),
+                        format!("no graph edge {src}->{dst} (port {port:?})"),
+                    ));
+                }
+            }
+        }
+
+        // --- occurrences: sorted node sets ------------------------------
+        let mut sorted_labels = labels.to_vec();
+        sorted_labels.sort();
+        for (j, occ) in m.occurrences.iter().enumerate() {
+            let loc = format!("occurrence[{j}]");
+            let mut distinct = occ.clone();
+            distinct.sort();
+            distinct.dedup();
+            if distinct.len() != plen || occ.iter().any(|n| n.index() >= app.len()) {
+                out.push(Violation::new(
+                    "MINE-OCC-SIZE",
+                    &artifact,
+                    loc,
+                    format!("{} distinct node(s), pattern has {plen}", distinct.len()),
+                ));
+                continue;
+            }
+            let mut occ_labels: Vec<_> = occ.iter().map(|&n| app.op(n).kind()).collect();
+            occ_labels.sort();
+            if occ_labels != sorted_labels {
+                out.push(Violation::new(
+                    "MINE-OCC-LABEL",
+                    &artifact,
+                    loc,
+                    format!("labels {occ_labels:?} != pattern {sorted_labels:?}"),
+                ));
+                continue;
+            }
+            if !occurrence_embeds(app, &distinct, m) {
+                out.push(Violation::new(
+                    "MINE-OCC-EMBED",
+                    &artifact,
+                    loc,
+                    "no port-consistent embedding of the pattern on these nodes".to_owned(),
+                ));
+            }
+        }
+
+        // --- support counts ---------------------------------------------
+        if m.mni_support < m.mis_size {
+            out.push(Violation::new(
+                "MINE-SUPPORT",
+                &artifact,
+                "support",
+                format!(
+                    "MNI support {} below MIS size {} (disjoint occurrences imply \
+                     that many distinct images per position)",
+                    m.mni_support, m.mis_size
+                ),
+            ));
+        }
+        let recomputed = maximal_independent_set(&m.occurrences).len();
+        if m.mis_size != recomputed {
+            out.push(Violation::new(
+                "MINE-MIS",
+                &artifact,
+                "support",
+                format!("stored MIS size {} != recomputed {recomputed}", m.mis_size),
+            ));
+        }
+    }
+    out
+}
+
+/// Does the pattern embed onto exactly `nodes` (a sorted, deduplicated
+/// node set of the right size and label multiset)?
+///
+/// The subgraph induced by `nodes` is extracted (preserving port order)
+/// and the pattern matched inside it: the small graph has exactly
+/// `pattern.len()` compute nodes, so any embedding found is a bijection
+/// onto the occurrence.
+fn occurrence_embeds(app: &Graph, nodes: &[NodeId], m: &MinedSubgraph) -> bool {
+    let (sub, _) = app.extract_subgraph(nodes, "occ");
+    // extraction rewires external consts/inputs as primary inputs, so the
+    // compute region of `sub` is exactly the occurrence
+    let index = GraphIndex::new(&sub);
+    let es = find_embeddings(&m.pattern, &index, 1);
+    !es.embeddings.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_ir::Op;
+    use apex_mining::{mine, MinerConfig};
+
+    fn conv_graph() -> Graph {
+        let mut g = Graph::new("conv");
+        let mut acc = None;
+        for k in 0..4u16 {
+            let i = g.input();
+            let w = g.constant(10 + k);
+            let mul = g.add(Op::Mul, &[i, w]);
+            acc = Some(match acc {
+                None => mul,
+                Some(a) => g.add(Op::Add, &[a, mul]),
+            });
+        }
+        let fin = acc.expect("non-empty");
+        g.output(fin);
+        g
+    }
+
+    fn mined(g: &Graph) -> Vec<MinedSubgraph> {
+        mine(
+            g,
+            &MinerConfig {
+                min_support: 2,
+                ..MinerConfig::default()
+            },
+        )
+        .expect("mining succeeds")
+        .subgraphs
+    }
+
+    #[test]
+    fn honest_mining_output_is_clean() {
+        let g = conv_graph();
+        let ms = mined(&g);
+        assert!(!ms.is_empty());
+        let vs = verify_mined(&g, &ms);
+        assert!(vs.is_empty(), "{}", crate::render(&vs));
+    }
+
+    #[test]
+    fn wrong_label_occurrence_is_caught() {
+        let g = conv_graph();
+        let mut ms = mined(&g);
+        // swap one occurrence node for a node of a different kind
+        let victim = ms
+            .iter_mut()
+            .find(|m| m.pattern.labels().contains(&apex_ir::OpKind::Mul))
+            .expect("a mul pattern exists");
+        let add_node = g
+            .node_ids()
+            .find(|&n| g.op(n) == Op::Add)
+            .expect("an add exists");
+        let occ = &mut victim.occurrences[0];
+        let mul_pos = occ
+            .iter()
+            .position(|&n| g.op(n) == Op::Mul)
+            .expect("occurrence holds a mul");
+        occ[mul_pos] = add_node;
+        occ.sort();
+        let vs = verify_mined(&g, &ms);
+        assert!(
+            vs.iter()
+                .any(|v| v.rule == "MINE-OCC-LABEL" || v.rule == "MINE-OCC-SIZE"),
+            "{}",
+            crate::render(&vs)
+        );
+    }
+
+    #[test]
+    fn inflated_support_is_caught() {
+        let g = conv_graph();
+        let mut ms = mined(&g);
+        ms[0].mis_size += 3;
+        let vs = verify_mined(&g, &ms);
+        assert!(vs.iter().any(|v| v.rule == "MINE-MIS"), "{}", crate::render(&vs));
+    }
+}

@@ -1,0 +1,149 @@
+//! PE checker pass: the pipeline stage assignment is well-formed and
+//! monotone along every candidate dataflow edge.
+
+use crate::Violation;
+use apex_merge::DpSource;
+use apex_pe::PeSpec;
+
+/// Verifies a PE specification's pipeline annotation. Specs without a
+/// pipeline (purely combinational PEs) are trivially clean.
+///
+/// Rules:
+/// * `PE-PIPE-LEN` — the stage assignment does not cover every datapath
+///   node,
+/// * `PE-PIPE-RANGE` — a stage index is out of range, or the stage count
+///   is zero,
+/// * `PE-PIPE-ORDER` — a candidate edge goes backward in time (a node's
+///   source is assigned a later stage than the node itself).
+pub fn verify_pe(spec: &PeSpec) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let Some(pipe) = &spec.pipeline else {
+        return out;
+    };
+    let artifact = format!("PE '{}'", spec.name);
+    let n = spec.datapath.nodes.len();
+
+    if pipe.stage_of_node.len() != n {
+        out.push(Violation::new(
+            "PE-PIPE-LEN",
+            &artifact,
+            "pipeline",
+            format!(
+                "stage assignment covers {} node(s), datapath has {n}",
+                pipe.stage_of_node.len()
+            ),
+        ));
+        return out; // per-edge checks would index out of bounds
+    }
+    if pipe.stages == 0 {
+        out.push(Violation::new(
+            "PE-PIPE-RANGE",
+            &artifact,
+            "pipeline",
+            "stage count is zero".to_owned(),
+        ));
+    }
+    for (i, &s) in pipe.stage_of_node.iter().enumerate() {
+        if s >= pipe.stages {
+            out.push(Violation::new(
+                "PE-PIPE-RANGE",
+                &artifact,
+                format!("node n{i}"),
+                format!("stage {s} out of range ({} stages)", pipe.stages),
+            ));
+        }
+    }
+    for (i, node) in spec.datapath.nodes.iter().enumerate() {
+        for (p, cands) in node.port_candidates.iter().enumerate() {
+            for &c in cands {
+                let DpSource::Node(u) = c else { continue };
+                let Some(&su) = pipe.stage_of_node.get(u as usize) else {
+                    continue; // MERGE-PORT territory, not a pipeline claim
+                };
+                if su > pipe.stage_of_node[i] {
+                    out.push(Violation::new(
+                        "PE-PIPE-ORDER",
+                        &artifact,
+                        format!("node n{i} port {p}"),
+                        format!(
+                            "source n{u} in stage {su} feeds a node in earlier stage {}",
+                            pipe.stage_of_node[i]
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apex_ir::{Graph, Op};
+    use apex_merge::MergedDatapath;
+    use apex_pe::PePipeline;
+
+    fn spec() -> PeSpec {
+        let mut g = Graph::new("mac");
+        let (a, b, c) = (g.input(), g.input(), g.input());
+        let m = g.add(Op::Mul, &[a, b]);
+        let s = g.add(Op::Add, &[m, c]);
+        g.output(s);
+        PeSpec {
+            name: "mac".into(),
+            datapath: MergedDatapath::from_graph(&g),
+            legacy_control: false,
+            pipeline: Some(PePipeline {
+                stage_of_node: vec![0, 1],
+                stages: 2,
+            }),
+        }
+    }
+
+    #[test]
+    fn monotone_pipeline_is_clean() {
+        let vs = verify_pe(&spec());
+        assert!(vs.is_empty(), "{}", crate::render(&vs));
+    }
+
+    #[test]
+    fn unpipelined_spec_is_clean() {
+        let mut s = spec();
+        s.pipeline = None;
+        assert!(verify_pe(&s).is_empty());
+    }
+
+    #[test]
+    fn backward_edge_is_caught() {
+        let mut s = spec();
+        s.pipeline = Some(PePipeline {
+            stage_of_node: vec![1, 0], // mul after add, but add consumes mul
+            stages: 2,
+        });
+        let vs = verify_pe(&s);
+        assert!(vs.iter().any(|v| v.rule == "PE-PIPE-ORDER"), "{}", crate::render(&vs));
+    }
+
+    #[test]
+    fn short_assignment_is_caught() {
+        let mut s = spec();
+        s.pipeline = Some(PePipeline {
+            stage_of_node: vec![0],
+            stages: 1,
+        });
+        let vs = verify_pe(&s);
+        assert!(vs.iter().any(|v| v.rule == "PE-PIPE-LEN"));
+    }
+
+    #[test]
+    fn out_of_range_stage_is_caught() {
+        let mut s = spec();
+        s.pipeline = Some(PePipeline {
+            stage_of_node: vec![0, 5],
+            stages: 2,
+        });
+        let vs = verify_pe(&s);
+        assert!(vs.iter().any(|v| v.rule == "PE-PIPE-RANGE"));
+    }
+}

@@ -12,6 +12,7 @@
 //! apex report [--jobs N] [--resume] [ids...]
 //!                                   regenerate the paper's tables/figures
 //! apex save <app> [file]            dump an application in the text graph format
+//! apex verify <app> | --suite       static invariant verifier over every stage artifact
 //! apex dse-file <file>              run the DSE flow on a text-format graph
 //! apex describe <variant>           PE datasheet (units, configs, costs)
 //! ```
@@ -32,7 +33,9 @@ use std::fmt::Write as _;
 const EXIT_INTERRUPTED: i32 = 3;
 
 fn usage() {
-    eprintln!("usage: apex <list|dot|mine|dse|verilog|array|report|save|dse-file|describe> [...]");
+    eprintln!("usage: apex <list|dot|mine|dse|verilog|array|report|save|dse-file|describe|verify> [...]");
+    eprintln!("  verify <app>   run the cross-stage invariant verifier on one application");
+    eprintln!("  verify --suite ... on the full benchmark suite (exit 1 on any violation)");
     eprintln!("flags:");
     eprintln!("  --jobs N    worker threads for pooled stages (1 = serial; output is identical)");
     eprintln!("  --resume    dse/report: replay the sweep journal and run only the remainder");
@@ -131,6 +134,7 @@ fn main() {
             Ok(Status::Done)
         }
         "dse-file" => dse_file(&args[1..]).map(|()| Status::Done),
+        "verify" => verify(&args[1..]).map(|()| Status::Done),
         "describe" => describe(&args[1..]).map(|()| Status::Done),
         "help" | "--help" | "-h" => {
             usage();
@@ -490,6 +494,154 @@ fn dse_file(args: &[String]) -> Result<(), ApexError> {
     println!("baseline   : {bn} PEs, {ba:.0} um2, {be:.1} pJ/cycle");
     println!("specialized: {sn} PEs, {sa:.0} um2, {se:.1} pJ/cycle ({} subgraphs merged)", spec.sources.len());
     Ok(())
+}
+
+/// `apex verify <app>` / `apex verify --suite`: runs every static
+/// verifier pass (`apex::verify`) over the artifacts of the full
+/// pipeline for one application or the whole benchmark suite. Prints a
+/// per-pass report; exits 1 if any pass reports a violation, 2 on usage
+/// errors. Pipeline errors (a stage refusing to produce an artifact at
+/// all) surface as the usual `error:` chain, also with exit 1.
+fn verify(args: &[String]) -> Result<(), ApexError> {
+    let apps: Vec<apex::apps::Application> = if args.iter().any(|a| a == "--suite") {
+        apex::apps::analyzed_apps()
+            .into_iter()
+            .chain(apex::apps::unseen_apps())
+            .collect()
+    } else {
+        vec![app_or_exit(args.first())]
+    };
+    let tech = apex::tech::TechModel::default();
+    let mut total = 0usize;
+    let mut failed_apps = 0usize;
+    for app in &apps {
+        let n = verify_app(app, &tech)?;
+        if n > 0 {
+            failed_apps += 1;
+        }
+        total += n;
+    }
+    println!(
+        "verify: {} application(s), {} violation(s){}",
+        apps.len(),
+        total,
+        if total == 0 { " — all passes clean" } else { "" }
+    );
+    if total > 0 {
+        eprintln!("verify: {failed_apps} application(s) with violations");
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// Runs all verifier passes for one application end-to-end and prints a
+/// per-pass line (`ok` or the rendered violations). Returns the number
+/// of violations found.
+fn verify_app(
+    app: &apex::apps::Application,
+    tech: &apex::tech::TechModel,
+) -> Result<usize, ApexError> {
+    use apex::verify as v;
+    println!("== {} ==", app.info.name);
+    let mut total = 0usize;
+    let mut report = |pass: &str, note: &str, vs: Vec<v::Violation>| {
+        if vs.is_empty() {
+            println!("{pass:<10} ok{}{note}", if note.is_empty() { "" } else { "  " });
+        } else {
+            println!("{pass:<10} {} violation(s)", vs.len());
+            print!("{}", v::render(&vs));
+            total += vs.len();
+        }
+    };
+
+    // ir: the application dataflow graph itself
+    report("ir", "", v::verify_graph(&app.graph));
+
+    // mine: frequent subgraphs + MIS statistics
+    let mined = apex::mining::mine(&app.graph, &apex::mining::MinerConfig::default())?;
+    report(
+        "mine",
+        &format!("({} subgraphs)", mined.subgraphs.len()),
+        v::verify_mined(&app.graph, &mined.subgraphs),
+    );
+
+    // merge / rewrite / pe: the specialized variant's own artifacts
+    let variant = apex::core::specialized_variant(
+        &format!("pe_spec_{}", app.info.name),
+        &[app],
+        &[app],
+        &apex::mining::MinerConfig::default(),
+        &apex::core::SubgraphSelection::default(),
+        &apex::merge::MergeOptions::default(),
+        tech,
+        &std::collections::BTreeSet::new(),
+    )?;
+    report(
+        "merge",
+        &format!("({} configs)", variant.spec.datapath.configs.len()),
+        v::verify_datapath_with(&variant.spec.datapath, &variant.sources, 16),
+    );
+    report(
+        "rewrite",
+        &format!("({} rules)", variant.rules.rules.len()),
+        v::verify_ruleset(&variant.spec.datapath, &variant.rules.rules, 8),
+    );
+    let mut spec = variant.spec.clone();
+    apex::pipeline::auto_pipeline(&mut spec, tech, &apex::pipeline::PePipelineOptions::default())?;
+    report(
+        "pe",
+        &format!("({} stages)", spec.pipeline.as_ref().map_or(1, |p| p.stages)),
+        v::verify_pe(&spec),
+    );
+
+    // map / place / route / bitstream: the backend artifacts
+    let design = apex::map::map_application(&app.graph, &variant.spec.datapath, &variant.rules)?;
+    report(
+        "map",
+        &format!("({} nodes)", design.netlist.nodes.len()),
+        v::verify_netlist(&design.netlist, &variant.rules),
+    );
+    let fabric = apex::cgra::Fabric::new(apex::cgra::FabricConfig::default());
+    let placement = apex::cgra::place(&design.netlist, &fabric, &apex::cgra::PlaceOptions::default())?;
+    report(
+        "place",
+        "",
+        v::verify_placement(&design.netlist, &fabric, &placement),
+    );
+    let routing = apex::cgra::route(
+        &design.netlist,
+        &variant.rules,
+        &fabric,
+        &placement,
+        &apex::cgra::RouteOptions::default(),
+    )?;
+    report(
+        "route",
+        &format!("({} routes)", routing.routes.len()),
+        v::verify_routing(&design.netlist, &variant.rules, &fabric, &placement, &routing),
+    );
+    let bs = apex::cgra::generate_bitstream(
+        &design.netlist,
+        &variant.rules,
+        &variant.spec.datapath,
+        &fabric,
+        &placement,
+        &routing,
+    );
+    report(
+        "bitstream",
+        &format!("({} bits)", bs.total_bits),
+        v::verify_bitstream(
+            &design.netlist,
+            &variant.rules,
+            &variant.spec.datapath,
+            &fabric,
+            &placement,
+            &routing,
+            &bs,
+        ),
+    );
+    Ok(total)
 }
 
 fn describe(args: &[String]) -> Result<(), ApexError> {

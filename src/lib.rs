@@ -19,6 +19,7 @@
 //! | [`pipeline`] | PE + application pipelining (§4.2–4.3) |
 //! | [`cgra`] | fabric generation, place-and-route, bitstreams (§2, §5.3) |
 //! | [`par`] | bounded work-stealing job pool for parallel sweeps |
+//! | [`verify`] | cross-stage static invariant verifier (`apex verify`) |
 //! | [`core`] | the DSE driver: variants + full-flow evaluation (§4) |
 //! | [`eval`] | the experiment harness regenerating every table/figure (§5) |
 //!
@@ -57,3 +58,4 @@ pub use apex_pe as pe;
 pub use apex_pipeline as pipeline;
 pub use apex_rewrite as rewrite;
 pub use apex_tech as tech;
+pub use apex_verify as verify;

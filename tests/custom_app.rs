@@ -31,7 +31,7 @@ fn build_edge_detector() -> apex::ir::Graph {
 #[test]
 fn custom_expression_app_flows_end_to_end() {
     let graph = build_edge_detector();
-    assert!(graph.validate().is_ok());
+    assert!(graph.try_validate().is_ok());
 
     // semantic sanity: flat window → no edge; strong vertical edge → 255
     let flat: Vec<Value> = vec![Value::Word(100); graph.primary_inputs().len()];

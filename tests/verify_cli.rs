@@ -1,0 +1,87 @@
+//! CLI contract tests for `apex verify`: exit codes (0 clean, 2 usage),
+//! the per-pass report format (one `<pass> ok` line per pipeline stage,
+//! `[RULE-ID]`-prefixed violation lines, and a machine-greppable summary
+//! line), and determinism of the report across runs.
+
+use std::process::Command;
+
+fn apex(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_apex"))
+        .args(args)
+        .output()
+        .expect("apex binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn verify_without_target_is_a_usage_error() {
+    let (code, _stdout, stderr) = apex(&["verify"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("expected an application name"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn verify_rejects_unknown_application() {
+    let (code, _stdout, stderr) = apex(&["verify", "no_such_app"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(
+        stderr.contains("unknown application 'no_such_app'"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn verify_single_app_report_is_golden_shaped() {
+    let (code, stdout, stderr) = apex(&["verify", "gaussian"]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
+    // header names the application
+    assert!(stdout.contains("== gaussian =="), "stdout: {stdout}");
+
+    // one report line per pipeline stage, in flow order
+    let passes = [
+        "ir", "mine", "merge", "rewrite", "pe", "map", "place", "route", "bitstream",
+    ];
+    let mut cursor = 0usize;
+    for pass in passes {
+        let line = stdout
+            .lines()
+            .enumerate()
+            .skip(cursor)
+            .find(|(_, l)| l.starts_with(pass))
+            .unwrap_or_else(|| panic!("missing '{pass}' line in:\n{stdout}"));
+        assert!(
+            line.1.contains(" ok"),
+            "'{pass}' must be clean on gaussian:\n{stdout}"
+        );
+        cursor = line.0 + 1;
+    }
+
+    // a clean run ends with the all-clean summary and no [RULE-ID] lines
+    assert!(
+        stdout.contains("verify: 1 application(s), 0 violation(s) — all passes clean"),
+        "stdout: {stdout}"
+    );
+    assert!(
+        !stdout.lines().any(|l| l.starts_with('[')),
+        "no violation lines expected:\n{stdout}"
+    );
+}
+
+#[test]
+fn verify_report_is_deterministic_across_runs() {
+    let (c1, out1, _) = apex(&["verify", "fast"]);
+    let (c2, out2, _) = apex(&["verify", "fast"]);
+    assert_eq!(c1, 0);
+    assert_eq!(c2, 0);
+    assert_eq!(out1, out2, "verify output must be byte-identical");
+}

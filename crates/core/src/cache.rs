@@ -122,22 +122,40 @@ pub fn datapath_hash(variant: &PeVariant) -> u64 {
 // ---------------------------------------------------------------------------
 
 /// On-disk, content-addressed store of finished [`PeVariant`]s.
+///
+/// A cache may be **namespaced** per tenant ([`VariantCache::namespaced`]):
+/// entries then live under `<root>/tenants/<tenant>/`, so one multi-tenant
+/// daemon shares a single store without tenants being able to address (or
+/// poison) each other's entries. The optional **byte cap**
+/// ([`VariantCache::with_max_bytes`], `APEX_CACHE_MAX_BYTES`) is enforced
+/// over the whole root — all namespaces together — by LRU eviction on
+/// every store; see [`VariantCache::evict_to_cap`].
 #[derive(Debug)]
 pub struct VariantCache {
+    /// Where this handle's entries live (a namespace subdir, or the root).
     dir: Option<PathBuf>,
+    /// The eviction root shared by every namespace of this store.
+    root: Option<PathBuf>,
+    /// Byte cap over `root`; `None` = unbounded (the pre-cap behaviour).
+    max_bytes: Option<u64>,
     hits: AtomicU64,
     misses: AtomicU64,
     quarantined: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl VariantCache {
     /// A cache rooted at `dir` (created lazily on first store).
     pub fn at(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
         VariantCache {
-            dir: Some(dir.into()),
+            dir: Some(dir.clone()),
+            root: Some(dir),
+            max_bytes: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
         }
     }
 
@@ -145,14 +163,44 @@ impl VariantCache {
     pub fn disabled() -> Self {
         VariantCache {
             dir: None,
+            root: None,
+            max_bytes: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the LRU byte cap enforced over the cache root on every store.
+    pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// A view of this store scoped to one tenant: entries live under
+    /// `<root>/tenants/<tenant>/` (the tenant name is sanitized to a safe
+    /// path component — it came off the wire). Counters are fresh per
+    /// view; the byte cap is shared with the root store.
+    pub fn namespaced(&self, tenant: &str) -> VariantCache {
+        let Some(root) = &self.root else {
+            return VariantCache::disabled();
+        };
+        VariantCache {
+            dir: Some(root.join("tenants").join(sanitize_tenant(tenant))),
+            root: Some(root.clone()),
+            max_bytes: self.max_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
         }
     }
 
     /// Cache configured from the environment: `APEX_CACHE=off|0|no`
-    /// disables it, `APEX_CACHE_DIR` overrides the location, default is
+    /// disables it, `APEX_CACHE_DIR` overrides the location, and
+    /// `APEX_CACHE_MAX_BYTES` (plain bytes, or with a `k`/`m`/`g`
+    /// suffix) caps the store with LRU eviction. Default location is
     /// `target/apex-cache` under the enclosing cargo workspace (falling
     /// back to the current directory).
     pub fn from_env() -> Self {
@@ -162,12 +210,15 @@ impl VariantCache {
                 return VariantCache::disabled();
             }
         }
+        let max_bytes = std::env::var("APEX_CACHE_MAX_BYTES")
+            .ok()
+            .and_then(|v| parse_byte_size(&v));
         if let Ok(dir) = std::env::var("APEX_CACHE_DIR") {
             if !dir.trim().is_empty() {
-                return VariantCache::at(dir);
+                return VariantCache::at(dir).with_max_bytes(max_bytes);
             }
         }
-        VariantCache::at(default_cache_dir())
+        VariantCache::at(default_cache_dir()).with_max_bytes(max_bytes)
     }
 
     /// The process-wide cache used by the experiment harness and the CLI.
@@ -197,6 +248,22 @@ impl VariantCache {
         self.quarantined.load(Ordering::Relaxed)
     }
 
+    /// Number of entries deleted by the byte-cap LRU policy since
+    /// construction.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// The configured byte cap, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
+    /// The eviction root (the whole store, across namespaces), if enabled.
+    pub fn root_dir(&self) -> Option<&Path> {
+        self.root.as_deref()
+    }
+
     fn entry_path(&self, key: u64) -> Option<PathBuf> {
         self.dir.as_ref().map(|d| d.join(format!("{key:016x}.var")))
     }
@@ -215,6 +282,12 @@ impl VariantCache {
         match decode_entry(&text) {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                // refresh the entry's mtime so the byte-cap eviction pass
+                // (LRU by mtime) sees it as recently used, not merely
+                // recently written; best-effort like every cache I/O
+                if let Ok(f) = std::fs::File::options().write(true).open(&path) {
+                    let _ = f.set_modified(std::time::SystemTime::now());
+                }
                 Some(v)
             }
             None => {
@@ -245,6 +318,75 @@ impl VariantCache {
         if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
         }
+        if let Some(cap) = self.max_bytes {
+            self.evict_to_cap(cap);
+        }
+    }
+
+    /// Deletes least-recently-used entries until the store (the whole
+    /// root, every tenant namespace included) fits in `cap` bytes.
+    ///
+    /// Eviction order: quarantined `.corrupt` files first (they are dead
+    /// weight kept only as evidence, so they count toward the cap and go
+    /// before any live entry), then live entries by ascending mtime (LRU —
+    /// [`VariantCache::load`] refreshes mtime on every hit), path as the
+    /// deterministic tie-break. Deletes are single `remove_file` calls
+    /// (atomic) and a concurrently vanished file — another process
+    /// evicting the same store — is treated as already freed, never an
+    /// error; the `serve::cache_evict_race` fail point simulates exactly
+    /// that race. Returns the number of files this call deleted.
+    pub fn evict_to_cap(&self, cap: u64) -> u64 {
+        let Some(root) = &self.root else { return 0 };
+        let mut entries: Vec<(bool, std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        collect_cache_files(root, &mut entries);
+        let mut total: u64 = entries.iter().map(|e| e.3).sum();
+        if total <= cap {
+            return 0;
+        }
+        // corrupt-first, then oldest-first; path breaks mtime ties so two
+        // processes scanning the same store agree on the victim order
+        entries.sort_by(|a, b| {
+            b.0.cmp(&a.0)
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
+        let mut deleted = 0u64;
+        for (_corrupt, _mtime, path, len) in entries {
+            if total <= cap {
+                break;
+            }
+            #[cfg(feature = "fault-injection")]
+            if apex_fault::failpoints::is_armed("serve::cache_evict_race") {
+                // simulate a concurrent evictor winning the race: the file
+                // is gone before our own delete lands
+                let _ = std::fs::remove_file(&path);
+            }
+            match std::fs::remove_file(&path) {
+                Ok(()) => {
+                    total = total.saturating_sub(len);
+                    deleted += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    // lost the race to another evictor: the bytes are
+                    // freed either way
+                    total = total.saturating_sub(len);
+                }
+                Err(_) => {
+                    // an undeletable file (permissions, live handle on
+                    // some platforms) is skipped; eviction is best-effort
+                }
+            }
+        }
+        self.evicted.fetch_add(deleted, Ordering::Relaxed);
+        deleted
+    }
+
+    /// Total bytes of cache files (live + quarantined) under the root.
+    pub fn total_bytes(&self) -> u64 {
+        let Some(root) = &self.root else { return 0 };
+        let mut entries = Vec::new();
+        collect_cache_files(root, &mut entries);
+        entries.iter().map(|e| e.3).sum()
     }
 
     /// The memoizing entry point: returns the cached variant for `key`, or
@@ -264,6 +406,65 @@ impl VariantCache {
         self.store(key, &v);
         Ok(v)
     }
+
+    /// [`VariantCache::get_or_build`] scoped to an optional tenant
+    /// namespace. The tenant view's counter activity is folded back into
+    /// this store's counters, so a daemon's footer stats stay accurate
+    /// across namespaces.
+    ///
+    /// # Errors
+    /// Propagates the builder's error on a miss.
+    pub fn get_or_build_in(
+        &self,
+        tenant: Option<&str>,
+        key: u64,
+        build: impl FnOnce() -> Result<PeVariant, ApexError>,
+    ) -> Result<PeVariant, ApexError> {
+        let Some(tenant) = tenant else {
+            return self.get_or_build(key, build);
+        };
+        let ns = self.namespaced(tenant);
+        let out = ns.get_or_build(key, build);
+        self.hits.fetch_add(ns.hits(), Ordering::Relaxed);
+        self.misses.fetch_add(ns.misses(), Ordering::Relaxed);
+        self.quarantined.fetch_add(ns.quarantined(), Ordering::Relaxed);
+        self.evicted.fetch_add(ns.evicted(), Ordering::Relaxed);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// per-thread tenant scope
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// The tenant namespace variant builds on this thread should cache
+    /// under (`None` = the root namespace, i.e. the offline CLI).
+    static THREAD_TENANT: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with every variant-cache access on this thread scoped to
+/// `tenant`'s namespace. Used by the serve daemon: a job thread enters the
+/// submitting tenant's scope, and the deep `cached()` call sites inside
+/// variant builds pick it up without threading a handle through every
+/// stage. Restores the previous scope on exit, including across panics.
+pub fn with_thread_tenant<R>(tenant: &str, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<String>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            THREAD_TENANT.with(|t| *t.borrow_mut() = prev);
+        }
+    }
+    let prev = THREAD_TENANT.with(|t| t.borrow_mut().replace(tenant.to_owned()));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The tenant scope installed on this thread, if any.
+pub fn thread_tenant() -> Option<String> {
+    THREAD_TENANT.with(|t| t.borrow().clone())
 }
 
 /// `<workspace>/target/<name>`, where `<workspace>` is the nearest
@@ -286,6 +487,71 @@ pub(crate) fn workspace_target_subdir(name: &str) -> PathBuf {
 
 fn default_cache_dir() -> PathBuf {
     workspace_target_subdir("apex-cache")
+}
+
+/// Reduces an untrusted tenant name (it arrived over a socket) to a safe
+/// single path component: alphanumerics, `-`, `_` and `.` pass through,
+/// everything else becomes `_`, and the result is capped at 64 chars and
+/// never empty or dot-only (no `..` traversal, no hidden-file surprises).
+pub(crate) fn sanitize_tenant(tenant: &str) -> String {
+    let mut out: String = tenant
+        .chars()
+        .take(64)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() || out.chars().all(|c| c == '.') {
+        out = "default".to_owned();
+    }
+    out
+}
+
+/// Parses "12345", "512k", "64m", "2g" (case-insensitive, 1024-based)
+/// into bytes; `None` on anything else (the cap is then left unset).
+pub fn parse_byte_size(s: &str) -> Option<u64> {
+    let s = s.trim().to_ascii_lowercase();
+    let (digits, mult) = match s.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => {
+            let mult = match s.as_bytes().last() {
+                Some(b'k') => 1u64 << 10,
+                Some(b'm') => 1 << 20,
+                _ => 1 << 30,
+            };
+            (d, mult)
+        }
+        None => (s.as_str(), 1),
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_mul(mult)
+}
+
+/// Recursively collects `(is_corrupt, mtime, path, len)` for every cache
+/// file (`.var` entry or `.corrupt` quarantine) under `dir`. Unreadable
+/// directories or metadata are skipped — eviction must never fail a sweep.
+fn collect_cache_files(dir: &Path, out: &mut Vec<(bool, std::time::SystemTime, PathBuf, u64)>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in rd.flatten() {
+        let path = entry.path();
+        let Ok(meta) = entry.metadata() else { continue };
+        if meta.is_dir() {
+            collect_cache_files(&path, out);
+            continue;
+        }
+        let is_corrupt = path.extension().is_some_and(|e| e == "corrupt");
+        let is_var = path.extension().is_some_and(|e| e == "var");
+        if !is_corrupt && !is_var {
+            continue; // leave tmp files and foreign files alone
+        }
+        let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        out.push((is_corrupt, mtime, path, meta.len()));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -763,6 +1029,7 @@ mod tests {
     use super::*;
     use crate::variant::{baseline_variant, specialized_variant};
     use apex_apps::gaussian;
+    use std::time::Duration;
 
     fn spec_variant() -> PeVariant {
         let app = gaussian();
@@ -949,6 +1216,107 @@ mod tests {
         );
         assert_ne!(base, other_app);
         assert_ne!(base, other_sel);
+    }
+
+    #[test]
+    fn namespaced_caches_do_not_share_entries() {
+        let dir = std::env::temp_dir().join(format!("apex-cache-ns-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let root = VariantCache::at(&dir);
+        let v = spec_variant();
+        let key = 0x5555_0000_1111_2222u64;
+        let acme = root.namespaced("acme");
+        let globex = root.namespaced("globex");
+        acme.store(key, &v);
+        assert!(acme.load(key).is_some(), "same-tenant load hits");
+        assert!(globex.load(key).is_none(), "tenants must not share entries");
+        assert!(root.load(key).is_none(), "root must not see tenant entries");
+        // a second view of the same tenant shares the store
+        assert!(root.namespaced("acme").load(key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tenant_names_are_sanitized_to_safe_path_components() {
+        assert_eq!(sanitize_tenant("acme-1"), "acme-1");
+        assert_eq!(sanitize_tenant("../../etc/passwd"), ".._.._etc_passwd");
+        assert_eq!(sanitize_tenant(""), "default");
+        assert_eq!(sanitize_tenant(".."), "default");
+        assert_eq!(sanitize_tenant("a/b\\c d"), "a_b_c_d");
+        assert!(sanitize_tenant(&"x".repeat(200)).len() <= 64);
+        // traversal can never survive sanitization
+        assert!(!sanitize_tenant("../../x").contains('/'));
+    }
+
+    #[test]
+    fn parse_byte_size_accepts_suffixes() {
+        assert_eq!(parse_byte_size("12345"), Some(12345));
+        assert_eq!(parse_byte_size("512k"), Some(512 << 10));
+        assert_eq!(parse_byte_size("64M"), Some(64 << 20));
+        assert_eq!(parse_byte_size("2g"), Some(2 << 30));
+        assert_eq!(parse_byte_size(" 8k "), Some(8 << 10));
+        assert_eq!(parse_byte_size(""), None);
+        assert_eq!(parse_byte_size("lots"), None);
+        assert_eq!(parse_byte_size("-3"), None);
+    }
+
+    #[test]
+    fn byte_cap_evicts_lru_with_corrupt_entries_first() {
+        let dir = std::env::temp_dir().join(format!("apex-cache-cap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // three fake entries of 100 bytes each with staggered mtimes, plus
+        // one quarantined file: cap at 250 must evict the corpse first,
+        // then the stalest live entry
+        let mk = |name: &str, age_s: u64| {
+            let p = dir.join(name);
+            std::fs::write(&p, [b'x'; 100]).unwrap();
+            let t = std::time::SystemTime::now() - Duration::from_secs(age_s);
+            std::fs::File::options()
+                .write(true)
+                .open(&p)
+                .unwrap()
+                .set_modified(t)
+                .unwrap();
+            p
+        };
+        let corrupt = mk("00000000000000aa.corrupt", 10); // newest, but corrupt
+        let oldest = mk("00000000000000bb.var", 300);
+        let middle = mk("00000000000000cc.var", 200);
+        let newest = mk("00000000000000dd.var", 100);
+        let cache = VariantCache::at(&dir).with_max_bytes(Some(250));
+        assert_eq!(cache.total_bytes(), 400);
+        let deleted = cache.evict_to_cap(250);
+        assert_eq!(deleted, 2, "two files freed to get 400 under 250");
+        assert!(!corrupt.exists(), "corrupt entries are evicted first");
+        assert!(!oldest.exists(), "then the least-recently-used entry");
+        assert!(middle.exists());
+        assert!(newest.exists());
+        assert_eq!(cache.evicted(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_enforces_cap_and_hits_refresh_recency() {
+        let dir = std::env::temp_dir().join(format!("apex-cache-lru-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let v = spec_variant();
+        let entry_bytes = encode_entry(&v).len() as u64;
+        // cap fits two entries but not three
+        let cache = VariantCache::at(&dir).with_max_bytes(Some(entry_bytes * 2 + entry_bytes / 2));
+        cache.store(1, &v);
+        std::thread::sleep(Duration::from_millis(20));
+        cache.store(2, &v);
+        std::thread::sleep(Duration::from_millis(20));
+        // touch entry 1 so entry 2 is now the LRU victim
+        assert!(cache.load(1).is_some());
+        std::thread::sleep(Duration::from_millis(20));
+        cache.store(3, &v);
+        assert!(cache.load(1).is_some(), "recently-hit entry survives");
+        assert!(cache.load(2).is_none(), "LRU entry was evicted");
+        assert!(cache.load(3).is_some(), "just-stored entry survives");
+        assert_eq!(cache.evicted(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

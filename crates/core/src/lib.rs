@@ -42,7 +42,8 @@ mod journal;
 mod variant;
 
 pub use cache::{
-    datapath_hash, decode_variant, encode_variant, fnv1a, variant_cache_key, VariantCache,
+    datapath_hash, decode_variant, encode_variant, fnv1a, parse_byte_size, thread_tenant,
+    variant_cache_key, with_thread_tenant, VariantCache,
 };
 pub use dse::{
     dse_evaluate_app, dse_evaluate_app_supervised, dse_evaluate_grid, dse_evaluate_suite,

@@ -132,7 +132,10 @@ fn cached(
         build()
     }
     #[cfg(not(feature = "fault-injection"))]
-    crate::cache::VariantCache::shared().get_or_build(key, build)
+    {
+        let tenant = crate::cache::thread_tenant();
+        crate::cache::VariantCache::shared().get_or_build_in(tenant.as_deref(), key, build)
+    }
 }
 
 /// "PE 1": the baseline restricted to the operations the applications

@@ -315,18 +315,6 @@ impl Graph {
         max
     }
 
-    /// Deprecated alias of [`Graph::try_validate`].
-    ///
-    /// # Errors
-    /// Returns the first violation found.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `try_validate`, or the `apex-verify` IR pass for full diagnostics"
-    )]
-    pub fn validate(&self) -> Result<(), GraphError> {
-        self.try_validate()
-    }
-
     /// Assembles a graph from raw `(op, inputs)` rows **without any
     /// validation** — the ingestion point for untrusted graph data
     /// (hand-assembled tests, foreign serialization) that is expected to

@@ -451,6 +451,174 @@ where
     })
 }
 
+// ---------------------------------------------------------------------------
+// persistent worker pool (long-running services)
+// ---------------------------------------------------------------------------
+
+/// A long-lived, bounded-worker job pool for daemon-style callers
+/// (`apex serve`): jobs are boxed closures pushed onto one FIFO queue and
+/// drained by a fixed set of named worker threads.
+///
+/// Unlike [`par_map`] — which is scoped to one batch and returns results in
+/// input order — this pool runs until [`WorkerPool::shutdown`], and makes
+/// its **queue depth and active-job count observable** so an admission
+/// layer can shed load *before* enqueueing (backpressure) instead of
+/// letting the queue grow without bound. The pool itself never rejects a
+/// job: bounding admission is the caller's policy, measured through
+/// [`WorkerPool::queued`].
+///
+/// Panicking jobs are caught per-job (the worker survives and keeps
+/// draining), matching the workspace no-panic policy.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<std::collections::VecDeque<PoolJob>>,
+    wake: std::sync::Condvar,
+    active: AtomicUsize,
+    /// `true` once shutdown begins: workers exit instead of sleeping, and
+    /// whether they first drain the queue depends on the shutdown mode.
+    shutdown: AtomicBool,
+    /// `true` when shutdown should abandon queued jobs (graceful drain of
+    /// a crash-safe service: queued work is journaled and re-run on
+    /// resume, so finishing it here would only delay the exit).
+    abandon_queue: AtomicBool,
+    panicked: AtomicU64,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .field("queued", &self.queued())
+            .field("active", &self.active())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool with `workers` threads (at least 1), named `apex-pool-N`.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(std::collections::VecDeque::new()),
+            wake: std::sync::Condvar::new(),
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            abandon_queue: AtomicBool::new(false),
+            panicked: AtomicU64::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("apex-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    // thread spawn only fails on resource exhaustion; a
+                    // pool with fewer workers still drains its queue
+                    .unwrap_or_else(|_| std::thread::spawn(|| {}))
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Enqueues one job. Returns `false` (dropping the job) once shutdown
+    /// has begun — the admission layer should have stopped submitting by
+    /// then, but a racing submit must not resurrect a draining pool.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        if let Ok(mut q) = self.shared.queue.lock() {
+            q.push_back(Box::new(job));
+            self.shared.wake.notify_one();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Jobs enqueued but not yet picked up by a worker — the admission
+    /// layer's backpressure signal.
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Jobs currently executing on a worker.
+    pub fn active(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Queued + active: everything admitted but not finished.
+    pub fn in_flight(&self) -> usize {
+        self.queued() + self.active()
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs that panicked (caught; the worker survived).
+    pub fn panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Stops the pool and joins every worker.
+    ///
+    /// With `drain_queue`, workers first finish everything already queued;
+    /// without it, queued jobs are dropped and only the jobs already
+    /// *running* are waited for (the crash-safe-drain mode: queued work is
+    /// journaled elsewhere and re-runs on resume). Either way, running
+    /// jobs are never aborted — interrupt them cooperatively (e.g. via
+    /// their `JobCtx`/budget cancel flags) before calling this if a
+    /// bounded shutdown time matters.
+    pub fn shutdown(self, drain_queue: bool) {
+        self.shared
+            .abandon_queue
+            .store(!drain_queue, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for w in self.workers {
+            // worker bodies catch job panics; join failure is impossible,
+            // and the no-panic policy forbids expect() regardless
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let Ok(mut q) = shared.queue.lock() else {
+                return;
+            };
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst)
+                    && (shared.abandon_queue.load(Ordering::SeqCst) || q.is_empty())
+                {
+                    return;
+                }
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                match shared.wake.wait(q) {
+                    Ok(guard) => q = guard,
+                    Err(_) => return,
+                }
+            }
+        };
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -680,6 +848,76 @@ mod tests {
             cancelled.load(Ordering::Relaxed) >= 5,
             "jobs after the interrupt must start pre-cancelled"
         );
+    }
+
+    #[test]
+    fn worker_pool_runs_jobs_and_reports_depth() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.workers(), 2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let done = Arc::clone(&done);
+            assert!(pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown(true);
+        assert_eq!(done.load(Ordering::SeqCst), 16, "drain shutdown runs the queue dry");
+    }
+
+    #[test]
+    fn worker_pool_abandon_shutdown_drops_queued_but_finishes_active() {
+        let pool = WorkerPool::new(1);
+        let gate = Arc::new(AtomicBool::new(false));
+        let ran = Arc::new(AtomicUsize::new(0));
+        // job 0 occupies the single worker until the gate opens
+        {
+            let gate = Arc::clone(&gate);
+            let ran = Arc::clone(&ran);
+            pool.submit(move || {
+                while !gate.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // give the worker time to pick up job 0, then queue more behind it
+        while pool.active() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for _ in 0..4 {
+            let ran = Arc::clone(&ran);
+            pool.submit(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(pool.queued(), 4, "jobs behind a busy worker are queued");
+        assert_eq!(pool.in_flight(), 5);
+        gate.store(true, Ordering::SeqCst);
+        pool.shutdown(false);
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            1,
+            "abandon shutdown waits for the active job but drops the queue"
+        );
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_jobs() {
+        let pool = WorkerPool::new(1);
+        pool.submit(|| panic!("job blew up"));
+        let ok = Arc::new(AtomicBool::new(false));
+        {
+            let ok = Arc::clone(&ok);
+            pool.submit(move || ok.store(true, Ordering::SeqCst));
+        }
+        // both jobs must drain despite the first one panicking
+        while pool.in_flight() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(ok.load(Ordering::SeqCst), "worker died with the panicking job");
+        assert_eq!(pool.panicked(), 1);
+        pool.shutdown(true);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! A minimal blocking client for the serve protocol — enough for the
+//! `apex submit` CLI, the CI smoke test, and the soak tests.
+
+use crate::proto::{self, Fields};
+use apex_fault::{ApexError, Stage};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+fn cli_err(msg: impl Into<String>) -> ApexError {
+    ApexError::new(Stage::Cli, msg)
+}
+
+/// Connects with a timeout (resolving `addr` first).
+///
+/// # Errors
+/// Resolution or connection failures.
+fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, ApexError> {
+    let resolved = addr
+        .to_socket_addrs()
+        .map_err(|e| cli_err(format!("cannot resolve {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| cli_err(format!("{addr} resolves to nothing")))?;
+    let stream = TcpStream::connect_timeout(&resolved, timeout)
+        .map_err(|e| cli_err(format!("cannot connect to {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| cli_err(format!("cannot set socket timeouts: {e}")))?;
+    Ok(stream)
+}
+
+/// Writes one request line. Under the `serve::slow_client` failpoint the
+/// bytes trickle out one at a time with a pause — the canonical
+/// malicious-client simulation the server's idle timeout must defeat.
+fn send_line(stream: &mut TcpStream, line: &str) -> Result<(), ApexError> {
+    let io = |e: std::io::Error| cli_err(format!("send failed: {e}"));
+    #[cfg(feature = "fault-injection")]
+    if apex_fault::failpoints::is_armed("serve::slow_client") {
+        for b in line.as_bytes() {
+            stream.write_all(std::slice::from_ref(b)).map_err(io)?;
+            stream.flush().map_err(io)?;
+            std::thread::sleep(Duration::from_millis(250));
+        }
+        stream.write_all(b"\n").map_err(io)?;
+        return stream.flush().map_err(io);
+    }
+    stream.write_all(line.as_bytes()).map_err(io)?;
+    stream.write_all(b"\n").map_err(io)?;
+    stream.flush().map_err(io)
+}
+
+/// Reads one newline-terminated response line (bounded by the protocol
+/// line cap — the server is trusted more than a client, but not
+/// infinitely).
+fn read_line(stream: &mut TcpStream) -> Result<String, ApexError> {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(cli_err(
+                    "server closed the connection (idle timeout or drain?)",
+                ))
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    return Ok(String::from_utf8_lossy(&buf).into_owned());
+                }
+                buf.push(byte[0]);
+                if buf.len() > proto::MAX_LINE_BYTES {
+                    return Err(cli_err("oversized response line"));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(cli_err(format!("read failed: {e}"))),
+        }
+    }
+}
+
+/// One request/response round trip on a fresh connection.
+///
+/// # Errors
+/// Connection, I/O, or response-decoding failures. A protocol-level
+/// error (`{"err":...}`) is returned as `Ok` — the caller decides
+/// whether `overloaded` is fatal or a retry.
+pub fn request(addr: &str, line: &str, timeout: Duration) -> Result<Fields, ApexError> {
+    let mut stream = connect(addr, timeout)?;
+    send_line(&mut stream, line)?;
+    let response = read_line(&mut stream)?;
+    proto::decode(&response).ok_or_else(|| cli_err(format!("undecodable response: {response}")))
+}
+
+/// Submits a graph and polls until it concludes (honoring `overloaded`
+/// backpressure by sleeping the server's `retry_after_ms` hint).
+/// Returns the final `result` (or `job_failed`) response fields.
+///
+/// # Errors
+/// Transport failures, a shed submission that never clears within
+/// `overall`, or the overall timeout expiring first.
+pub fn submit_and_wait(
+    addr: &str,
+    tenant: &str,
+    graph: &str,
+    deadline_ms: Option<u64>,
+    overall: Duration,
+) -> Result<Fields, ApexError> {
+    let started = Instant::now();
+    let io_timeout = Duration::from_secs(10);
+    let mut fields = proto::Fields::new();
+    fields.insert("op".to_owned(), "submit".to_owned());
+    fields.insert("graph".to_owned(), graph.to_owned());
+    if !tenant.is_empty() {
+        fields.insert("tenant".to_owned(), tenant.to_owned());
+    }
+    if let Some(ms) = deadline_ms {
+        fields.insert("deadline_ms".to_owned(), ms.to_string());
+    }
+    let submit_line = proto::encode(&fields);
+
+    // admission, retrying through backpressure
+    let job = loop {
+        if started.elapsed() > overall {
+            return Err(cli_err("timed out waiting for admission"));
+        }
+        let resp = request(addr, &submit_line, io_timeout)?;
+        if resp.get("ok").map(String::as_str) == Some("accepted") {
+            break resp
+                .get("job")
+                .cloned()
+                .ok_or_else(|| cli_err("accepted response without a job id"))?;
+        }
+        match resp.get("err").map(String::as_str) {
+            Some("overloaded") => {
+                let hint = resp
+                    .get("retry_after_ms")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(500);
+                std::thread::sleep(Duration::from_millis(hint));
+            }
+            _ => {
+                return Err(cli_err(format!(
+                    "submission rejected: {}",
+                    proto::encode(&resp)
+                )))
+            }
+        }
+    };
+
+    // poll to conclusion
+    let status_line = proto::encode(&{
+        let mut f = proto::Fields::new();
+        f.insert("op".to_owned(), "status".to_owned());
+        f.insert("job".to_owned(), job.clone());
+        f
+    });
+    let result_line = proto::encode(&{
+        let mut f = proto::Fields::new();
+        f.insert("op".to_owned(), "result".to_owned());
+        f.insert("job".to_owned(), job.clone());
+        f
+    });
+    loop {
+        if started.elapsed() > overall {
+            return Err(cli_err(format!("timed out waiting for job {job}")));
+        }
+        let status = request(addr, &status_line, io_timeout)?;
+        match status.get("state").map(String::as_str) {
+            Some("done") | Some("failed") => return request(addr, &result_line, io_timeout),
+            _ => std::thread::sleep(Duration::from_millis(200)),
+        }
+    }
+}

@@ -5,9 +5,53 @@
 //! compiling and running: it executes each benchmark closure a bounded
 //! number of times within the configured measurement window and prints
 //! mean wall-clock time per iteration. No statistics, plots, or baselines.
+//!
+//! One extension over plain printing: when `APEX_BENCH_JSON` names a
+//! file, every completed benchmark is also recorded and flushed there as
+//! a JSON array at `final_summary()`, so CI can check in perf baselines
+//! (`BENCH_seed.json`) and upload a machine-readable trajectory artifact
+//! without parsing stdout.
 
 use std::hint;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Completed results, collected for the optional JSON dump.
+static RESULTS: Mutex<Vec<(String, f64, u64)>> = Mutex::new(Vec::new());
+
+fn record(name: &str, mean_ns: f64, iters: u64) {
+    if let Ok(mut r) = RESULTS.lock() {
+        r.push((name.to_owned(), mean_ns, iters));
+    }
+}
+
+/// Writes collected results as JSON to `APEX_BENCH_JSON`, if set.
+/// Best-effort: an unwritable path must not fail the bench run.
+fn flush_json() {
+    let Ok(path) = std::env::var("APEX_BENCH_JSON") else {
+        return;
+    };
+    if path.trim().is_empty() {
+        return;
+    }
+    let Ok(results) = RESULTS.lock() else { return };
+    let mut out = String::from("[\n");
+    for (i, (name, mean_ns, iters)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        // bench names are crate-internal identifiers: escape the two
+        // characters that could break the JSON, nothing else appears
+        let esc: String = name.chars().flat_map(char::escape_debug).collect();
+        out.push_str(&format!(
+            "  {{\"name\": \"{esc}\", \"mean_ns\": {mean_ns:.1}, \"iters\": {iters}}}"
+        ));
+    }
+    out.push_str("\n]\n");
+    if std::fs::write(&path, out).is_err() {
+        eprintln!("criterion shim: cannot write {path}");
+    }
+}
 
 /// Prevents the optimizer from deleting a benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
@@ -39,8 +83,11 @@ impl Criterion {
         self
     }
 
-    /// No-op; exists so generated `main`s mirror the real harness shape.
-    pub fn final_summary(&self) {}
+    /// Flushes the JSON dump (`APEX_BENCH_JSON`); mirrors the real
+    /// harness's end-of-run summary hook.
+    pub fn final_summary(&self) {
+        flush_json();
+    }
 }
 
 /// A named collection of benchmarks sharing sampling settings.
@@ -91,6 +138,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, budget: Duratio
         b.total.as_nanos() as f64 / b.iters as f64
     };
     println!("bench {name}: {:.1} us/iter ({} iters)", mean_ns / 1e3, b.iters);
+    record(name, mean_ns, b.iters);
 }
 
 /// Timing handle passed to each benchmark closure.

@@ -15,6 +15,8 @@
 //! apex verify <app> | --suite       static invariant verifier over every stage artifact
 //! apex dse-file <file>              run the DSE flow on a text-format graph
 //! apex describe <variant>           PE datasheet (units, configs, costs)
+//! apex serve [--addr A] [--resume]  multi-tenant DSE daemon (newline-JSON/TCP)
+//! apex submit <file> [--addr A]     submit a graph to a daemon and wait
 //! ```
 //!
 //! Sweeps (`dse`, `report`) checkpoint every completed job to a
@@ -33,13 +35,20 @@ use std::fmt::Write as _;
 const EXIT_INTERRUPTED: i32 = 3;
 
 fn usage() {
-    eprintln!("usage: apex <list|dot|mine|dse|verilog|array|report|save|dse-file|describe|verify> [...]");
+    eprintln!("usage: apex <list|dot|mine|dse|verilog|array|report|save|dse-file|describe|verify|serve|submit> [...]");
     eprintln!("  verify <app>   run the cross-stage invariant verifier on one application");
     eprintln!("  verify --suite ... on the full benchmark suite (exit 1 on any violation)");
+    eprintln!("  serve          run the DSE daemon (see DESIGN.md §7 for the wire protocol):");
+    eprintln!("                 --addr A (default 127.0.0.1:7341), --queue-limit N,");
+    eprintln!("                 --idle-timeout-secs S, --resume (re-run journaled jobs)");
+    eprintln!("  submit <file>  submit a text-format graph to a daemon and wait for the result:");
+    eprintln!("                 --addr A, --tenant T, --deadline-ms N, --timeout-secs S");
     eprintln!("flags:");
     eprintln!("  --jobs N    worker threads for pooled stages (1 = serial; output is identical)");
-    eprintln!("  --resume    dse/report: replay the sweep journal and run only the remainder");
+    eprintln!("  --resume    dse/report/serve: replay the sweep journal and run only the remainder");
     eprintln!("              (also APEX_RESUME=1; config changes start clean automatically)");
+    eprintln!("  --cache-max-bytes B   LRU byte cap on the variant cache (suffixes k/m/g;");
+    eprintln!("              also APEX_CACHE_MAX_BYTES; corrupt entries are evicted first)");
     eprintln!("exit codes:");
     eprintln!("  0  success");
     eprintln!("  1  pipeline error (an `error: <stage>: ...` chain was printed)");
@@ -70,6 +79,27 @@ fn take_jobs_flag(args: &mut Vec<String>) {
         }
         _ => {
             eprintln!("--jobs expects a positive integer");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Strips a `--cache-max-bytes B` flag and installs it as
+/// `APEX_CACHE_MAX_BYTES` before anything touches the shared variant
+/// cache (its configuration is read lazily on first use), so the LRU
+/// byte cap applies to offline CLI runs exactly like daemon runs.
+fn take_cache_cap_flag(args: &mut Vec<String>) {
+    let Some(pos) = args.iter().position(|a| a == "--cache-max-bytes") else {
+        return;
+    };
+    match args.get(pos + 1).and_then(|v| apex::core::parse_byte_size(v)) {
+        Some(_) => {
+            let value = args[pos + 1].clone();
+            std::env::set_var("APEX_CACHE_MAX_BYTES", value);
+            args.drain(pos..pos + 2);
+        }
+        None => {
+            eprintln!("--cache-max-bytes expects a byte count (suffixes k/m/g)");
             std::process::exit(2);
         }
     }
@@ -113,6 +143,7 @@ fn main() {
     arm_failpoints_from_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     take_jobs_flag(&mut args);
+    take_cache_cap_flag(&mut args);
     let resume = take_resume_flag(&mut args);
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let result = match cmd {
@@ -136,6 +167,8 @@ fn main() {
         "dse-file" => dse_file(&args[1..]).map(|()| Status::Done),
         "verify" => verify(&args[1..]).map(|()| Status::Done),
         "describe" => describe(&args[1..]).map(|()| Status::Done),
+        "serve" => serve(&args[1..], resume),
+        "submit" => submit(&args[1..]).map(|()| Status::Done),
         "help" | "--help" | "-h" => {
             usage();
             Ok(Status::Done)
@@ -648,6 +681,116 @@ fn describe(args: &[String]) -> Result<(), ApexError> {
     let variant = variant_or_exit(args.first())?;
     let tech = apex::tech::TechModel::default();
     print!("{}", apex::pe::datasheet(&variant.spec, &tech));
+    Ok(())
+}
+
+/// Pops `--flag <value>` from `args`, parsed with `parse`; exits 2 on a
+/// present-but-unparseable value.
+fn take_value_flag<T>(
+    args: &mut Vec<String>,
+    flag: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Option<T> {
+    let pos = args.iter().position(|a| a == flag)?;
+    match args.get(pos + 1).and_then(|v| parse(v)) {
+        Some(v) => {
+            args.drain(pos..pos + 2);
+            Some(v)
+        }
+        None => {
+            eprintln!("{flag} expects a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `apex serve`: run the hardened DSE daemon until SIGINT/SIGTERM or a
+/// client `drain` op. Exit code 0 when every admitted job concluded,
+/// 3 when unfinished (journaled) jobs remain — restart with `--resume`
+/// to run exactly those.
+fn serve(args: &[String], resume: bool) -> Result<Status, ApexError> {
+    let mut args = args.to_vec();
+    let mut config = apex::serve::ServeConfig {
+        resume,
+        ..apex::serve::ServeConfig::default()
+    };
+    if let Some(addr) = take_value_flag(&mut args, "--addr", |v| Some(v.to_owned())) {
+        config.addr = addr;
+    }
+    if let Some(n) = take_value_flag(&mut args, "--workers", |v| v.parse::<usize>().ok()) {
+        config.workers = n;
+    }
+    if let Some(n) = take_value_flag(&mut args, "--queue-limit", |v| {
+        v.parse::<usize>().ok().filter(|n| *n >= 1)
+    }) {
+        config.queue_limit = n;
+    }
+    if let Some(s) = take_value_flag(&mut args, "--idle-timeout-secs", |v| {
+        v.parse::<u64>().ok().filter(|s| *s >= 1)
+    }) {
+        config.idle_timeout = std::time::Duration::from_secs(s);
+    }
+    if let Some(s) = take_value_flag(&mut args, "--default-deadline-secs", |v| {
+        v.parse::<u64>().ok().filter(|s| *s >= 1)
+    }) {
+        config.default_deadline = std::time::Duration::from_secs(s);
+    }
+    if let Some(unknown) = args.first() {
+        eprintln!("serve: unknown argument '{unknown}'");
+        std::process::exit(2);
+    }
+    let journal = apex::serve::default_journal();
+    let server = apex::serve::Server::bind(config, journal, apex::serve::DseRunner)?;
+    let summary = server.run();
+    sweep_footer();
+    if summary.unfinished > 0 {
+        return Ok(Status::Interrupted);
+    }
+    Ok(Status::Done)
+}
+
+/// `apex submit <file>`: client side — submit one text-format graph to a
+/// running daemon, ride out backpressure, poll to conclusion, print the
+/// result payload.
+fn submit(args: &[String]) -> Result<(), ApexError> {
+    let mut args = args.to_vec();
+    let addr = take_value_flag(&mut args, "--addr", |v| Some(v.to_owned()))
+        .unwrap_or_else(|| "127.0.0.1:7341".to_owned());
+    let tenant = take_value_flag(&mut args, "--tenant", |v| Some(v.to_owned())).unwrap_or_default();
+    let deadline_ms = take_value_flag(&mut args, "--deadline-ms", |v| {
+        v.parse::<u64>().ok().filter(|ms| *ms >= 1)
+    });
+    let timeout = std::time::Duration::from_secs(
+        take_value_flag(&mut args, "--timeout-secs", |v| {
+            v.parse::<u64>().ok().filter(|s| *s >= 1)
+        })
+        .unwrap_or(600),
+    );
+    let Some(path) = args.first() else {
+        eprintln!("expected a graph file; write one with `apex save <app> <file>`");
+        std::process::exit(2);
+    };
+    let graph = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let result =
+        apex::serve::client::submit_and_wait(&addr, &tenant, &graph, deadline_ms, timeout)?;
+    if let Some(detail) = result.get("detail") {
+        // a concluded-but-failed job: surface the server's error chain
+        return Err(ApexError::new(
+            apex::fault::Stage::Cli,
+            format!("job failed on the server: {detail}"),
+        ));
+    }
+    if let Some(payload) = result.get("payload") {
+        print!("{payload}");
+    }
+    if let Some(p) = result.get("provenance") {
+        if p != apex::fault::Provenance::Completed.marker() {
+            eprintln!("note: job concluded early ({p})");
+        }
+    }
     Ok(())
 }
 

@@ -57,5 +57,6 @@ pub use apex_par as par;
 pub use apex_pe as pe;
 pub use apex_pipeline as pipeline;
 pub use apex_rewrite as rewrite;
+pub use apex_serve as serve;
 pub use apex_tech as tech;
 pub use apex_verify as verify;

@@ -1,0 +1,418 @@
+//! Integration tests for the `apex serve` daemon: protocol round trips,
+//! admission control and backpressure, slow-client defense, and the
+//! drain → resume → byte-identical-results contract.
+//!
+//! All tests run the real server over real sockets (ephemeral ports) but
+//! inject fast mock [`JobRunner`]s, so the robustness envelope is
+//! exercised without paying for real DSE. The `drain` op stands in for
+//! SIGTERM (same code path, minus the process-global signal flag, which
+//! must stay untouched in a multi-test process); the signal path itself
+//! is covered by the CI daemon smoke job.
+
+use apex::core::{JobReport, SweepJournal};
+use apex::fault::Provenance;
+use apex::serve::{client, proto, JobRunner, JobSpec, RunSummary, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A deterministic runner: payload is a pure function of the submission,
+/// with a configurable per-job delay that honors the drain flag (like
+/// the real pipeline's budget meters).
+struct MockRunner {
+    delay: Duration,
+    runs: Arc<AtomicUsize>,
+}
+
+impl MockRunner {
+    fn new(delay: Duration) -> (Self, Arc<AtomicUsize>) {
+        let runs = Arc::new(AtomicUsize::new(0));
+        (
+            MockRunner {
+                delay,
+                runs: Arc::clone(&runs),
+            },
+            runs,
+        )
+    }
+}
+
+impl JobRunner for MockRunner {
+    fn run(&self, spec: &JobSpec) -> Result<JobReport, apex::fault::ApexError> {
+        let started = Instant::now();
+        while started.elapsed() < self.delay {
+            if spec.cancel.load(Ordering::Relaxed) {
+                return Ok(JobReport {
+                    payload: String::new(),
+                    provenance: Provenance::Cancelled,
+                    degradations: "cancelled".to_owned(),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        Ok(JobReport {
+            payload: format!("tenant={} graph={}", spec.tenant, spec.graph.trim()),
+            provenance: Provenance::Completed,
+            degradations: "-".to_owned(),
+        })
+    }
+}
+
+/// A runner that blocks until drained (for backpressure tests).
+struct StuckRunner;
+
+impl JobRunner for StuckRunner {
+    fn run(&self, spec: &JobSpec) -> Result<JobReport, apex::fault::ApexError> {
+        while !spec.cancel.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        Ok(JobReport {
+            payload: String::new(),
+            provenance: Provenance::Cancelled,
+            degradations: "cancelled".to_owned(),
+        })
+    }
+}
+
+fn scratch_journal(tag: &str) -> (SweepJournal, std::path::PathBuf) {
+    let p = std::env::temp_dir().join(format!(
+        "apex-serve-test-{tag}-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    (SweepJournal::at(&p), p)
+}
+
+/// Binds a server on an ephemeral port and runs it on a background
+/// thread; returns the address and the running thread.
+fn start<R: JobRunner>(
+    config: ServeConfig,
+    journal: SweepJournal,
+    runner: R,
+) -> (String, std::thread::JoinHandle<RunSummary>) {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..config
+    };
+    let server = Server::bind(config, journal, runner).expect("bind");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn req(addr: &str, line: &str) -> proto::Fields {
+    client::request(addr, line, Duration::from_secs(5)).expect("request")
+}
+
+fn submit_line(tenant: &str, graph: &str) -> String {
+    let mut f = proto::Fields::new();
+    f.insert("op".to_owned(), "submit".to_owned());
+    f.insert("graph".to_owned(), graph.to_owned());
+    if !tenant.is_empty() {
+        f.insert("tenant".to_owned(), tenant.to_owned());
+    }
+    proto::encode(&f)
+}
+
+fn drain(addr: &str) {
+    let resp = req(addr, "{\"op\":\"drain\"}");
+    assert_eq!(resp.get("ok").map(String::as_str), Some("draining"));
+}
+
+#[test]
+fn ping_submit_status_result_round_trip() {
+    let (journal, _path) = scratch_journal("roundtrip");
+    let (runner, _) = MockRunner::new(Duration::from_millis(10));
+    let (addr, handle) = start(ServeConfig::default(), journal, runner);
+
+    let pong = req(&addr, "{\"op\":\"ping\"}");
+    assert_eq!(pong.get("ok").map(String::as_str), Some("pong"));
+    assert_eq!(pong.get("draining").map(String::as_str), Some("false"));
+
+    let result = client::submit_and_wait(&addr, "acme", "g job-a\n", None, Duration::from_secs(10))
+        .expect("submit");
+    assert_eq!(result.get("ok").map(String::as_str), Some("result"));
+    assert_eq!(
+        result.get("payload").map(String::as_str),
+        Some("tenant=acme graph=g job-a")
+    );
+    assert_eq!(
+        result.get("provenance").map(String::as_str),
+        Some(Provenance::Completed.marker())
+    );
+
+    // resubmitting concluded work is an idempotent hit, and its status
+    // polls as done
+    let again = req(&addr, &submit_line("acme", "g job-a\n"));
+    assert_eq!(again.get("ok").map(String::as_str), Some("accepted"));
+    assert_eq!(again.get("state").map(String::as_str), Some("done"));
+
+    // unknown jobs are a structured error
+    let missing = req(&addr, "{\"job\":\"00000000000000aa\",\"op\":\"status\"}");
+    assert_eq!(missing.get("err").map(String::as_str), Some("unknown_job"));
+
+    drain(&addr);
+    let summary = handle.join().expect("server thread");
+    assert_eq!(summary.unfinished, 0);
+    assert_eq!(summary.concluded, 1);
+}
+
+#[test]
+fn backpressure_sheds_with_retry_hint_instead_of_queueing() {
+    let (journal, _path) = scratch_journal("shed");
+    let config = ServeConfig {
+        workers: 1,
+        queue_limit: 2,
+        retry_after: Duration::from_millis(123),
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(config, journal, StuckRunner);
+
+    // first job occupies the worker; the admission bound is over *queued*
+    // jobs, so give the dispatcher a moment to hand it to the pool
+    let first = req(&addr, &submit_line("t", "g job-0\n"));
+    assert_eq!(first.get("ok").map(String::as_str), Some("accepted"));
+    let picked_up = (0..100).any(|_| {
+        std::thread::sleep(Duration::from_millis(10));
+        req(&addr, "{\"op\":\"ping\"}")
+            .get("running")
+            .map(String::as_str)
+            == Some("1")
+    });
+    assert!(picked_up, "first job never reached the worker");
+
+    let mut accepted = 1;
+    let mut shed = 0;
+    for i in 1..8 {
+        let resp = req(&addr, &submit_line("t", &format!("g job-{i}\n")));
+        if resp.get("ok").is_some() {
+            accepted += 1;
+        } else {
+            assert_eq!(resp.get("err").map(String::as_str), Some("overloaded"));
+            assert_eq!(resp.get("retry_after_ms").map(String::as_str), Some("123"));
+            shed += 1;
+        }
+    }
+    assert!(accepted >= 3, "the queue admits up to its limit");
+    assert!(shed >= 4, "past the limit the daemon sheds, it never queues unboundedly");
+
+    let stats = req(&addr, "{\"op\":\"stats\"}");
+    assert_eq!(stats.get("shed").map(|s| s.as_str()), Some(format!("{shed}").as_str()));
+
+    drain(&addr);
+    let summary = handle.join().expect("server thread");
+    assert_eq!(summary.shed, shed as u64);
+    assert!(summary.unfinished > 0, "stuck jobs drain as unfinished");
+}
+
+#[test]
+fn idle_and_trickling_clients_are_disconnected() {
+    let (journal, _path) = scratch_journal("idle");
+    let config = ServeConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let (runner, _) = MockRunner::new(Duration::from_millis(1));
+    let (addr, handle) = start(config, journal, runner);
+
+    // a client that connects and sends nothing gets a structured
+    // disconnect within the idle timeout
+    let started = Instant::now();
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut lines = BufReader::new(stream);
+    let mut line = String::new();
+    lines.read_line(&mut line).expect("server says goodbye");
+    assert!(line.contains("idle_timeout"), "got: {line}");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "disconnect must come from the idle timeout, not test patience"
+    );
+    let mut eof_probe = String::new();
+    assert_eq!(lines.read_line(&mut eof_probe).expect("eof"), 0);
+
+    // a trickling client — one byte per interval, so every socket read
+    // succeeds but the line never completes — must hit the per-line
+    // deadline, not hold the connection for the length of the payload
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let payload = b"{\"op\":\"ping\"}"; // never newline-terminated in time
+    let mut disconnected = false;
+    for b in payload.iter().cycle().take(100) {
+        if stream.write_all(std::slice::from_ref(b)).is_err() {
+            disconnected = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let mut probe = [0u8; 64];
+        match stream.peek(&mut probe) {
+            Ok(n) if n > 0 => {
+                let said = String::from_utf8_lossy(&probe[..n]).into_owned();
+                assert!(said.contains("idle_timeout"), "got: {said}");
+                disconnected = true;
+                break;
+            }
+            Ok(_) | Err(_) => {}
+        }
+    }
+    assert!(disconnected, "trickling client was never disconnected");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "trickle disconnect must come from the per-line deadline"
+    );
+
+    // and the daemon is still fully alive for well-behaved clients
+    let pong = req(&addr, "{\"op\":\"ping\"}");
+    assert_eq!(pong.get("ok").map(String::as_str), Some("pong"));
+
+    drain(&addr);
+    let summary = handle.join().expect("server thread");
+    assert!(summary.timeouts >= 1);
+}
+
+#[test]
+fn oversized_lines_and_garbage_are_rejected_structurally() {
+    let (journal, _path) = scratch_journal("badinput");
+    let config = ServeConfig {
+        line_limit: 1024,
+        ..ServeConfig::default()
+    };
+    let (runner, _) = MockRunner::new(Duration::from_millis(1));
+    let (addr, handle) = start(config, journal, runner);
+
+    // oversized line: structured error, then disconnect
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let big = vec![b'x'; 8192];
+    stream.write_all(&big).expect("write");
+    let mut lines = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    lines.read_line(&mut line).expect("response");
+    assert!(line.contains("line_too_long"), "got: {line}");
+
+    // garbage is a bad_request but keeps the connection usable
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    stream.write_all(b"what is a json\n").expect("write");
+    let mut lines = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    lines.read_line(&mut line).expect("response");
+    assert!(line.contains("bad_request"), "got: {line}");
+    stream.write_all(b"{\"op\":\"ping\"}\n").expect("write");
+    let mut line2 = String::new();
+    lines.read_line(&mut line2).expect("response");
+    assert!(line2.contains("pong"), "got: {line2}");
+
+    drain(&addr);
+    let summary = handle.join().expect("server thread");
+    assert_eq!(summary.unfinished, 0);
+}
+
+/// The drain-semantics soak test: N concurrent sweeps, drain mid-flight,
+/// restart with resume, and the final results are byte-identical to an
+/// uninterrupted run — with concluded jobs served from the journal, not
+/// re-run.
+#[test]
+fn drain_midflight_then_resume_is_byte_identical() {
+    let n_jobs = 6usize;
+    let graphs: Vec<String> = (0..n_jobs).map(|i| format!("g soak-{i}\n")).collect();
+
+    // reference: an uninterrupted run of the same submissions
+    let (ref_journal, _ref_path) = scratch_journal("soak-ref");
+    let (runner, _) = MockRunner::new(Duration::from_millis(30));
+    let config = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let (addr, handle) = start(config.clone(), ref_journal, runner);
+    let mut reference = Vec::new();
+    for g in &graphs {
+        let r = client::submit_and_wait(&addr, "soak", g, None, Duration::from_secs(20))
+            .expect("reference run");
+        reference.push(r.get("payload").cloned().expect("payload"));
+    }
+    drain(&addr);
+    handle.join().expect("server thread");
+
+    // interrupted run: same submissions, drain while jobs are in flight
+    let (journal, path) = scratch_journal("soak");
+    let (runner, runs_before) = MockRunner::new(Duration::from_millis(150));
+    let (addr, handle) = start(config.clone(), journal, runner);
+    for g in &graphs {
+        let resp = req(&addr, &submit_line("soak", g));
+        assert_eq!(resp.get("ok").map(String::as_str), Some("accepted"));
+    }
+    std::thread::sleep(Duration::from_millis(200)); // let a few conclude
+    drain(&addr);
+    let summary = handle.join().expect("server thread");
+    let finished_early = runs_before.load(Ordering::Relaxed);
+    assert!(
+        summary.unfinished > 0,
+        "the drain must have caught jobs mid-flight for this test to bite"
+    );
+    assert_eq!(summary.concluded as usize + summary.unfinished, n_jobs);
+
+    // restart with --resume on the same journal
+    let (runner, runs_after) = MockRunner::new(Duration::from_millis(10));
+    let resume_config = ServeConfig {
+        resume: true,
+        ..config
+    };
+    let (addr, handle) = start(resume_config, SweepJournal::at(&path), runner);
+    let mut resumed = Vec::new();
+    for g in &graphs {
+        let r = client::submit_and_wait(&addr, "soak", g, None, Duration::from_secs(20))
+            .expect("resumed run");
+        resumed.push(r.get("payload").cloned().expect("payload"));
+    }
+    drain(&addr);
+    let summary = handle.join().expect("server thread");
+    assert_eq!(summary.unfinished, 0, "everything concluded after resume");
+
+    assert_eq!(
+        resumed, reference,
+        "resumed results must be byte-identical to an uninterrupted run"
+    );
+    assert_eq!(
+        finished_early + runs_after.load(Ordering::Relaxed),
+        n_jobs,
+        "jobs concluded before the drain are served from the journal, not re-run"
+    );
+}
+
+#[test]
+fn draining_daemon_refuses_new_admissions() {
+    let (journal, _path) = scratch_journal("refuse");
+    let (runner, _) = MockRunner::new(Duration::from_millis(1));
+    let (addr, handle) = start(ServeConfig::default(), journal, runner);
+    // one connection for both requests: the established connection keeps
+    // serving during drain, but its admissions are refused
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut lines = BufReader::new(stream.try_clone().expect("clone"));
+    stream.write_all(b"{\"op\":\"drain\"}\n").expect("write");
+    let mut line = String::new();
+    lines.read_line(&mut line).expect("response");
+    assert!(line.contains("draining"), "got: {line}");
+    stream
+        .write_all(format!("{}\n", submit_line("t", "g late\n")).as_bytes())
+        .expect("write");
+    let mut line2 = String::new();
+    lines.read_line(&mut line2).expect("response");
+    assert!(line2.contains("\"err\":\"draining\""), "got: {line2}");
+    handle.join().expect("server thread");
+}

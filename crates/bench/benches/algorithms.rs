@@ -30,6 +30,20 @@ fn bench_algorithms(c: &mut Criterion) {
         })
     });
 
+    // end-to-end mining sweep over the full 9-app suite (the trajectory
+    // headline number: dominated by the embedding search + extension
+    // enumeration hot paths)
+    let mut suite = apex_apps::analyzed_apps();
+    suite.extend(apex_apps::unseen_apps());
+    g.bench_function("mine_nine_apps", |b| {
+        b.iter(|| {
+            for app in &suite {
+                apex_mining::mine(&app.graph, &apex_mining::MinerConfig::default())
+                    .expect("mining succeeds");
+            }
+        })
+    });
+
     // --- MIS analysis ------------------------------------------------------
     let mined = apex_mining::mine(&camera.graph, &apex_mining::MinerConfig::default())
         .expect("mining succeeds");

@@ -1,0 +1,148 @@
+//! Compares two `APEX_BENCH_JSON` dumps and fails on regressions.
+//!
+//! ```text
+//! bench_compare <baseline.json> <new.json> [--only PREFIX]... [--threshold FRAC]
+//! ```
+//!
+//! Both files hold the flat array the criterion shim emits:
+//! `[{"name": ..., "mean_ns": ..., "iters": ...}, ...]`. Because the two
+//! dumps may come from machines of different speeds, raw ratios are
+//! normalized first: the *median* of `new/old` across every shared entry
+//! estimates the machine-speed factor, and each entry is judged against
+//! that. An entry whose normalized ratio exceeds `1 + threshold`
+//! (default 0.10) is a regression; with `--only`, only entries whose name
+//! starts with one of the given prefixes can fail the run (all shared
+//! entries still feed the normalization). Exit code 1 on any regression.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One `{"name", "mean_ns", "iters"}` record from the shim's flat dump.
+fn parse_entries(text: &str, path: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    // the dump is one object per `{...}` span; no nesting, no escapes
+    // beyond `\"` (the shim writes names it controls)
+    for obj in text.split('{').skip(1) {
+        let Some(obj) = obj.split('}').next() else {
+            continue;
+        };
+        let name = field(obj, "\"name\"").and_then(|v| {
+            let v = v.trim();
+            v.strip_prefix('"')?.split('"').next().map(str::to_owned)
+        });
+        let mean = field(obj, "\"mean_ns\"")
+            .and_then(|v| v.trim().trim_end_matches(',').parse::<f64>().ok());
+        match (name, mean) {
+            (Some(n), Some(m)) if m.is_finite() && m > 0.0 => {
+                out.insert(n, m);
+            }
+            _ => eprintln!("bench_compare: skipping malformed entry in {path}"),
+        }
+    }
+    out
+}
+
+/// The raw text after `"key":` up to the next comma or end of object.
+fn field<'t>(obj: &'t str, key: &str) -> Option<&'t str> {
+    let start = obj.find(key)? + key.len();
+    let rest = obj[start..].trim_start().strip_prefix(':')?;
+    // string values keep their quotes; numeric values end at ',' or end
+    Some(rest.split(", \"").next().unwrap_or(rest))
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n == 0 {
+        return 1.0;
+    }
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut only: Vec<String> = Vec::new();
+    let mut threshold = 0.10f64;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--only" => match it.next() {
+                Some(p) => only.push(p),
+                None => return usage("--only needs a prefix"),
+            },
+            "--threshold" => match it.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 => threshold = t,
+                _ => return usage("--threshold needs a positive fraction"),
+            },
+            _ => files.push(a),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        return usage("expected exactly two files");
+    };
+    let (old_text, new_text) = match (
+        std::fs::read_to_string(old_path),
+        std::fs::read_to_string(new_path),
+    ) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) => return usage(&format!("cannot read {old_path}: {e}")),
+        (_, Err(e)) => return usage(&format!("cannot read {new_path}: {e}")),
+    };
+    let old = parse_entries(&old_text, old_path);
+    let new = parse_entries(&new_text, new_path);
+
+    let shared: Vec<&String> = old.keys().filter(|k| new.contains_key(*k)).collect();
+    if shared.is_empty() {
+        return usage("no shared benchmark entries between the two files");
+    }
+    let scale = median(shared.iter().map(|k| new[*k] / old[*k]).collect());
+    println!(
+        "bench_compare: {} shared entr{}, machine-speed factor {scale:.3}",
+        shared.len(),
+        if shared.len() == 1 { "y" } else { "ies" }
+    );
+
+    let watched = |name: &str| only.is_empty() || only.iter().any(|p| name.starts_with(p));
+    let mut regressed = 0usize;
+    for k in &shared {
+        let ratio = new[*k] / old[*k] / scale;
+        let flag = if !watched(k) {
+            "   (unwatched)"
+        } else if ratio > 1.0 + threshold {
+            regressed += 1;
+            "   REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "  {k:<40} {:>12.1} -> {:>12.1} ns   x{ratio:.3}{flag}",
+            old[*k], new[*k]
+        );
+    }
+    for k in new.keys().filter(|k| !old.contains_key(*k)) {
+        println!("  {k:<40} (new entry, no baseline)");
+    }
+    if regressed > 0 {
+        eprintln!(
+            "bench_compare: {regressed} watched entr{} regressed beyond {:.0}% (normalized)",
+            if regressed == 1 { "y" } else { "ies" },
+            threshold * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_compare: no watched regression beyond {:.0}%", threshold * 100.0);
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("bench_compare: {err}");
+    eprintln!(
+        "usage: bench_compare <baseline.json> <new.json> [--only PREFIX]... [--threshold FRAC]"
+    );
+    ExitCode::FAILURE
+}

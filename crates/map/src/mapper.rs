@@ -264,9 +264,10 @@ pub fn map_application(
             continue; // constants are folded or materialized on demand
         }
         let embeddings = find_embeddings(&p.mining, &index, 200_000);
-        'emb: for e in &embeddings.embeddings {
+        'emb: for r in 0..embeddings.len() {
+            let e: Vec<NodeId> = embeddings.list.row(r);
             // every non-const image must be uncovered
-            for (i, &an) in e.0.iter().enumerate() {
+            for &an in &e {
                 let is_const = matches!(
                     app.op(an),
                     Op::Const(_) | Op::BitConst(_)
@@ -274,11 +275,10 @@ pub fn map_application(
                 if !is_const && covered[an.index()] {
                     continue 'emb;
                 }
-                let _ = i;
             }
             // visibility: non-sink, non-const images must have all their
             // consumers inside the match (edge counts line up)
-            for (i, &an) in e.0.iter().enumerate() {
+            for (i, &an) in e.iter().enumerate() {
                 let pc = p.order[i];
                 let is_const = matches!(app.op(an), Op::Const(_) | Op::BitConst(_));
                 let is_sink = p.word_sinks.contains(&pc) || p.bit_sinks.contains(&pc);
@@ -295,22 +295,22 @@ pub fn map_application(
             // convexity: no application path may leave the match and
             // re-enter it, or two PE instances would depend on each other
             // (a combinational cycle at the tile level)
-            if !convex(app, &app_fanouts, &e.0) {
+            if !convex(app, &app_fanouts, &e) {
                 continue 'emb;
             }
-            let Some(input_bindings) = bind_inputs(p, &e.0, app) else {
+            let Some(input_bindings) = bind_inputs(p, &e, app) else {
                 #[cfg(feature = "dbg")]
-                eprintln!("reject bind {} {:?}", p.rule.name, e.0);
+                eprintln!("reject bind {} {:?}", p.rule.name, e);
                 continue 'emb;
             };
-            for &an in &e.0 {
+            for &an in &e {
                 if !matches!(app.op(an), Op::Const(_) | Op::BitConst(_)) {
                     covered[an.index()] = true;
                 }
             }
             matches.push(Match {
                 rule: pi,
-                emb: e.0.clone(),
+                emb: e,
                 input_bindings,
             });
         }
@@ -337,9 +337,10 @@ pub fn map_application(
                         continue;
                     }
                     let embeddings = find_embeddings(&p.mining, &index, 200_000);
-                    'emb2: for e in &embeddings.embeddings {
+                    'emb2: for r in 0..embeddings.len() {
+                        let e: Vec<NodeId> = embeddings.list.row(r);
                         let mut fresh = false;
-                        for (i, &an) in e.0.iter().enumerate() {
+                        for (i, &an) in e.iter().enumerate() {
                             let is_const =
                                 matches!(app.op(an), Op::Const(_) | Op::BitConst(_));
                             if !is_const {
@@ -357,20 +358,20 @@ pub fn map_application(
                                 continue 'emb2;
                             }
                         }
-                        if !fresh || !convex(app, &app_fanouts, &e.0) {
+                        if !fresh || !convex(app, &app_fanouts, &e) {
                             continue 'emb2;
                         }
-                        let Some(input_bindings) = bind_inputs(p, &e.0, app) else {
+                        let Some(input_bindings) = bind_inputs(p, &e, app) else {
                             continue 'emb2;
                         };
-                        for &an in &e.0 {
+                        for &an in &e {
                             if !matches!(app.op(an), Op::Const(_) | Op::BitConst(_)) {
                                 covered[an.index()] = true;
                             }
                         }
                         matches.push(Match {
                             rule: p_idx,
-                            emb: e.0.clone(),
+                            emb: e,
                             input_bindings,
                         });
                     }

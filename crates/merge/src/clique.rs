@@ -95,6 +95,47 @@ impl CliqueProblem<'_> {
             suffix[i] = suffix[i + 1] + self.weights[order[i]];
         }
 
+        // Greedy coloring along the same weight-descending order: each
+        // color class is an independent set of the compatibility graph, so
+        // a clique contains at most one vertex per class. The per-suffix
+        // sum of color-class maxima is then a second upper bound, usually
+        // far tighter than the plain suffix sum on sparse compatibility
+        // graphs. Keeping the traversal order itself unchanged preserves
+        // the exact incumbent sequence: a sound bound only removes
+        // subtrees that cannot strictly improve, so the returned members
+        // are identical to the suffix-only search.
+        let mut color = vec![0usize; n];
+        let mut ncolors = 0usize;
+        let mut used: Vec<bool> = Vec::new();
+        for k in 0..n {
+            used.clear();
+            used.resize(ncolors + 1, false);
+            for j in 0..k {
+                if self.compatible[order[j]][order[k]] {
+                    used[color[j]] = true;
+                }
+            }
+            let c = used.iter().position(|&u| !u).unwrap_or(ncolors);
+            color[k] = c;
+            ncolors = ncolors.max(c + 1);
+        }
+        // colored[k]: sum of per-color maxima over order[k..], weights
+        // clamped at zero (the search only ever adds positive weights)
+        let mut colored = vec![0.0f64; n + 1];
+        let mut colmax = vec![0.0f64; ncolors];
+        let mut running = 0.0f64;
+        for k in (0..n).rev() {
+            let w = self.weights[order[k]].max(0.0);
+            let c = color[k];
+            if w > colmax[c] {
+                running += w - colmax[c];
+                colmax[c] = w;
+            }
+            colored[k] = running;
+        }
+        // the bound used at each depth: both bounds are sound, take the min
+        let bound: Vec<f64> = (0..=n).map(|k| suffix[k].min(colored[k])).collect();
+
         // greedy seed: best of n single-start greedy passes (not metered —
         // this is the incumbent every degraded path relies on)
         let mut best: Vec<usize> = Vec::new();
@@ -121,7 +162,7 @@ impl CliqueProblem<'_> {
         let mut state = Search {
             problem: self,
             order: &order,
-            suffix: &suffix,
+            bound: &bound,
             best,
             best_w,
         };
@@ -157,7 +198,9 @@ impl CliqueProblem<'_> {
 struct Search<'p, 'a> {
     problem: &'p CliqueProblem<'a>,
     order: &'p [usize],
-    suffix: &'p [f64],
+    /// Per-depth upper bound on the weight still obtainable:
+    /// `min(suffix sum, colored bound)` (see [`CliqueProblem::solve`]).
+    bound: &'p [f64],
     best: Vec<usize>,
     best_w: f64,
 }
@@ -171,7 +214,7 @@ impl Search<'_, '_> {
             self.best_w = weight;
             self.best = clique.clone();
         }
-        if depth >= self.order.len() || weight + self.suffix[depth] <= self.best_w {
+        if depth >= self.order.len() || weight + self.bound[depth] <= self.best_w {
             return;
         }
         let cand = self.order[depth];
@@ -264,22 +307,39 @@ mod tests {
 
     #[test]
     fn exhausted_node_budget_reports_truncation() {
-        // a path graph (incomplete, so the root bound cannot prune) with a
-        // 3-node budget: the search is cut off mid-tree
-        let compat = full_matrix(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
-        let w = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        // K5 with a set-feasibility cap of 2 members: the weight bounds
+        // cannot see the predicate, so the bound at the root (5.0) stays
+        // far above the best feasible weight (2.0) and the search keeps
+        // branching until the 3-node budget cuts it off mid-tree
+        let compat = full_matrix(
+            5,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+            ],
+        );
+        let w = vec![1.0; 5];
+        let feasible = |clique: &[usize], _cand: usize| clique.len() < 2;
         let p = CliqueProblem {
             weights: w.clone(),
             compatible: compat,
-            feasible: None,
+            feasible: Some(&feasible),
             budget: 3,
             stage_budget: StageBudget::unlimited(),
         };
         let sol = p.solve();
         assert_eq!(sol.provenance, Provenance::TruncatedByBudget);
-        // the greedy incumbent already found the optimum {3, 4}
+        // the greedy incumbent already found a best feasible pair
         let weight: f64 = sol.members.iter().map(|&i| w[i]).sum();
-        assert_eq!(weight, 9.0, "{sol:?}");
+        assert_eq!(weight, 2.0, "{sol:?}");
     }
 
     #[test]
@@ -309,18 +369,24 @@ mod tests {
             state ^= state << 17;
             state
         };
-        for trial in 0..30 {
-            let n = 4 + (rand() % 7) as usize; // 4..10
+        for trial in 0..60 {
+            let n = 4 + (rand() % 9) as usize; // 4..12
             let mut compat = vec![vec![false; n]; n];
             for i in 0..n {
                 for j in (i + 1)..n {
-                    if rand() % 3 != 0 {
+                    // vary density so the colored bound sees sparse and
+                    // near-complete instances
+                    if rand() % 4 > trial as u64 % 3 {
                         compat[i][j] = true;
                         compat[j][i] = true;
                     }
                 }
             }
-            let weights: Vec<f64> = (0..n).map(|_| (rand() % 100) as f64 / 10.0).collect();
+            // mix in zero and negative weights: the clamped colored bound
+            // and the raw suffix sum must both stay sound
+            let weights: Vec<f64> = (0..n)
+                .map(|_| (rand() % 100) as f64 / 10.0 - 2.0)
+                .collect();
             let got: f64 = max_weight_clique(&weights, &compat, 1 << 22)
                 .iter()
                 .map(|&i| weights[i])
@@ -342,6 +408,111 @@ mod tests {
                 (got - best).abs() < 1e-9,
                 "trial {trial}: got {got}, brute force {best}"
             );
+        }
+    }
+
+    /// The original suffix-sum-only branch-and-bound, retained as the
+    /// executable specification of the search order: the colored bound may
+    /// only remove subtrees that cannot strictly improve the incumbent, so
+    /// the returned members must be *identical*, not merely equal-weight.
+    fn reference_suffix_only(weights: &[f64], compat: &[Vec<bool>]) -> Vec<usize> {
+        let n = weights.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| f64::total_cmp(&weights[b], &weights[a]));
+        let mut suffix = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = suffix[i + 1] + weights[order[i]];
+        }
+        struct R<'x> {
+            weights: &'x [f64],
+            compat: &'x [Vec<bool>],
+            order: &'x [usize],
+            suffix: &'x [f64],
+            best: Vec<usize>,
+            best_w: f64,
+        }
+        impl R<'_> {
+            fn recurse(&mut self, clique: &mut Vec<usize>, weight: f64, depth: usize) {
+                if weight > self.best_w {
+                    self.best_w = weight;
+                    self.best = clique.clone();
+                }
+                if depth >= self.order.len() || weight + self.suffix[depth] <= self.best_w {
+                    return;
+                }
+                let cand = self.order[depth];
+                if self.weights[cand] > 0.0
+                    && clique.iter().all(|&c| self.compat[c][cand])
+                {
+                    clique.push(cand);
+                    self.recurse(clique, weight + self.weights[cand], depth + 1);
+                    clique.pop();
+                }
+                self.recurse(clique, weight, depth + 1);
+            }
+        }
+        // same greedy multi-start seed as the production solver, so the
+        // incumbent sequences start identical
+        let mut best: Vec<usize> = Vec::new();
+        let mut best_w = f64::NEG_INFINITY;
+        for start in 0..n.min(32) {
+            let mut clique: Vec<usize> = Vec::new();
+            for k in 0..n {
+                let cand = order[(start + k) % n];
+                if weights[cand] > 0.0 && clique.iter().all(|&c| compat[c][cand]) {
+                    clique.push(cand);
+                }
+            }
+            let w = clique.iter().map(|&i| weights[i]).sum::<f64>();
+            if w > best_w {
+                best_w = w;
+                best = clique;
+            }
+        }
+        let mut r = R {
+            weights,
+            compat,
+            order: &order,
+            suffix: &suffix,
+            best,
+            best_w,
+        };
+        r.recurse(&mut Vec::new(), 0.0, 0);
+        r.best
+    }
+
+    #[test]
+    fn colored_bound_returns_identical_members_to_suffix_only_search() {
+        let mut state = 0x9D2C_5680_1F83_D9ABu64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..40 {
+            let n = 3 + (rand() % 10) as usize;
+            let mut compat = vec![vec![false; n]; n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rand() % 3 != 0 {
+                        compat[i][j] = true;
+                        compat[j][i] = true;
+                    }
+                }
+            }
+            let weights: Vec<f64> = (0..n).map(|_| (rand() % 80) as f64 / 8.0).collect();
+            let p = CliqueProblem {
+                weights: weights.clone(),
+                compatible: compat.clone(),
+                feasible: None,
+                budget: 1 << 30,
+                stage_budget: StageBudget::unlimited(),
+            };
+            let sol = p.solve();
+            assert_eq!(sol.provenance, Provenance::Completed);
+            let want = reference_suffix_only(&weights, &compat);
+            assert_eq!(sol.members, want, "trial {trial} diverged");
         }
     }
 

@@ -320,8 +320,11 @@ proptest! {
 #[test]
 fn tiny_clique_budget_truncates_but_merges_validly() {
     use apex_fault::Provenance;
+    // zero search nodes: the branch-and-bound cannot even open the root
+    // (with the colored bound, tiny instances complete inside one node,
+    // so a 1-node budget no longer reliably truncates)
     let opts = MergeOptions {
-        clique_budget: 1,
+        clique_budget: 0,
         ..MergeOptions::default()
     };
     let (dp, reports) = merge_all(&[mac(), sub_chain()], &tech(), &opts).unwrap();
@@ -329,7 +332,7 @@ fn tiny_clique_budget_truncates_but_merges_validly() {
     assert_eq!(dp.configs.len(), 2);
     assert!(
         reports.iter().any(|r| r.provenance == Provenance::TruncatedByBudget),
-        "a 1-node clique budget must report truncation: {reports:?}"
+        "a zero clique budget must report truncation: {reports:?}"
     );
     // both source graphs still execute on the degraded datapath
     assert_config_matches(&dp, 0, &mac(), 50);

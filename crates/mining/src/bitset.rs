@@ -1,0 +1,73 @@
+//! Fixed-size bitsets over dense node-index spaces.
+//!
+//! The embedding search tests label membership and injectivity millions of
+//! times per mining run; a flat `Vec<u64>` bitset answers both in O(1)
+//! with no allocation, replacing the linear `used.contains(..)` scans and
+//! per-candidate `Vec` filters of the original VF2 loop.
+
+/// A fixed-capacity bitset addressed by `usize` index.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Bitset {
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    /// An empty bitset able to hold indices `0..capacity`.
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        Bitset {
+            words: vec![0u64; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Whether `i` is set. Out-of-range indices read as unset.
+    #[inline]
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w >> (i % 64) & 1 == 1)
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is beyond the capacity (an internal invariant: the
+    /// miner sizes bitsets from the graph it indexes).
+    #[inline]
+    pub(crate) fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub(crate) fn remove(&mut self, i: usize) {
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w &= !(1 << (i % 64));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_round_trip() {
+        let mut b = Bitset::with_capacity(130);
+        assert!(!b.contains(0));
+        assert!(!b.contains(129));
+        b.insert(0);
+        b.insert(63);
+        b.insert(64);
+        b.insert(129);
+        assert!(b.contains(0) && b.contains(63) && b.contains(64) && b.contains(129));
+        b.remove(64);
+        assert!(!b.contains(64));
+        assert!(b.contains(63) && b.contains(129));
+    }
+
+    #[test]
+    fn out_of_range_reads_unset() {
+        let b = Bitset::with_capacity(10);
+        assert!(!b.contains(1000));
+    }
+}

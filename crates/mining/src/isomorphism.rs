@@ -4,13 +4,31 @@
 //! port-consistent mapping of a [`Pattern`] into the compute region of an
 //! application graph. This is the workhorse the frequent-subgraph miner
 //! (our GraMi substitute) is built on.
+//!
+//! ## Hot-path layout
+//!
+//! Embeddings are stored column-wise in an [`EmbeddingList`] (one
+//! `Vec<NodeId>` per pattern position, the Pangolin `USE_EMB_LIST`
+//! struct-of-arrays design) instead of one heap `Vec` per embedding:
+//! MNI support reads one contiguous column per position, and pushing an
+//! embedding never allocates. Candidate pruning and injectivity use
+//! per-label fixed-size bitsets over the graph's dense node-id space, so
+//! the inner backtracking loop is allocation-free — per-depth candidate
+//! buffers are reused across the whole search. The original scalar
+//! matcher is retained verbatim as [`find_embeddings_reference`], the
+//! executable specification the property tests compare against.
 
+use crate::bitset::Bitset;
 use crate::pattern::Pattern;
 use apex_fault::{BudgetMeter, StageBudget};
 use apex_ir::{Graph, NodeId, OpKind};
 use std::collections::BTreeMap;
 
 /// One embedding: pattern-node index → graph node.
+///
+/// The search itself stores embeddings column-wise in an
+/// [`EmbeddingList`]; this row type remains for materialized single
+/// embeddings (the reference matcher, representative extraction).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Embedding(pub Vec<NodeId>);
 
@@ -24,27 +42,101 @@ impl Embedding {
     }
 }
 
+/// Struct-of-arrays embedding storage: `col(p)[i]` is the image of
+/// pattern position `p` in embedding `i`.
+#[derive(Debug, Clone, Default)]
+pub struct EmbeddingList {
+    cols: Vec<Vec<NodeId>>,
+    rows: usize,
+}
+
+impl EmbeddingList {
+    /// An empty list for a pattern with `positions` nodes.
+    pub fn new(positions: usize) -> Self {
+        EmbeddingList {
+            cols: vec![Vec::new(); positions],
+            rows: 0,
+        }
+    }
+
+    /// Number of pattern positions (columns).
+    pub fn positions(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of embeddings (rows).
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether no embedding is stored.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The images of pattern position `p` across all embeddings.
+    pub fn col(&self, p: usize) -> &[NodeId] {
+        &self.cols[p]
+    }
+
+    /// Appends one embedding (pattern index → graph node).
+    pub fn push(&mut self, row: &[NodeId]) {
+        debug_assert_eq!(row.len(), self.cols.len());
+        for (c, &n) in self.cols.iter_mut().zip(row) {
+            c.push(n);
+        }
+        self.rows += 1;
+    }
+
+    /// Materializes embedding `i` as an owned row.
+    pub fn row(&self, i: usize) -> Vec<NodeId> {
+        self.cols.iter().map(|c| c[i]).collect()
+    }
+
+    /// Iterates the images of embedding `i` without materializing it.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.cols.iter().map(move |c| c[i])
+    }
+
+    /// Embedding `i`'s occurrence node set (sorted, deduplicated).
+    pub fn node_set(&self, i: usize) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.row_iter(i).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
 /// Result of an embedding search.
 #[derive(Debug, Clone)]
 pub struct EmbeddingSet {
-    /// The embeddings found (up to the limit).
-    pub embeddings: Vec<Embedding>,
+    /// The embeddings found (up to the limit), stored column-wise.
+    pub list: EmbeddingList,
     /// Whether the search stopped early because the limit was hit.
     pub truncated: bool,
 }
 
 impl EmbeddingSet {
+    /// Number of embeddings found.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether the search found nothing.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
     /// Minimum-node-image (MNI) support, GraMi's anti-monotone support
     /// measure: the minimum over pattern positions of the number of
     /// distinct graph nodes appearing in that position.
     pub fn mni_support(&self, pattern_len: usize) -> usize {
-        if self.embeddings.is_empty() {
+        if self.list.is_empty() {
             return 0;
         }
         (0..pattern_len)
             .map(|i| {
-                let mut imgs: Vec<NodeId> =
-                    self.embeddings.iter().map(|e| e.0[i]).collect();
+                let mut imgs: Vec<NodeId> = self.list.col(i).to_vec();
                 imgs.sort();
                 imgs.dedup();
                 imgs.len()
@@ -54,8 +146,14 @@ impl EmbeddingSet {
     }
 
     /// Distinct occurrence node sets.
+    ///
+    /// Automorphic embeddings of a symmetric pattern (e.g. the two
+    /// orderings of the muls feeding a commutative add) produce identical
+    /// node sets; they are collapsed here so occurrence counts and the
+    /// MIS-based utilization estimate are not inflated.
     pub fn occurrences(&self) -> Vec<Vec<NodeId>> {
-        let mut occ: Vec<Vec<NodeId>> = self.embeddings.iter().map(Embedding::node_set).collect();
+        let mut occ: Vec<Vec<NodeId>> =
+            (0..self.list.len()).map(|i| self.list.node_set(i)).collect();
         occ.sort();
         occ.dedup();
         occ
@@ -69,6 +167,9 @@ pub struct GraphIndex<'g> {
     graph: &'g Graph,
     fanouts: Vec<Vec<NodeId>>,
     by_label: BTreeMap<OpKind, Vec<NodeId>>,
+    /// Per-label membership bitsets over the dense node-id space: one
+    /// probe answers "is this node a compute node with that label".
+    label_bits: BTreeMap<OpKind, Bitset>,
 }
 
 impl<'g> GraphIndex<'g> {
@@ -79,10 +180,21 @@ impl<'g> GraphIndex<'g> {
         for id in graph.compute_nodes() {
             by_label.entry(graph.op(id).kind()).or_default().push(id);
         }
+        let label_bits = by_label
+            .iter()
+            .map(|(&k, nodes)| {
+                let mut bits = Bitset::with_capacity(graph.len());
+                for &n in nodes {
+                    bits.insert(n.index());
+                }
+                (k, bits)
+            })
+            .collect();
         GraphIndex {
             graph,
             fanouts,
             by_label,
+            label_bits,
         }
     }
 
@@ -96,9 +208,23 @@ impl<'g> GraphIndex<'g> {
         self.by_label.get(&label).map_or(&[], Vec::as_slice)
     }
 
+    /// O(1): is `id` a compute node carrying `label`?
+    #[inline]
+    pub fn has_label(&self, id: NodeId, label: OpKind) -> bool {
+        self.label_bits
+            .get(&label)
+            .is_some_and(|b| b.contains(id.index()))
+    }
+
     /// Consumers of a node.
     pub fn fanout(&self, id: NodeId) -> &[NodeId] {
         &self.fanouts[id.index()]
+    }
+
+    /// Consumers of every node, indexed by node id (one shared table — the
+    /// miner's extension enumeration must not rebuild it per embedding).
+    pub fn fanouts(&self) -> &[Vec<NodeId>] {
+        &self.fanouts
     }
 
     /// How many distinct compute labels exist.
@@ -131,27 +257,39 @@ pub fn find_embeddings_metered(
     let n = pattern.len();
     if n == 0 {
         return EmbeddingSet {
-            embeddings: Vec::new(),
+            list: EmbeddingList::new(0),
             truncated: false,
         };
     }
     // Matching order: BFS over the pattern's undirected adjacency so every
     // node after the first has a matched neighbour.
     let order = matching_order(pattern);
+    // Per pattern node, its incident edges in `pattern.edges()` order:
+    // (other endpoint, this node is the edge's destination, port). Scanning
+    // this short list replaces re-walking every pattern edge at every
+    // consistency check and candidate derivation.
+    let mut incident: Vec<Vec<(u32, bool, Option<u8>)>> = vec![Vec::new(); n];
+    for (s, d, port) in pattern.edges() {
+        incident[d as usize].push((s, true, port));
+        incident[s as usize].push((d, false, port));
+    }
     let mut state = SearchState {
         pattern,
         index,
         order: &order,
+        incident: &incident,
         assignment: vec![None; n],
-        used: Vec::new(),
-        out: Vec::new(),
+        used: Bitset::with_capacity(index.graph().len()),
+        scratch: vec![Vec::new(); n],
+        row: Vec::with_capacity(n),
+        out: EmbeddingList::new(n),
         limit,
         truncated: false,
         meter,
     };
     state.recurse(0);
     EmbeddingSet {
-        embeddings: state.out,
+        list: state.out,
         truncated: state.truncated,
     }
 }
@@ -190,9 +328,18 @@ struct SearchState<'a, 'g> {
     pattern: &'a Pattern,
     index: &'a GraphIndex<'g>,
     order: &'a [u32],
+    /// Incident pattern edges per pattern node (see
+    /// [`find_embeddings_metered`]).
+    incident: &'a [Vec<(u32, bool, Option<u8>)>],
     assignment: Vec<Option<NodeId>>,
-    used: Vec<NodeId>,
-    out: Vec<Embedding>,
+    /// Injectivity bitset over graph node ids — O(1) membership instead of
+    /// a linear scan of the partial assignment.
+    used: Bitset,
+    /// Per-depth candidate buffers, reused across the whole search so the
+    /// inner loop never allocates.
+    scratch: Vec<Vec<NodeId>>,
+    row: Vec<NodeId>,
+    out: EmbeddingList,
     limit: usize,
     truncated: bool,
     meter: &'a mut BudgetMeter,
@@ -208,10 +355,16 @@ impl SearchState<'_, '_> {
             return;
         }
         if depth == self.order.len() {
-            let mapping: Option<Vec<NodeId>> = self.assignment.iter().copied().collect();
-            let Some(mapping) = mapping else { return };
-            if ports_feasible(self.pattern, self.index.graph(), &mapping) {
-                self.out.push(Embedding(mapping));
+            self.row.clear();
+            for a in &self.assignment {
+                match a {
+                    Some(n) => self.row.push(*n),
+                    // unreachable: every position is assigned at full depth
+                    None => return,
+                }
+            }
+            if ports_feasible(self.pattern, self.index.graph(), &self.row) {
+                self.out.push(&self.row);
                 if self.out.len() >= self.limit {
                     self.truncated = true;
                 }
@@ -220,87 +373,82 @@ impl SearchState<'_, '_> {
         }
         let pnode = self.order[depth] as usize;
         let label = self.pattern.labels()[pnode];
-        let mut candidates = self.candidates(pnode, label);
-        candidates.sort();
-        candidates.dedup();
-        for cand in candidates {
-            if self.used.contains(&cand) {
+        let mut candidates = std::mem::take(&mut self.scratch[depth]);
+        self.collect_candidates(pnode, label, &mut candidates);
+        for k in 0..candidates.len() {
+            let cand = candidates[k];
+            if self.used.contains(cand.index()) {
                 continue;
             }
             if !self.locally_consistent(pnode, cand) {
                 continue;
             }
             self.assignment[pnode] = Some(cand);
-            self.used.push(cand);
+            self.used.insert(cand.index());
             self.recurse(depth + 1);
-            self.used.pop();
+            self.used.remove(cand.index());
             self.assignment[pnode] = None;
             if self.truncated {
-                return;
+                break;
             }
         }
+        self.scratch[depth] = candidates;
     }
 
-    /// Candidate graph nodes for a pattern node: derived from an already
-    /// matched neighbour when one exists, otherwise the full label bucket.
-    fn candidates(&self, pnode: usize, label: OpKind) -> Vec<NodeId> {
-        // look for a matched neighbour connected by a pattern edge
-        for (s, d, _) in self.pattern.edges() {
-            let (s, d) = (s as usize, d as usize);
-            if d == pnode {
-                if let Some(img) = self.assignment[s] {
-                    // candidates = consumers of img with the right label
-                    return self
-                        .index
+    /// Candidate graph nodes for a pattern node, written into `out` in
+    /// ascending, deduplicated order: derived from the first already
+    /// matched neighbour (in pattern-edge order) when one exists,
+    /// otherwise the full label bucket. Label and compute-region checks
+    /// are single bitset probes.
+    fn collect_candidates(&self, pnode: usize, label: OpKind, out: &mut Vec<NodeId>) {
+        out.clear();
+        for &(other, pnode_is_dst, _) in &self.incident[pnode] {
+            let Some(img) = self.assignment[other as usize] else {
+                continue;
+            };
+            if pnode_is_dst {
+                // candidates = consumers of img with the right label
+                out.extend(
+                    self.index
                         .fanout(img)
                         .iter()
                         .copied()
-                        .filter(|&v| {
-                            self.index.graph().op(v).is_compute()
-                                && self.index.graph().op(v).kind() == label
-                        })
-                        .collect();
-                }
-            }
-            if s == pnode {
-                if let Some(img) = self.assignment[d] {
-                    // candidates = producers feeding img with the right label
-                    return self
-                        .index
+                        .filter(|&v| self.index.has_label(v, label)),
+                );
+            } else {
+                // candidates = producers feeding img with the right label
+                out.extend(
+                    self.index
                         .graph()
                         .node(img)
                         .inputs()
                         .iter()
                         .copied()
-                        .filter(|&v| {
-                            self.index.graph().op(v).is_compute()
-                                && self.index.graph().op(v).kind() == label
-                        })
-                        .collect();
-                }
+                        .filter(|&v| self.index.has_label(v, label)),
+                );
             }
+            out.sort();
+            out.dedup();
+            return;
         }
-        self.index.nodes_with_label(label).to_vec()
+        out.extend_from_slice(self.index.nodes_with_label(label));
     }
 
     /// Checks every pattern edge between `pnode` and already-matched nodes
     /// for directed adjacency (port injectivity is verified at the end).
     fn locally_consistent(&self, pnode: usize, cand: NodeId) -> bool {
         let g = self.index.graph();
-        for (s, d, port) in self.pattern.edges() {
-            let (s, d) = (s as usize, d as usize);
-            if d == pnode {
-                if let Some(src_img) = self.assignment[s] {
-                    if !edge_exists(g, src_img, cand, port) {
-                        return false;
-                    }
-                }
-            } else if s == pnode {
-                if let Some(dst_img) = self.assignment[d] {
-                    if !edge_exists(g, cand, dst_img, port) {
-                        return false;
-                    }
-                }
+        for &(other, pnode_is_dst, port) in &self.incident[pnode] {
+            let Some(img) = self.assignment[other as usize] else {
+                continue;
+            };
+            let ok = if pnode_is_dst {
+                edge_exists(g, img, cand, port)
+            } else {
+                edge_exists(g, cand, img, port)
+            };
+            if !ok {
+                return false;
             }
         }
         true
@@ -363,6 +511,148 @@ fn assign(
     false
 }
 
+// ---------------------------------------------------------------------------
+// Reference matcher
+// ---------------------------------------------------------------------------
+
+/// The original scalar embedding search, retained as the executable
+/// specification of [`find_embeddings`]: per-candidate `Vec` allocation,
+/// linear `used` scans, row-major output. Property tests assert the SoA
+/// search returns exactly the same embedding sequence; it is not used on
+/// any production path.
+pub fn find_embeddings_reference(
+    pattern: &Pattern,
+    index: &GraphIndex<'_>,
+    limit: usize,
+) -> (Vec<Embedding>, bool) {
+    let n = pattern.len();
+    if n == 0 {
+        return (Vec::new(), false);
+    }
+    let order = matching_order(pattern);
+    let mut state = RefSearch {
+        pattern,
+        index,
+        order: &order,
+        assignment: vec![None; n],
+        used: Vec::new(),
+        out: Vec::new(),
+        limit,
+        truncated: false,
+    };
+    state.recurse(0);
+    (state.out, state.truncated)
+}
+
+struct RefSearch<'a, 'g> {
+    pattern: &'a Pattern,
+    index: &'a GraphIndex<'g>,
+    order: &'a [u32],
+    assignment: Vec<Option<NodeId>>,
+    used: Vec<NodeId>,
+    out: Vec<Embedding>,
+    limit: usize,
+    truncated: bool,
+}
+
+impl RefSearch<'_, '_> {
+    fn recurse(&mut self, depth: usize) {
+        if self.truncated {
+            return;
+        }
+        if depth == self.order.len() {
+            let mapping: Option<Vec<NodeId>> = self.assignment.iter().copied().collect();
+            let Some(mapping) = mapping else { return };
+            if ports_feasible(self.pattern, self.index.graph(), &mapping) {
+                self.out.push(Embedding(mapping));
+                if self.out.len() >= self.limit {
+                    self.truncated = true;
+                }
+            }
+            return;
+        }
+        let pnode = self.order[depth] as usize;
+        let label = self.pattern.labels()[pnode];
+        let mut candidates = self.candidates(pnode, label);
+        candidates.sort();
+        candidates.dedup();
+        for cand in candidates {
+            if self.used.contains(&cand) {
+                continue;
+            }
+            if !self.locally_consistent(pnode, cand) {
+                continue;
+            }
+            self.assignment[pnode] = Some(cand);
+            self.used.push(cand);
+            self.recurse(depth + 1);
+            self.used.pop();
+            self.assignment[pnode] = None;
+            if self.truncated {
+                return;
+            }
+        }
+    }
+
+    fn candidates(&self, pnode: usize, label: OpKind) -> Vec<NodeId> {
+        for (s, d, _) in self.pattern.edges() {
+            let (s, d) = (s as usize, d as usize);
+            if d == pnode {
+                if let Some(img) = self.assignment[s] {
+                    return self
+                        .index
+                        .fanout(img)
+                        .iter()
+                        .copied()
+                        .filter(|&v| {
+                            self.index.graph().op(v).is_compute()
+                                && self.index.graph().op(v).kind() == label
+                        })
+                        .collect();
+                }
+            }
+            if s == pnode {
+                if let Some(img) = self.assignment[d] {
+                    return self
+                        .index
+                        .graph()
+                        .node(img)
+                        .inputs()
+                        .iter()
+                        .copied()
+                        .filter(|&v| {
+                            self.index.graph().op(v).is_compute()
+                                && self.index.graph().op(v).kind() == label
+                        })
+                        .collect();
+                }
+            }
+        }
+        self.index.nodes_with_label(label).to_vec()
+    }
+
+    fn locally_consistent(&self, pnode: usize, cand: NodeId) -> bool {
+        let g = self.index.graph();
+        for (s, d, port) in self.pattern.edges() {
+            let (s, d) = (s as usize, d as usize);
+            if d == pnode {
+                if let Some(src_img) = self.assignment[s] {
+                    if !edge_exists(g, src_img, cand, port) {
+                        return false;
+                    }
+                }
+            } else if s == pnode {
+                if let Some(dst_img) = self.assignment[d] {
+                    if !edge_exists(g, cand, dst_img, port) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,7 +680,7 @@ mod tests {
         let idx = GraphIndex::new(&g);
         let p = Pattern::single(OpKind::Mul);
         let es = find_embeddings(&p, &idx, 1000);
-        assert_eq!(es.embeddings.len(), 3);
+        assert_eq!(es.len(), 3);
         assert_eq!(es.mni_support(1), 3);
     }
 
@@ -401,7 +691,7 @@ mod tests {
         let p = Pattern::single(OpKind::Mul).extend_with_node(0, OpKind::Add, true, None);
         let es = find_embeddings(&p, &idx, 1000);
         // m1->s and m2->s
-        assert_eq!(es.embeddings.len(), 2);
+        assert_eq!(es.len(), 2);
         assert_eq!(es.mni_support(2), 1, "only one distinct add image");
         assert_eq!(es.occurrences().len(), 2);
     }
@@ -413,8 +703,8 @@ mod tests {
         // mul feeding sub on port 1 exists (m3), on port 0 does not
         let p1 = Pattern::single(OpKind::Mul).extend_with_node(0, OpKind::Sub, true, Some(1));
         let p0 = Pattern::single(OpKind::Mul).extend_with_node(0, OpKind::Sub, true, Some(0));
-        assert_eq!(find_embeddings(&p1, &idx, 10).embeddings.len(), 1);
-        assert_eq!(find_embeddings(&p0, &idx, 10).embeddings.len(), 0);
+        assert_eq!(find_embeddings(&p1, &idx, 10).len(), 1);
+        assert_eq!(find_embeddings(&p0, &idx, 10).len(), 0);
     }
 
     #[test]
@@ -434,13 +724,11 @@ mod tests {
             .extend_with_edge(0, 1, None); // add feeds BOTH mul ports
         let es = find_embeddings(&p, &idx, 10);
         // only the true square matches; `other` takes two different sources
-        let squares: Vec<_> = es
-            .embeddings
-            .iter()
-            .filter(|e| g.op(e.0[1]) == Op::Mul)
+        let squares: Vec<usize> = (0..es.len())
+            .filter(|&i| g.op(es.list.col(1)[i]) == Op::Mul)
             .collect();
         assert_eq!(squares.len(), 1);
-        assert_eq!(squares[0].0[1], sq);
+        assert_eq!(es.list.col(1)[squares[0]], sq);
     }
 
     #[test]
@@ -451,11 +739,15 @@ mod tests {
             .extend_with_node(0, OpKind::Add, true, None)
             .extend_with_node(1, OpKind::Mul, false, None);
         let es = find_embeddings(&p, &idx, 100);
-        for e in &es.embeddings {
-            assert_ne!(e.0[0], e.0[2], "two pattern muls need two graph muls");
+        for i in 0..es.len() {
+            assert_ne!(
+                es.list.col(0)[i],
+                es.list.col(2)[i],
+                "two pattern muls need two graph muls"
+            );
         }
         // (m1, s, m2) and (m2, s, m1)
-        assert_eq!(es.embeddings.len(), 2);
+        assert_eq!(es.len(), 2);
     }
 
     #[test]
@@ -465,7 +757,7 @@ mod tests {
         let p = Pattern::single(OpKind::Mul);
         let es = find_embeddings(&p, &idx, 2);
         assert!(es.truncated);
-        assert_eq!(es.embeddings.len(), 2);
+        assert_eq!(es.len(), 2);
     }
 
     #[test]
@@ -474,5 +766,39 @@ mod tests {
         let idx = GraphIndex::new(&g);
         let total: usize = idx.labels().map(|(_, v)| v.len()).sum();
         assert_eq!(total, g.compute_nodes().len());
+    }
+
+    #[test]
+    fn soa_matches_reference_on_samples() {
+        let g = sample();
+        let idx = GraphIndex::new(&g);
+        let patterns = [
+            Pattern::single(OpKind::Mul),
+            Pattern::single(OpKind::Mul).extend_with_node(0, OpKind::Add, true, None),
+            Pattern::single(OpKind::Mul)
+                .extend_with_node(0, OpKind::Add, true, None)
+                .extend_with_node(1, OpKind::Mul, false, None),
+        ];
+        for p in &patterns {
+            let fast = find_embeddings(p, &idx, 1000);
+            let (rows, truncated) = find_embeddings_reference(p, &idx, 1000);
+            assert_eq!(fast.truncated, truncated);
+            assert_eq!(fast.len(), rows.len());
+            for (i, e) in rows.iter().enumerate() {
+                assert_eq!(fast.list.row(i), e.0, "row {i} differs for {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_list_row_column_round_trip() {
+        let mut list = EmbeddingList::new(3);
+        list.push(&[NodeId(5), NodeId(1), NodeId(9)]);
+        list.push(&[NodeId(2), NodeId(2), NodeId(7)]);
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.positions(), 3);
+        assert_eq!(list.col(0), &[NodeId(5), NodeId(2)]);
+        assert_eq!(list.row(1), vec![NodeId(2), NodeId(2), NodeId(7)]);
+        assert_eq!(list.node_set(1), vec![NodeId(2), NodeId(7)]);
     }
 }

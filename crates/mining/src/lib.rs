@@ -48,13 +48,15 @@
 use apex_fault::{ApexError, Stage};
 use std::fmt;
 
+mod bitset;
 mod isomorphism;
 mod miner;
 mod mis;
 mod pattern;
 
 pub use isomorphism::{
-    find_embeddings, find_embeddings_metered, Embedding, EmbeddingSet, GraphIndex,
+    find_embeddings, find_embeddings_metered, find_embeddings_reference, Embedding, EmbeddingList,
+    EmbeddingSet, GraphIndex,
 };
 pub use miner::{mine, rank, MineOutcome, MinedSubgraph, MinerConfig};
 pub use mis::{maximal_independent_set, mis_size, overlap_graph};

@@ -11,7 +11,8 @@ use crate::pattern::Pattern;
 use crate::MineError;
 use apex_fault::{Provenance, StageBudget};
 use apex_ir::{Graph, NodeId, OpKind};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
 
 /// Miner configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,7 +28,12 @@ pub struct MinerConfig {
     pub min_pattern_nodes: usize,
     /// Embedding-search budget per pattern.
     pub max_embeddings: usize,
-    /// Cap on the total number of frequent patterns explored.
+    /// Cap on the total number of frequent patterns explored. The cap is
+    /// exact: once `max_patterns` frequent patterns have entered the
+    /// search frontier, no further pattern is enqueued — not even the
+    /// remaining extensions of the pattern being expanded when the cap is
+    /// reached. Patterns already on the frontier are still harvested into
+    /// the results.
     pub max_patterns: usize,
     /// Wall-clock / step budget for the whole mining run.
     pub budget: StageBudget,
@@ -64,6 +70,10 @@ pub struct MinedSubgraph {
     /// Whether the embedding search was truncated (statistics are then
     /// lower bounds).
     pub truncated: bool,
+    /// Lazily computed utilizable-occurrence statistics (see
+    /// [`MinedSubgraph::utilizable_occurrences`]). Computed once on first
+    /// use and reused by every later call.
+    util: OnceLock<(Vec<Vec<NodeId>>, usize)>,
 }
 
 impl MinedSubgraph {
@@ -83,39 +93,57 @@ impl MinedSubgraph {
     /// re-enters it. Multi-exit occurrences are rejected too: bundling
     /// independent output cones into one PE can deadlock instruction
     /// selection with instance-level dependency cycles.
-    pub fn utilizable_occurrences(&self, graph: &Graph) -> Vec<Vec<NodeId>> {
-        let fan = graph.fanouts();
-        self.occurrences
-            .iter()
-            .filter(|occ| {
-                let set: std::collections::BTreeSet<NodeId> = occ
-                    .iter()
-                    .copied()
-                    .filter(|&n| {
-                        !matches!(graph.op(n), apex_ir::Op::Const(_) | apex_ir::Op::BitConst(_))
-                    })
-                    .collect();
-                let mut exits = 0usize;
-                let visible = set.iter().all(|&n| {
-                    let internal = fan[n.index()].iter().filter(|c| set.contains(c)).count();
-                    if internal == 0 {
-                        exits += 1;
-                        true
-                    } else {
-                        fan[n.index()].len() == internal
-                    }
-                });
-                visible && exits == 1 && convex(&fan, &set)
-            })
-            .cloned()
-            .collect()
+    ///
+    /// The result (and the MIS over it) is computed once on the first
+    /// call and cached; `graph` must be the graph the subgraph was mined
+    /// from — it is the only graph the stored occurrences are meaningful
+    /// against.
+    pub fn utilizable_occurrences(&self, graph: &Graph) -> &[Vec<NodeId>] {
+        &self.util_stats(graph).0
     }
 
     /// MIS size over the utilizable occurrences only — how many
     /// fully-utilized PEs implementing this subgraph the application can
-    /// actually instantiate.
+    /// actually instantiate. Cached alongside
+    /// [`MinedSubgraph::utilizable_occurrences`].
     pub fn utilizable_mis(&self, graph: &Graph) -> usize {
-        maximal_independent_set(&self.utilizable_occurrences(graph)).len()
+        self.util_stats(graph).1
+    }
+
+    fn util_stats(&self, graph: &Graph) -> &(Vec<Vec<NodeId>>, usize) {
+        self.util.get_or_init(|| {
+            let fan = graph.fanouts();
+            let occ: Vec<Vec<NodeId>> = self
+                .occurrences
+                .iter()
+                .filter(|occ| {
+                    let set: std::collections::BTreeSet<NodeId> = occ
+                        .iter()
+                        .copied()
+                        .filter(|&n| {
+                            !matches!(
+                                graph.op(n),
+                                apex_ir::Op::Const(_) | apex_ir::Op::BitConst(_)
+                            )
+                        })
+                        .collect();
+                    let mut exits = 0usize;
+                    let visible = set.iter().all(|&n| {
+                        let internal = fan[n.index()].iter().filter(|c| set.contains(c)).count();
+                        if internal == 0 {
+                            exits += 1;
+                            true
+                        } else {
+                            fan[n.index()].len() == internal
+                        }
+                    });
+                    visible && exits == 1 && convex(&fan, &set)
+                })
+                .cloned()
+                .collect();
+            let mis = maximal_independent_set(&occ).len();
+            (occ, mis)
+        })
     }
 }
 
@@ -202,19 +230,24 @@ pub fn mine(graph: &Graph, config: &MinerConfig) -> Result<MineOutcome, MineErro
 
     let mut explored = frontier.len();
     while let Some((pattern, embeddings)) = frontier.pop_front() {
-        if pattern.len() >= config.min_pattern_nodes && pattern.edge_count() > 0 {
-            if let Some(first) = embeddings.embeddings.first() {
-                let occurrences = embeddings.occurrences();
-                let mis = maximal_independent_set(&occurrences);
-                results.push(MinedSubgraph {
-                    representative: first.0.clone(),
-                    mni_support: embeddings.mni_support(pattern.len()),
-                    mis_size: mis.len(),
-                    truncated: embeddings.truncated,
-                    occurrences,
-                    pattern: pattern.clone(),
-                });
-            }
+        if pattern.len() >= config.min_pattern_nodes
+            && pattern.edge_count() > 0
+            && !embeddings.is_empty()
+        {
+            // occurrences() collapses automorphic embeddings (identical
+            // node sets) before MIS analysis, so symmetric patterns do not
+            // inflate their utilization estimate
+            let occurrences = embeddings.occurrences();
+            let mis = maximal_independent_set(&occurrences);
+            results.push(MinedSubgraph {
+                representative: embeddings.list.row(0),
+                mni_support: embeddings.mni_support(pattern.len()),
+                mis_size: mis.len(),
+                truncated: embeddings.truncated,
+                occurrences,
+                pattern: pattern.clone(),
+                util: OnceLock::new(),
+            });
         }
         // budget exhausted: drain the frontier (patterns already found stay
         // in the results) but stop growing new ones
@@ -224,7 +257,13 @@ pub fn mine(graph: &Graph, config: &MinerConfig) -> Result<MineOutcome, MineErro
         if explored >= config.max_patterns {
             continue;
         }
-        for ext in enumerate_extensions(&pattern, &embeddings, graph, config) {
+        for ext in enumerate_extensions(&pattern, &embeddings, &index, config) {
+            // exact cap (see MinerConfig::max_patterns): stop enqueueing
+            // mid-extension-round, not merely before the next round — the
+            // frontier never holds more than max_patterns patterns total
+            if explored >= config.max_patterns {
+                break;
+            }
             let child = match ext {
                 Extension::Node {
                     at,
@@ -268,39 +307,50 @@ pub fn rank(results: &mut [MinedSubgraph]) {
 fn enumerate_extensions(
     pattern: &Pattern,
     embeddings: &EmbeddingSet,
-    graph: &Graph,
+    index: &GraphIndex<'_>,
     config: &MinerConfig,
 ) -> BTreeSet<Extension> {
+    let graph = index.graph();
+    // one shared fanout table for the whole enumeration — the naive loop
+    // rebuilt it per embedding per node, which dominated mining time
+    let fanouts = index.fanouts();
     let mut exts = BTreeSet::new();
     let can_grow = pattern.len() < config.max_pattern_nodes;
-    for emb in &embeddings.embeddings {
-        let image: BTreeMap<NodeId, u32> = emb
-            .0
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| (n, i as u32))
-            .collect();
-        for (i, &u) in emb.0.iter().enumerate() {
+    let k = pattern.len();
+    // stamp array over graph node ids: pos_of[n] = pattern position of n
+    // in the current embedding row, u32::MAX when unmapped. Set and
+    // cleared per row — O(k) instead of building a map per embedding.
+    let mut pos_of: Vec<u32> = vec![u32::MAX; graph.len()];
+    let mut ports: Vec<Option<u8>> = Vec::new();
+    for r in 0..embeddings.list.len() {
+        for (i, n) in embeddings.list.row_iter(r).enumerate() {
+            pos_of[n.index()] = i as u32;
+        }
+        for i in 0..k {
+            let u = embeddings.list.col(i)[r];
             let i = i as u32;
             // consumers of u
-            for &v in graph.fanouts()[u.index()].iter() {
+            for &v in fanouts[u.index()].iter() {
                 let vop = graph.op(v);
                 if !vop.is_compute() {
                     continue;
                 }
-                let ports: Vec<Option<u8>> = if vop.commutative() {
-                    vec![None]
+                ports.clear();
+                if vop.commutative() {
+                    ports.push(None);
                 } else {
-                    graph
-                        .node(v)
-                        .inputs()
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, &s)| s == u)
-                        .map(|(p, _)| Some(p as u8))
-                        .collect()
-                };
-                if let Some(&j) = image.get(&v) {
+                    ports.extend(
+                        graph
+                            .node(v)
+                            .inputs()
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &s)| s == u)
+                            .map(|(p, _)| Some(p as u8)),
+                    );
+                }
+                let j = pos_of[v.index()];
+                if j != u32::MAX {
                     // internal edge candidate
                     let existing = pattern.in_edges(j as usize).len();
                     if existing < graph.node(v).inputs().len() {
@@ -345,7 +395,7 @@ fn enumerate_extensions(
                 let uop = graph.op(u);
                 for (p, &src) in graph.node(u).inputs().iter().enumerate() {
                     let sop = graph.op(src);
-                    if !sop.is_compute() || image.contains_key(&src) {
+                    if !sop.is_compute() || pos_of[src.index()] != u32::MAX {
                         continue;
                     }
                     let port = if uop.commutative() {
@@ -361,6 +411,9 @@ fn enumerate_extensions(
                     });
                 }
             }
+        }
+        for n in embeddings.list.row_iter(r) {
+            pos_of[n.index()] = u32::MAX;
         }
     }
     exts
@@ -499,8 +552,110 @@ mod tests {
         for m in &mined.subgraphs {
             assert!(m.pattern.is_connected(), "{}", m.pattern);
             let dp = m.to_datapath(&g, "p").unwrap();
-            assert!(dp.validate().is_ok());
+            assert!(dp.try_validate().is_ok());
         }
+    }
+
+    #[test]
+    fn max_patterns_cap_is_exact() {
+        // the conv graph explores well over 4 frequent patterns when
+        // uncapped; with max_patterns = 4 EXACTLY 4 may enter the frontier
+        // (regression: the old check ran only between extension rounds, so
+        // one round could overshoot the cap)
+        let g = conv_graph();
+        let uncapped = mine(
+            &g,
+            &MinerConfig {
+                min_support: 2,
+                ..MinerConfig::default()
+            },
+        )
+        .unwrap()
+        .subgraphs
+        .len();
+        assert!(uncapped > 4, "premise: uncapped run explores more");
+        for cap in [1usize, 2, 4, 7] {
+            let capped = mine(
+                &g,
+                &MinerConfig {
+                    min_support: 2,
+                    max_patterns: cap,
+                    ..MinerConfig::default()
+                },
+            )
+            .unwrap()
+            .subgraphs;
+            // every reported subgraph came off the frontier, which the
+            // exact cap bounds at `cap` patterns
+            assert!(
+                capped.len() <= cap,
+                "cap {cap} exceeded: {} patterns reported",
+                capped.len()
+            );
+        }
+    }
+
+    #[test]
+    fn automorphic_embeddings_do_not_inflate_occurrences_or_mis() {
+        // four disjoint trees of add(mul, mul): the symmetric mul-add-mul
+        // pattern has TWO automorphic embeddings per tree (the muls swap),
+        // but each tree is ONE occurrence — the MIS must equal the true
+        // instance count, not double it
+        let mut g = Graph::new("sym");
+        let mut outs = Vec::new();
+        for _ in 0..4 {
+            let a = g.input();
+            let b = g.input();
+            let c = g.input();
+            let d = g.input();
+            let m1 = g.add(Op::Mul, &[a, b]);
+            let m2 = g.add(Op::Mul, &[c, d]);
+            outs.push(g.add(Op::Add, &[m1, m2]));
+        }
+        for o in outs {
+            g.output(o);
+        }
+        let cfg = MinerConfig {
+            min_support: 4,
+            max_pattern_nodes: 3,
+            ..MinerConfig::default()
+        };
+        let mined = mine(&g, &cfg).unwrap().subgraphs;
+        let sym = mined
+            .iter()
+            .find(|m| {
+                m.pattern.len() == 3
+                    && m.pattern.edge_count() == 2
+                    && m.pattern
+                        .labels()
+                        .iter()
+                        .filter(|&&l| l == OpKind::Mul)
+                        .count()
+                        == 2
+            })
+            .expect("mul-add-mul pattern must be mined");
+        assert_eq!(sym.occurrences.len(), 4, "one occurrence per tree");
+        assert_eq!(sym.mis_size, 4, "disjoint trees are all independent");
+    }
+
+    #[test]
+    fn utilizable_statistics_are_computed_once_and_cached() {
+        let g = conv_graph();
+        let mined = mine(
+            &g,
+            &MinerConfig {
+                min_support: 2,
+                ..MinerConfig::default()
+            },
+        )
+        .unwrap()
+        .subgraphs;
+        let m = &mined[0];
+        let first = m.utilizable_occurrences(&g);
+        let again = m.utilizable_occurrences(&g);
+        // the second call must return the cached slice, not a recomputation
+        assert!(std::ptr::eq(first, again));
+        assert_eq!(m.utilizable_mis(&g), maximal_independent_set(first).len());
     }
 
     #[test]

@@ -10,22 +10,54 @@
 use apex_ir::NodeId;
 
 /// Builds the overlap graph: `adj[i]` lists occurrences sharing at least
-/// one application node with occurrence `i`.
+/// one application node with occurrence `i` (each list sorted ascending,
+/// duplicate-free).
+///
+/// Built from a node → occurrence inverted index rather than all-pairs
+/// node-set intersection: every application node lists the occurrences
+/// containing it, and exactly the pairs co-listed somewhere become edges.
+/// Cost is proportional to the overlap actually present instead of
+/// O(n²) pairwise scans, which dominated MIS analysis for patterns with
+/// thousands of occurrences.
 pub fn overlap_graph(occurrences: &[Vec<NodeId>]) -> Vec<Vec<usize>> {
     let n = occurrences.len();
-    let mut adj = vec![Vec::new(); n];
-    // occurrence node lists are sorted (they come from Embedding::node_set)
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if sorted_intersects(&occurrences[i], &occurrences[j]) {
-                adj[i].push(j);
-                adj[j].push(i);
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    if n == 0 {
+        return adj;
+    }
+    let max_node = occurrences
+        .iter()
+        .flatten()
+        .map(|id| id.index())
+        .max()
+        .unwrap_or(0);
+    let mut owners: Vec<Vec<u32>> = vec![Vec::new(); max_node + 1];
+    for (i, occ) in occurrences.iter().enumerate() {
+        for &node in occ {
+            let slot = &mut owners[node.index()];
+            // occurrence node sets are deduplicated, but stay correct for
+            // callers that pass repeated nodes
+            if slot.last() != Some(&(i as u32)) {
+                slot.push(i as u32);
             }
         }
+    }
+    for list in &owners {
+        for (k, &a) in list.iter().enumerate() {
+            for &b in &list[k + 1..] {
+                adj[a as usize].push(b as usize);
+                adj[b as usize].push(a as usize);
+            }
+        }
+    }
+    for l in &mut adj {
+        l.sort_unstable();
+        l.dedup();
     }
     adj
 }
 
+#[cfg(test)]
 fn sorted_intersects(a: &[NodeId], b: &[NodeId]) -> bool {
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -150,5 +182,52 @@ mod tests {
     #[test]
     fn empty_input_gives_empty_set() {
         assert_eq!(mis_size(&[]), 0);
+    }
+
+    #[test]
+    fn inverted_index_matches_pairwise_reference() {
+        // deterministic xorshift RNG
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let n = 1 + (rand() % 20) as usize;
+            let occ: Vec<Vec<NodeId>> = (0..n)
+                .map(|_| {
+                    let k = 1 + (rand() % 5) as usize;
+                    let mut v: Vec<NodeId> =
+                        (0..k).map(|_| NodeId((rand() % 30) as u32)).collect();
+                    v.sort();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            let got = overlap_graph(&occ);
+            // all-pairs reference (the original implementation)
+            let mut want = vec![Vec::new(); n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if sorted_intersects(&occ[i], &occ[j]) {
+                        want[i].push(j);
+                        want[j].push(i);
+                    }
+                }
+            }
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn repeated_nodes_within_an_occurrence_add_no_self_edges() {
+        // defensive: callers outside the miner may pass un-deduplicated
+        // node lists; the inverted index must not self-link an occurrence
+        let occ = vec![ids(&[1, 1, 2]), ids(&[3, 4])];
+        let adj = overlap_graph(&occ);
+        assert!(adj[0].is_empty() && adj[1].is_empty());
+        assert_eq!(mis_size(&occ), 2);
     }
 }

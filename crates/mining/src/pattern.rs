@@ -11,6 +11,8 @@ use apex_ir::{Graph, NodeId, OpKind, ValueType};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
 
 /// An in-edge of a pattern node: source pattern node plus an optional
 /// destination-port constraint.
@@ -23,11 +25,34 @@ pub struct PatternEdge {
 }
 
 /// A connected, directed, labelled pattern graph.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The canonical code is memoized: the miner derives it once (at
+/// de-duplication time) and every later consumer — ranking tie-breaks,
+/// subgraph selection, the verifier — reuses the cached string instead of
+/// re-running the permutation search. The cache is identity-transparent:
+/// equality, hashing, and serialization ignore it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Pattern {
     labels: Vec<OpKind>,
     /// Per destination node: its in-edges.
     in_edges: Vec<Vec<PatternEdge>>,
+    /// Memoized [`Pattern::canonical_code`].
+    code: OnceLock<String>,
+}
+
+impl PartialEq for Pattern {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels == other.labels && self.in_edges == other.in_edges
+    }
+}
+
+impl Eq for Pattern {}
+
+impl Hash for Pattern {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.labels.hash(state);
+        self.in_edges.hash(state);
+    }
 }
 
 impl Pattern {
@@ -36,6 +61,7 @@ impl Pattern {
         Pattern {
             labels: vec![label],
             in_edges: vec![Vec::new()],
+            code: OnceLock::new(),
         }
     }
 
@@ -88,7 +114,12 @@ impl Pattern {
         port: Option<u8>,
     ) -> Pattern {
         assert!((existing as usize) < self.len(), "node out of range");
-        let mut p = self.clone();
+        // fresh code cache: the extended pattern is a different graph
+        let mut p = Pattern {
+            labels: self.labels.clone(),
+            in_edges: self.in_edges.clone(),
+            code: OnceLock::new(),
+        };
         p.labels.push(new_label);
         p.in_edges.push(Vec::new());
         let new_idx = (p.labels.len() - 1) as u32;
@@ -109,7 +140,11 @@ impl Pattern {
     /// Panics if either index is out of range.
     pub fn extend_with_edge(&self, src: u32, dst: u32, port: Option<u8>) -> Pattern {
         assert!((src as usize) < self.len() && (dst as usize) < self.len());
-        let mut p = self.clone();
+        let mut p = Pattern {
+            labels: self.labels.clone(),
+            in_edges: self.in_edges.clone(),
+            code: OnceLock::new(),
+        };
         p.in_edges[dst as usize].push(PatternEdge { src, port });
         p
     }
@@ -177,8 +212,25 @@ impl Pattern {
     /// lexicographically smallest edge encoding wins. Pattern sizes are
     /// small (the miner caps them), so the class-restricted permutation
     /// search is cheap.
-    #[allow(clippy::expect_used)]
+    ///
+    /// The result is memoized: repeated calls (ranking tie-breaks,
+    /// selection sorts) return the cached string. The class prefix is
+    /// permutation-invariant, so candidates are compared per sorted edge
+    /// string — `','` sorts below every character an edge string can
+    /// contain (digits, `-`, `:`, `>`), making element-wise comparison of
+    /// the sorted edge lists equivalent to comparing the joined code
+    /// strings the original single-pass implementation built.
     pub fn canonical_code(&self) -> String {
+        self.code.get_or_init(|| self.compute_canonical_code()).clone()
+    }
+
+    /// Memoized [`Pattern::canonical_code`] without the `String` clone.
+    pub fn canonical_code_ref(&self) -> &str {
+        self.code.get_or_init(|| self.compute_canonical_code())
+    }
+
+    #[allow(clippy::expect_used)]
+    fn compute_canonical_code(&self) -> String {
         let n = self.len();
         let mut outdeg = vec![0usize; n];
         for (s, _, _) in self.edges() {
@@ -203,37 +255,36 @@ impl Pattern {
             acc += c.len();
         }
 
-        let mut best: Option<String> = None;
+        let raw_edges: Vec<(usize, usize, i32)> = self
+            .edges()
+            .map(|(s, d, p)| (s as usize, d as usize, p.map_or(-1i32, i32::from)))
+            .collect();
+        let mut best: Option<Vec<String>> = None;
+        let mut scratch: Vec<String> = Vec::with_capacity(raw_edges.len());
         let mut perm = vec![0usize; n]; // original node -> canonical index
         permute_classes(&classes, &base, 0, &mut perm, &mut |perm| {
-            let mut edges: Vec<String> = self
-                .edges()
-                .map(|(s, d, p)| {
-                    format!(
-                        "{}>{}:{}",
-                        perm[s as usize],
-                        perm[d as usize],
-                        p.map_or(-1i32, i32::from)
-                    )
-                })
-                .collect();
-            edges.sort();
-            let mut code = String::new();
-            for c in &classes {
-                let (l, i, o) = keys[c[0]];
-                code.push_str(&format!("[{l:?}/{i}/{o}x{}]", c.len()));
+            scratch.clear();
+            for &(s, d, p) in &raw_edges {
+                scratch.push(format!("{}>{}:{}", perm[s], perm[d], p));
             }
-            code.push('|');
-            code.push_str(&edges.join(","));
+            scratch.sort();
             match &best {
-                Some(b) if *b <= code => {}
-                _ => best = Some(code),
+                Some(b) if b.as_slice() <= scratch.as_slice() => {}
+                _ => best = Some(scratch.clone()),
             }
         });
         // invariant: permute_classes always visits the identity permutation,
         // so `best` is set for every non-empty pattern (and single() makes
         // empty patterns unconstructible from the public API)
-        best.expect("at least one permutation")
+        let edges = best.expect("at least one permutation");
+        let mut code = String::new();
+        for c in &classes {
+            let (l, i, o) = keys[c[0]];
+            code.push_str(&format!("[{l:?}/{i}/{o}x{}]", c.len()));
+        }
+        code.push('|');
+        code.push_str(&edges.join(","));
+        code
     }
 
     /// Materializes the pattern into an executable datapath [`Graph`].
@@ -358,7 +409,14 @@ impl Pattern {
                 }
             }
         }
-        (Pattern { labels, in_edges }, sorted)
+        (
+            Pattern {
+                labels,
+                in_edges,
+                code: OnceLock::new(),
+            },
+            sorted,
+        )
     }
 }
 
@@ -472,7 +530,7 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.edge_count(), 1);
         let dp = p.to_datapath(&g, &order, "mac_pattern").unwrap();
-        assert!(dp.validate().is_ok());
+        assert!(dp.try_validate().is_ok());
         assert_eq!(dp.primary_inputs().len(), 3);
         let out = evaluate(&dp, &[Value::Word(3), Value::Word(4), Value::Word(5)]);
         assert_eq!(out[0].word(), 17);
@@ -490,6 +548,22 @@ mod tests {
         let e: Vec<_> = p.edges().collect();
         assert_eq!(e.len(), 1);
         assert_eq!(e[0].2, Some(1));
+    }
+
+    #[test]
+    fn memoized_code_survives_clone_but_not_extension() {
+        let p = Pattern::single(OpKind::Mul).extend_with_node(0, OpKind::Add, true, None);
+        let first = p.canonical_code();
+        // memoized: the borrow-returning accessor sees the same string
+        assert_eq!(p.canonical_code_ref(), first);
+        let cloned = p.clone();
+        assert_eq!(cloned.canonical_code(), first);
+        // extending must re-derive, not inherit the parent's cached code
+        let bigger = p.extend_with_node(1, OpKind::Add, true, None);
+        assert_ne!(bigger.canonical_code(), first);
+        // cache is identity-transparent for equality and hashing
+        let fresh = Pattern::single(OpKind::Mul).extend_with_node(0, OpKind::Add, true, None);
+        assert_eq!(p, fresh, "cached vs uncached patterns compare equal");
     }
 
     #[test]

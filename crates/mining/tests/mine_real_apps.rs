@@ -20,7 +20,7 @@ fn mine_all_analyzed_apps() {
         // all datapaths materialize and validate
         for m in mined.iter().take(10) {
             let dp = m.to_datapath(&app.graph, "p").unwrap();
-            assert!(dp.validate().is_ok());
+            assert!(dp.try_validate().is_ok());
         }
         println!(
             "{}: {} frequent subgraphs, top MIS {} ({} nodes), {:?}",

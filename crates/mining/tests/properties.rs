@@ -3,8 +3,8 @@
 
 use apex_ir::{Graph, NodeId, Op};
 use apex_mining::{
-    find_embeddings, maximal_independent_set, mine, overlap_graph, GraphIndex, MinerConfig,
-    Pattern,
+    find_embeddings, find_embeddings_reference, maximal_independent_set, mine, overlap_graph,
+    GraphIndex, MinerConfig, Pattern,
 };
 use proptest::prelude::*;
 
@@ -64,6 +64,31 @@ proptest! {
                 let mut got: Vec<_> = o.iter().map(|&n| g.op(n).kind()).collect();
                 got.sort();
                 prop_assert_eq!(&got, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn soa_search_matches_reference_matcher(g in arb_graph()) {
+        // the SoA/bitset search must return EXACTLY the embedding
+        // sequence of the retained naive reference matcher — same rows,
+        // same order, same truncation — on every mined pattern shape
+        let index = GraphIndex::new(&g);
+        let mined = mine(&g, &MinerConfig {
+            min_support: 2,
+            max_pattern_nodes: 4,
+            max_patterns: 30,
+            ..MinerConfig::default()
+        })
+        .unwrap()
+        .subgraphs;
+        for m in mined.iter().take(12) {
+            let fast = find_embeddings(&m.pattern, &index, 5_000);
+            let (rows, truncated) = find_embeddings_reference(&m.pattern, &index, 5_000);
+            prop_assert_eq!(fast.truncated, truncated);
+            prop_assert_eq!(fast.len(), rows.len());
+            for (i, e) in rows.iter().enumerate() {
+                prop_assert_eq!(fast.list.row(i), e.0.clone(), "row {} differs", i);
             }
         }
     }
@@ -129,7 +154,7 @@ proptest! {
             let u = m.utilizable_occurrences(&g);
             prop_assert!(u.len() <= m.occurrences.len());
             prop_assert!(m.utilizable_mis(&g) <= m.mis_size);
-            for o in &u {
+            for o in u {
                 prop_assert!(m.occurrences.contains(o));
             }
         }
@@ -147,7 +172,7 @@ proptest! {
         .subgraphs;
         for m in mined.iter().take(10) {
             let dp = m.to_datapath(&g, "p").unwrap();
-            prop_assert!(dp.validate().is_ok());
+            prop_assert!(dp.try_validate().is_ok());
             prop_assert!(!dp.primary_outputs().is_empty());
         }
     }

@@ -21,7 +21,7 @@
 //!
 //! * `IR-ARITY`, `IR-SSA`, `IR-TYPE`, `IR-DEAD`, `IR-OUTPUT`
 //! * `MINE-REP`, `MINE-OCC-SIZE`, `MINE-OCC-LABEL`, `MINE-OCC-EMBED`,
-//!   `MINE-SUPPORT`, `MINE-MIS`
+//!   `MINE-OCC-DUP`, `MINE-SUPPORT`, `MINE-MIS`
 //! * `MERGE-STRUCT`, `MERGE-PORT`, `MERGE-MUX`, `MERGE-CONFIG`,
 //!   `MERGE-IFACE`, `MERGE-WITNESS`
 //! * `RULE-IFACE`, `RULE-PATTERN`, `RULE-CONFIG`, `RULE-BINDING`,

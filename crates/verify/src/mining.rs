@@ -19,6 +19,10 @@ use apex_mining::{find_embeddings, maximal_independent_set, GraphIndex, MinedSub
 ///   with the pattern's labels,
 /// * `MINE-OCC-EMBED` — no injective, port-consistent embedding of the
 ///   pattern exists on exactly the occurrence's nodes,
+/// * `MINE-OCC-DUP` — the occurrence list repeats a node set (or is not
+///   sorted ascending): automorphic embeddings of a symmetric pattern
+///   must be collapsed before MIS analysis or the utilization estimate
+///   is inflated,
 /// * `MINE-SUPPORT` — MNI support below the MIS size (disjoint
 ///   occurrences guarantee that many distinct images per position),
 /// * `MINE-MIS` — the stored MIS size disagrees with the deterministic
@@ -118,6 +122,23 @@ pub fn verify_mined(app: &Graph, mined: &[MinedSubgraph]) -> Vec<Violation> {
             }
         }
 
+        // --- occurrence list: strictly ascending, duplicate-free --------
+        for w in m.occurrences.windows(2) {
+            if w[0] >= w[1] {
+                out.push(Violation::new(
+                    "MINE-OCC-DUP",
+                    &artifact,
+                    "occurrences",
+                    format!(
+                        "occurrence list not strictly ascending at {:?} / {:?} \
+                         (automorphic node sets must be collapsed)",
+                        w[0], w[1]
+                    ),
+                ));
+                break;
+            }
+        }
+
         // --- support counts ---------------------------------------------
         if m.mni_support < m.mis_size {
             out.push(Violation::new(
@@ -157,7 +178,7 @@ fn occurrence_embeds(app: &Graph, nodes: &[NodeId], m: &MinedSubgraph) -> bool {
     // compute region of `sub` is exactly the occurrence
     let index = GraphIndex::new(&sub);
     let es = find_embeddings(&m.pattern, &index, 1);
-    !es.embeddings.is_empty()
+    !es.is_empty()
 }
 
 #[cfg(test)]
@@ -228,6 +249,21 @@ mod tests {
         assert!(
             vs.iter()
                 .any(|v| v.rule == "MINE-OCC-LABEL" || v.rule == "MINE-OCC-SIZE"),
+            "{}",
+            crate::render(&vs)
+        );
+    }
+
+    #[test]
+    fn duplicated_occurrence_set_is_caught() {
+        let g = conv_graph();
+        let mut ms = mined(&g);
+        // simulate un-collapsed automorphic embeddings: repeat a node set
+        let dup = ms[0].occurrences[0].clone();
+        ms[0].occurrences.push(dup);
+        let vs = verify_mined(&g, &ms);
+        assert!(
+            vs.iter().any(|v| v.rule == "MINE-OCC-DUP"),
             "{}",
             crate::render(&vs)
         );

@@ -161,6 +161,35 @@ fn bench_algorithms(c: &mut Criterion) {
         })
     });
 
+    // congested multi-round negotiation: a 16x14 array with only two
+    // tracks per direction forces PathFinder through 4 rip-up rounds
+    // (probed; seed-sensitive), exercising the incremental re-route path
+    // that single-round gaussian routing never reaches
+    let tight = apex_cgra::Fabric::new(apex_cgra::FabricConfig {
+        width: 16,
+        height: 14,
+        word_tracks: 2,
+        bit_tracks: 2,
+        ..apex_cgra::FabricConfig::default()
+    });
+    let tight_placement = apex_cgra::place(
+        &design.netlist,
+        &tight,
+        &apex_cgra::PlaceOptions { seed: 99, ..apex_cgra::PlaceOptions::default() },
+    )
+    .unwrap();
+    let tight_opts = apex_cgra::RouteOptions {
+        max_iterations: 40,
+        history_increment: 1.0,
+        ..apex_cgra::RouteOptions::default()
+    };
+    g.bench_function("route_congested_2track", |b| {
+        b.iter(|| {
+            apex_cgra::route(&design.netlist, &rules, &tight, &tight_placement, &tight_opts)
+                .unwrap()
+        })
+    });
+
     // --- bitstream + RTL ----------------------------------------------------------
     let routing = apex_cgra::route(
         &design.netlist,

@@ -293,27 +293,53 @@ pub fn generate_bitstream(
     }
 
     // switch-box crossings: one track per distinct signal per link,
-    // assigned deterministically in routing order
-    let mut track_of: BTreeMap<(usize, bool, u32), u8> = BTreeMap::new();
-    let mut next_track: BTreeMap<(usize, bool), u8> = BTreeMap::new();
+    // assigned deterministically in routing order. Dense per-(edge, word)
+    // arrays over the CSR route graph carry the assignment state (a link
+    // holds at most a few distinct signals, so a linear scan beats a map
+    // probe); hops between non-adjacent tiles — impossible in an honest
+    // routing — keep a sparse fallback with identical assignment rules
+    let graph = crate::route::RouteGraph::new(fabric);
+    let mut track_of: Vec<Vec<(u32, u8)>> = vec![Vec::new(); graph.n_edges() * 2];
+    let mut next_track: Vec<u8> = vec![0; graph.n_edges() * 2];
+    let mut sparse_track_of: BTreeMap<(usize, bool, u32), u8> = BTreeMap::new();
+    let mut sparse_next: BTreeMap<(usize, bool), u8> = BTreeMap::new();
     let mut sb: BTreeMap<TileId, Vec<(TileId, TileId, u8)>> = BTreeMap::new();
     for r in &routing.routes {
+        // tracks wrap within the capacity of the signal's own kind: bit
+        // links have bit_tracks tracks, not word_tracks
+        let cap = if r.word {
+            fabric.config.word_tracks
+        } else {
+            fabric.config.bit_tracks
+        }
+        .max(1) as u8;
         for w in r.path.windows(2) {
-            let link = fabric.link(w[0], w[1]);
-            let t = *track_of.entry((link, r.word, r.producer)).or_insert_with(|| {
-                // tracks wrap within the capacity of the signal's own
-                // kind: bit links have bit_tracks tracks, not word_tracks
-                let cap = if r.word {
-                    fabric.config.word_tracks
-                } else {
-                    fabric.config.bit_tracks
+            let t = match graph.edge_of(w[0], w[1]) {
+                Some(e) => {
+                    let idx = e * 2 + usize::from(r.word);
+                    match track_of[idx].iter().find(|&&(p, _)| p == r.producer) {
+                        Some(&(_, t)) => t,
+                        None => {
+                            let n = &mut next_track[idx];
+                            let t = *n;
+                            *n = n.wrapping_add(1) % cap;
+                            track_of[idx].push((r.producer, t));
+                            t
+                        }
+                    }
                 }
-                .max(1) as u8;
-                let n = next_track.entry((link, r.word)).or_insert(0);
-                let t = *n;
-                *n = n.wrapping_add(1) % cap;
-                t
-            });
+                None => {
+                    let link = fabric.link(w[0], w[1]);
+                    *sparse_track_of
+                        .entry((link, r.word, r.producer))
+                        .or_insert_with(|| {
+                            let n = sparse_next.entry((link, r.word)).or_insert(0);
+                            let t = *n;
+                            *n = n.wrapping_add(1) % cap;
+                            t
+                        })
+                }
+            };
             sb.entry(w[0]).or_default().push((w[0], w[1], t));
         }
     }

@@ -104,9 +104,38 @@ pub fn simulate_from_bitstream(
     word_streams: &[Vec<u16>],
     bit_streams: &[Vec<bool>],
     pe_latency: u32,
-) -> Result<(Vec<Vec<u16>>, Vec<Vec<bool>>), FabricSimError> {
+) -> Result<apex_map::SimStreams, FabricSimError> {
     let decoded = decode_pe_configs(netlist, rules, dp, placement, bitstream)?;
     Ok(netlist.simulate_with(dp, rules, word_streams, bit_streams, pe_latency, &decoded)?)
+}
+
+/// [`simulate_from_bitstream`] on the retained decode-per-access
+/// interpreter ([`Netlist::simulate_with_reference`]) instead of the
+/// table-compiled engine — the executable specification the property
+/// suite replays randomized bitstream simulations against.
+///
+/// # Errors
+/// Propagates decoding and simulation failures.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_from_bitstream_reference(
+    netlist: &Netlist,
+    rules: &RuleSet,
+    dp: &MergedDatapath,
+    placement: &Placement,
+    bitstream: &Bitstream,
+    word_streams: &[Vec<u16>],
+    bit_streams: &[Vec<bool>],
+    pe_latency: u32,
+) -> Result<apex_map::SimStreams, FabricSimError> {
+    let decoded = decode_pe_configs(netlist, rules, dp, placement, bitstream)?;
+    Ok(netlist.simulate_with_reference(
+        dp,
+        rules,
+        word_streams,
+        bit_streams,
+        pe_latency,
+        &decoded,
+    )?)
 }
 
 #[cfg(test)]

@@ -2,6 +2,16 @@
 //! track graph (a PathFinder-style rip-up-and-reroute loop), plus the
 //! post-route verification that stands in for the paper's Verilog
 //! simulation of the configured fabric.
+//!
+//! Two engines live here. The production engine runs on a [`RouteGraph`]
+//! — a CSR adjacency over the fabric tiles with dense per-edge usage and
+//! history arrays, stamp-array Dijkstra state, and a reusable
+//! lazy-deletion heap — and supports **incremental rip-up**: after the
+//! first negotiation round only the nets crossing over-capacity links are
+//! re-routed. [`route_reference`] retains the original `BTreeMap`-backed
+//! full-reroute implementation as an executable specification; the
+//! property suite replays the CSR engine against it (identical paths,
+//! iterations, and overflow registers when incremental mode is off).
 
 use crate::fabric::{Fabric, TileId};
 use crate::place::{place_class, trace_through_regs, Placement};
@@ -12,6 +22,7 @@ use apex_rewrite::RuleSet;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::OnceLock;
 
 /// One routed point-to-point connection.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,7 +50,12 @@ impl RoutedEdge {
 }
 
 /// A complete routing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// [`Routing::signal_hops`] is memoized: the stats/energy pipeline asks
+/// for it repeatedly and the answer never changes for a given routing.
+/// The cache is identity-transparent — equality and serialization ignore
+/// it (mirroring the mining `Pattern::canonical_code` cache).
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Routing {
     /// All routed connections.
     pub routes: Vec<RoutedEdge>,
@@ -52,9 +68,50 @@ pub struct Routing {
     /// How the negotiation loop ended (always [`Provenance::Completed`]
     /// unless the stage budget tripped after the final round finished).
     pub provenance: Provenance,
+    /// Memoized [`Routing::signal_hops`] (a routing is only ever paired
+    /// with the fabric it was routed on, so one cached value suffices).
+    signal_hops_cache: OnceLock<usize>,
+}
+
+impl PartialEq for Routing {
+    fn eq(&self, other: &Self) -> bool {
+        self.routes == other.routes
+            && self.overflow_regs == other.overflow_regs
+            && self.iterations == other.iterations
+            && self.provenance == other.provenance
+    }
+}
+
+impl std::fmt::Debug for Routing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // the memo cache is display state, not identity: keep warm and
+        // cold routings Debug-identical (the determinism suite
+        // fingerprints artifacts via their Debug rendering)
+        f.debug_struct("Routing")
+            .field("routes", &self.routes)
+            .field("overflow_regs", &self.overflow_regs)
+            .field("iterations", &self.iterations)
+            .field("provenance", &self.provenance)
+            .finish()
+    }
 }
 
 impl Routing {
+    fn new(
+        routes: Vec<RoutedEdge>,
+        overflow_regs: usize,
+        iterations: usize,
+        provenance: Provenance,
+    ) -> Self {
+        Routing {
+            routes,
+            overflow_regs,
+            iterations,
+            provenance,
+            signal_hops_cache: OnceLock::new(),
+        }
+    }
+
     /// Total hops across all connections.
     pub fn total_hops(&self) -> usize {
         self.routes.iter().map(RoutedEdge::hops).sum()
@@ -63,15 +120,22 @@ impl Routing {
     /// Hops counted per *distinct signal* per link: fanout branches of a
     /// net share the wire, so this (not [`Routing::total_hops`]) is the
     /// physically switching wire count used for energy accounting.
+    ///
+    /// Computed once and cached; callers must always pass the fabric the
+    /// routing was produced on (every call site does — routings are not
+    /// portable across fabrics).
     pub fn signal_hops(&self, fabric: &crate::fabric::Fabric) -> usize {
-        let mut seen: std::collections::BTreeSet<(usize, bool, u32)> =
-            std::collections::BTreeSet::new();
-        for r in &self.routes {
-            for w in r.path.windows(2) {
-                seen.insert((fabric.link(w[0], w[1]), r.word, r.producer));
+        *self.signal_hops_cache.get_or_init(|| {
+            let mut seen: Vec<(usize, bool, u32)> = Vec::with_capacity(self.total_hops());
+            for r in &self.routes {
+                for w in r.path.windows(2) {
+                    seen.push((fabric.link(w[0], w[1]), r.word, r.producer));
+                }
             }
-        }
-        seen.len()
+            seen.sort_unstable();
+            seen.dedup();
+            seen.len()
+        })
     }
 
     /// Registers physically absorbed in switch boxes.
@@ -132,6 +196,12 @@ pub struct RouteOptions {
     pub max_iterations: usize,
     /// History-cost increment per overused link per round.
     pub history_increment: f64,
+    /// After the first negotiation round, re-route only the nets crossing
+    /// over-capacity links instead of every net (classic incremental
+    /// PathFinder). Round one is identical either way, so any routing
+    /// that converges in one round — the common case on the paper's
+    /// fabric — is bit-identical to the full-reroute reference engine.
+    pub incremental: bool,
     /// Wall-clock / step budget for the negotiation loop.
     pub budget: StageBudget,
 }
@@ -141,6 +211,7 @@ impl Default for RouteOptions {
         RouteOptions {
             max_iterations: 10,
             history_increment: 2.0,
+            incremental: true,
             budget: StageBudget::unlimited(),
         }
     }
@@ -154,6 +225,7 @@ impl RouteOptions {
         RouteOptions {
             max_iterations: self.max_iterations.saturating_mul(3).max(30),
             history_increment: self.history_increment * 0.5,
+            incremental: self.incremental,
             budget: self.budget.clone(),
         }
     }
@@ -177,11 +249,367 @@ pub fn connections(netlist: &Netlist, rules: &RuleSet) -> Vec<(u32, usize, u32, 
     out
 }
 
-/// Routes a placed netlist.
+/// CSR adjacency over the fabric's directed tile-to-tile links, built
+/// once per fabric. Edge `e` of tile `u` (in [`Fabric::neighbours`]
+/// order: up, down, left, right) gets the dense id `off[u] + e`; per-edge
+/// routing state (usage, history, track assignment) indexes
+/// `edge * 2 + word` instead of sparse `(from * len + to, word)` maps.
+pub struct RouteGraph {
+    /// CSR row offsets, one per tile plus a terminator.
+    off: Vec<u32>,
+    /// Target tile per CSR edge.
+    to: Vec<u32>,
+}
+
+impl RouteGraph {
+    /// Builds the CSR adjacency for a fabric.
+    pub fn new(fabric: &Fabric) -> Self {
+        let n = fabric.len();
+        let mut off = Vec::with_capacity(n + 1);
+        let mut to = Vec::with_capacity(n * 4);
+        off.push(0u32);
+        for t in 0..n as u32 {
+            for v in fabric.neighbours(TileId(t)) {
+                to.push(v.0);
+            }
+            off.push(to.len() as u32);
+        }
+        RouteGraph { off, to }
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.to.len()
+    }
+
+    /// The dense edge id of a directed adjacent link, or `None` when the
+    /// tiles are not fabric neighbours.
+    pub fn edge_of(&self, from: TileId, to: TileId) -> Option<usize> {
+        let lo = *self.off.get(from.0 as usize)? as usize;
+        let hi = *self.off.get(from.0 as usize + 1)? as usize;
+        (lo..hi).find(|&e| self.to[e] == to.0)
+    }
+}
+
+/// Reusable per-route state: dense usage/history arrays over
+/// `(edge, word)` and stamp-array Dijkstra scratch (no per-net
+/// allocation; clearing is O(touched), not O(edges)).
+struct RouterState {
+    /// Producers carrying a signal on `(edge, word)`; indexed
+    /// `edge * 2 + word`. Small vectors — a link carries at most a few
+    /// distinct signals.
+    usage: Vec<Vec<u32>>,
+    /// `(edge, word)` slots ever used this `route()` call (deduped).
+    touched: Vec<u32>,
+    touched_mark: Vec<bool>,
+    /// Negotiated-congestion history per `(edge, word)`.
+    history: Vec<f64>,
+    /// Dijkstra scratch, valid only where `stamp == cur`.
+    dist: Vec<f64>,
+    prev: Vec<u32>,
+    stamp: Vec<u32>,
+    cur: u32,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Scratch mark for the over-capacity edge set (incremental rip-up).
+    over_mark: Vec<bool>,
+}
+
+const NO_PREV: u32 = u32::MAX;
+
+impl RouterState {
+    fn new(graph: &RouteGraph, n_tiles: usize) -> Self {
+        let slots = graph.n_edges() * 2;
+        RouterState {
+            usage: vec![Vec::new(); slots],
+            touched: Vec::new(),
+            touched_mark: vec![false; slots],
+            history: vec![0.0; slots],
+            dist: vec![f64::INFINITY; n_tiles],
+            prev: vec![NO_PREV; n_tiles],
+            stamp: vec![0; n_tiles],
+            cur: 0,
+            heap: BinaryHeap::new(),
+            over_mark: vec![false; slots],
+        }
+    }
+
+    fn add_usage(&mut self, idx: usize, producer: u32) {
+        let v = &mut self.usage[idx];
+        if !v.contains(&producer) {
+            v.push(producer);
+            if !self.touched_mark[idx] {
+                self.touched_mark[idx] = true;
+                self.touched.push(idx as u32);
+            }
+        }
+    }
+
+    fn remove_usage(&mut self, idx: usize, producer: u32) {
+        let v = &mut self.usage[idx];
+        if let Some(p) = v.iter().position(|&x| x == producer) {
+            // membership and count are all that matter; order is not
+            v.swap_remove(p);
+        }
+    }
+
+    fn clear_usage(&mut self) {
+        for &idx in &self.touched {
+            self.usage[idx as usize].clear();
+            self.touched_mark[idx as usize] = false;
+        }
+        self.touched.clear();
+    }
+
+    /// Touched `(edge, word)` slots currently over their track capacity.
+    fn overused(&self, wcap: usize, bcap: usize) -> Vec<u32> {
+        self.touched
+            .iter()
+            .copied()
+            .filter(|&idx| {
+                let cap = if idx & 1 == 1 { wcap } else { bcap };
+                self.usage[idx as usize].len() > cap
+            })
+            .collect()
+    }
+
+    /// Dijkstra over the CSR graph with congestion-aware link costs —
+    /// arithmetic-identical to the reference [`shortest_path_reference`]
+    /// (same quantized heap keys, same epsilons, same neighbour order),
+    /// so the two engines produce the same paths bit for bit.
+    fn shortest(
+        &mut self,
+        graph: &RouteGraph,
+        src: TileId,
+        dst: TileId,
+        word: bool,
+        producer: u32,
+        capacity: usize,
+    ) -> Vec<TileId> {
+        if src == dst {
+            return vec![src];
+        }
+        self.cur += 1;
+        let stamp = self.cur;
+        self.heap.clear();
+        self.dist[src.0 as usize] = 0.0;
+        self.prev[src.0 as usize] = NO_PREV;
+        self.stamp[src.0 as usize] = stamp;
+        self.heap.push(Reverse((0, src.0)));
+        while let Some(Reverse((d_milli, u))) = self.heap.pop() {
+            let d = d_milli as f64 / 1000.0;
+            let du = if self.stamp[u as usize] == stamp {
+                self.dist[u as usize]
+            } else {
+                f64::INFINITY
+            };
+            if d > du + 1e-9 {
+                continue;
+            }
+            if u == dst.0 {
+                break;
+            }
+            let lo = self.off_at(graph, u);
+            let hi = self.off_at(graph, u + 1);
+            for e in lo..hi {
+                let v = graph.to[e];
+                let idx = e * 2 + usize::from(word);
+                let prods = &self.usage[idx];
+                let carries_me = prods.contains(&producer);
+                let used = prods.len();
+                let cost = if carries_me {
+                    0.05 // the wire already exists; branch at the switch box
+                } else {
+                    let congestion = if used >= capacity {
+                        5.0 * (used - capacity + 1) as f64
+                    } else {
+                        0.2 * used as f64 / capacity as f64
+                    };
+                    1.0 + congestion + self.history[idx]
+                };
+                let nd = d + cost;
+                let dv = if self.stamp[v as usize] == stamp {
+                    self.dist[v as usize]
+                } else {
+                    f64::INFINITY
+                };
+                if nd + 1e-9 < dv {
+                    self.dist[v as usize] = nd;
+                    self.prev[v as usize] = u;
+                    self.stamp[v as usize] = stamp;
+                    self.heap.push(Reverse(((nd * 1000.0) as u64, v)));
+                }
+            }
+        }
+        // reconstruct
+        let mut path = vec![dst];
+        let mut cur = dst.0;
+        while cur != src.0 {
+            // invariant: the fabric grid is fully connected, so Dijkstra
+            // always reaches dst and every hop has a predecessor; a broken
+            // chain yields a non-contiguous path that `verify_routed`
+            // rejects
+            if self.stamp[cur as usize] != stamp {
+                break;
+            }
+            let p = self.prev[cur as usize];
+            if p == NO_PREV {
+                break;
+            }
+            cur = p;
+            path.push(TileId(cur));
+        }
+        path.reverse();
+        path
+    }
+
+    fn off_at(&self, graph: &RouteGraph, u: u32) -> usize {
+        graph.off[u as usize] as usize
+    }
+}
+
+/// Routes a placed netlist on the CSR engine.
+///
+/// With `options.incremental` the negotiation loop rips up and re-routes
+/// only the nets crossing over-capacity links after round one; otherwise
+/// every round re-routes every net, replaying [`route_reference`]
+/// bit-identically.
 ///
 /// # Errors
 /// Fails when congestion cannot be resolved or endpoints are unplaced.
 pub fn route(
+    netlist: &Netlist,
+    rules: &RuleSet,
+    fabric: &Fabric,
+    placement: &Placement,
+    options: &RouteOptions,
+) -> Result<Routing, RouteError> {
+    apex_fault::fail_point!("route::start", RouteError::Injected("route::start"));
+    let conns = connections(netlist, rules);
+    let graph = RouteGraph::new(fabric);
+    let mut st = RouterState::new(&graph, fabric.len());
+    let mut routes: Vec<RoutedEdge> = Vec::with_capacity(conns.len());
+    let mut meter = options.budget.start();
+    let wcap = fabric.config.word_tracks;
+    let bcap = fabric.config.bit_tracks;
+
+    // reroutes one connection and accumulates its usage
+    let route_one = |st: &mut RouterState,
+                     meter: &mut apex_fault::BudgetMeter,
+                     (consumer, slot, producer, regs, word): (u32, usize, u32, u32, bool)|
+     -> Result<RoutedEdge, RouteError> {
+        if !meter.tick() {
+            return Err(RouteError::Exhausted {
+                provenance: meter.provenance(),
+            });
+        }
+        let src = placement.tile_of_node[producer as usize]
+            .ok_or(RouteError::Unplaced { node: producer })?;
+        let dst = placement.tile_of_node[consumer as usize]
+            .ok_or(RouteError::Unplaced { node: consumer })?;
+        let capacity = if word { wcap } else { bcap };
+        let path = st.shortest(&graph, src, dst, word, producer, capacity);
+        for w in path.windows(2) {
+            // invariant: consecutive path tiles are fabric neighbours (the
+            // Dijkstra walked real CSR edges), so the edge id exists
+            if let Some(e) = graph.edge_of(w[0], w[1]) {
+                st.add_usage(e * 2 + usize::from(word), producer);
+            }
+        }
+        Ok(RoutedEdge {
+            consumer,
+            slot,
+            producer,
+            regs,
+            word,
+            path,
+        })
+    };
+
+    let mut overused: Vec<u32> = Vec::new();
+    for round in 0..options.max_iterations {
+        if !meter.check_slow() {
+            return Err(RouteError::Exhausted {
+                provenance: meter.provenance(),
+            });
+        }
+        let iterations = round + 1;
+        if round == 0 || !options.incremental {
+            // full negotiation round: every net re-routed from scratch
+            st.clear_usage();
+            routes.clear();
+            for &conn in &conns {
+                routes.push(route_one(&mut st, &mut meter, conn)?);
+            }
+        } else {
+            // incremental rip-up: only nets crossing an over-capacity
+            // link are torn out and re-routed; everyone else keeps both
+            // their path and their claim on the track graph
+            for &idx in &overused {
+                st.over_mark[idx as usize] = true;
+            }
+            let mut ripped: std::collections::BTreeSet<(u32, bool)> =
+                std::collections::BTreeSet::new();
+            for r in &routes {
+                for w in r.path.windows(2) {
+                    let Some(e) = graph.edge_of(w[0], w[1]) else {
+                        continue;
+                    };
+                    if st.over_mark[e * 2 + usize::from(r.word)] {
+                        ripped.insert((r.producer, r.word));
+                        break;
+                    }
+                }
+            }
+            for &idx in &overused {
+                st.over_mark[idx as usize] = false;
+            }
+            // a net is a (producer, signal-kind) pair: all fanout branches
+            // share wires, so rip-up removes the whole net before any
+            // branch re-routes (partial removal would corrupt the shared
+            // usage counts)
+            for r in &routes {
+                if !ripped.contains(&(r.producer, r.word)) {
+                    continue;
+                }
+                for w in r.path.windows(2) {
+                    if let Some(e) = graph.edge_of(w[0], w[1]) {
+                        st.remove_usage(e * 2 + usize::from(r.word), r.producer);
+                    }
+                }
+            }
+            for (i, &conn) in conns.iter().enumerate() {
+                let (_, _, producer, _, word) = conn;
+                if !ripped.contains(&(producer, word)) {
+                    continue;
+                }
+                routes[i] = route_one(&mut st, &mut meter, conn)?;
+            }
+        }
+        // congestion check: distinct signals per link vs track count
+        overused = st.overused(wcap, bcap);
+        if overused.is_empty() {
+            let overflow_regs = routes
+                .iter()
+                .map(|r| (r.regs as usize).saturating_sub(r.hops()))
+                .sum();
+            return Ok(Routing::new(routes, overflow_regs, iterations, meter.provenance()));
+        }
+        for &idx in &overused {
+            st.history[idx as usize] += options.history_increment;
+        }
+    }
+    Err(RouteError::Congested {
+        overused_links: overused.len(),
+    })
+}
+
+/// The original full-reroute PathFinder loop over sparse `BTreeMap`
+/// congestion state — retained verbatim as the executable specification
+/// the property suite replays the CSR engine against.
+///
+/// # Errors
+/// Fails when congestion cannot be resolved or endpoints are unplaced.
+pub fn route_reference(
     netlist: &Netlist,
     rules: &RuleSet,
     fabric: &Fabric,
@@ -222,7 +650,7 @@ pub fn route(
                 fabric.config.bit_tracks
             };
             let path =
-                shortest_path(fabric, src, dst, word, producer, capacity, &usage, &history);
+                shortest_path_reference(fabric, src, dst, word, producer, capacity, &usage, &history);
             for w in path.windows(2) {
                 let l = fabric.link(w[0], w[1]);
                 usage.entry((l, word)).or_default().insert(producer);
@@ -254,12 +682,7 @@ pub fn route(
                 .iter()
                 .map(|r| (r.regs as usize).saturating_sub(r.hops()))
                 .sum();
-            return Ok(Routing {
-                routes,
-                overflow_regs,
-                iterations,
-                provenance: meter.provenance(),
-            });
+            return Ok(Routing::new(routes, overflow_regs, iterations, meter.provenance()));
         }
         for k in overused {
             *history.entry(k).or_insert(0.0) += options.history_increment;
@@ -290,9 +713,10 @@ pub fn route(
 }
 
 /// Dijkstra over tiles with congestion-aware link costs. Links already
-/// carrying this producer's signal are nearly free (wire reuse).
+/// carrying this producer's signal are nearly free (wire reuse). The
+/// specification twin of [`RouterState::shortest`].
 #[allow(clippy::too_many_arguments)]
-fn shortest_path(
+fn shortest_path_reference(
     fabric: &Fabric,
     src: TileId,
     dst: TileId,
@@ -454,6 +878,38 @@ mod tests {
     }
 
     #[test]
+    fn csr_engine_matches_reference_on_gaussian() {
+        let (netlist, rules, fabric, placement, routing) = routed_gaussian();
+        let reference = route_reference(
+            &netlist,
+            &rules,
+            &fabric,
+            &placement,
+            &RouteOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(routing, reference);
+    }
+
+    #[test]
+    fn signal_hops_is_cached_and_stable() {
+        let (_, _, fabric, _, routing) = routed_gaussian();
+        let first = routing.signal_hops(&fabric);
+        assert!(first > 0);
+        assert_eq!(routing.signal_hops(&fabric), first);
+        // the cache is identity-transparent: a fresh clone of the same
+        // routing computes the same number from scratch
+        let cold = Routing::new(
+            routing.routes.clone(),
+            routing.overflow_regs,
+            routing.iterations,
+            routing.provenance,
+        );
+        assert_eq!(cold.signal_hops(&fabric), first);
+        assert_eq!(cold, routing);
+    }
+
+    #[test]
     fn paths_are_shortest_when_uncongested() {
         let (_, _, fabric, _, routing) = routed_gaussian();
         // at least half the routes should be at Manhattan distance (light
@@ -527,7 +983,7 @@ mod tests {
     #[test]
     fn same_tile_connection_has_empty_route() {
         let f = Fabric::new(FabricConfig::default());
-        let p = shortest_path(
+        let p = shortest_path_reference(
             &f,
             f.at(1, 1),
             f.at(1, 1),
@@ -538,5 +994,26 @@ mod tests {
             &BTreeMap::new(),
         );
         assert_eq!(p.len(), 1);
+        let graph = RouteGraph::new(&f);
+        let mut st = RouterState::new(&graph, f.len());
+        let p = st.shortest(&graph, f.at(1, 1), f.at(1, 1), true, 0, 5);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn route_graph_edges_cover_every_neighbour_pair() {
+        let f = Fabric::new(FabricConfig::default());
+        let g = RouteGraph::new(&f);
+        let mut edges = 0usize;
+        for t in 0..f.len() as u32 {
+            for v in f.neighbours(TileId(t)) {
+                assert!(g.edge_of(TileId(t), v).is_some());
+                edges += 1;
+            }
+        }
+        assert_eq!(edges, g.n_edges());
+        // non-adjacent pairs have no edge
+        assert_eq!(g.edge_of(f.at(0, 0), f.at(2, 0)), None);
+        assert_eq!(g.edge_of(f.at(0, 0), f.at(0, 0)), None);
     }
 }

@@ -2,8 +2,9 @@
 //! randomly generated applications.
 
 use apex_cgra::{
-    gather_stats, generate_bitstream, place, route, verify_routed, Fabric, FabricConfig,
-    PlaceOptions, RouteOptions, TileKind,
+    gather_stats, generate_bitstream, place, route, route_reference, simulate_from_bitstream,
+    simulate_from_bitstream_reference, verify_routed, Fabric, FabricConfig, PlaceOptions,
+    RouteOptions, TileKind,
 };
 use apex_ir::{Graph, Op};
 use apex_map::map_application;
@@ -107,5 +108,138 @@ proptest! {
             let r = route(&design.netlist, &rules, &fabric, &p, &RouteOptions::default()).unwrap();
             verify_routed(&design.netlist, &rules, &fabric, &p, &r).unwrap();
         }
+    }
+
+    /// The CSR engine in full-reroute mode is bit-identical to the
+    /// retained reference router — same routes, iteration counts,
+    /// overflow registers, and errors — across randomized applications,
+    /// placements, and track capacities.
+    #[test]
+    fn csr_router_matches_reference(
+        app in arb_app(),
+        seed: u64,
+        wt in 2usize..=5,
+        bt in 2usize..=5,
+    ) {
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app]).unwrap();
+        let design = map_application(&app, &pe.datapath, &rules).unwrap();
+        let fabric = Fabric::new(FabricConfig {
+            word_tracks: wt,
+            bit_tracks: bt,
+            ..FabricConfig::default()
+        });
+        let placement = place(
+            &design.netlist,
+            &fabric,
+            &PlaceOptions { moves: 1_000, seed, ..PlaceOptions::default() },
+        )
+        .unwrap();
+        let full = RouteOptions { incremental: false, ..RouteOptions::default() };
+        let fast = route(&design.netlist, &rules, &fabric, &placement, &full);
+        let reference = route_reference(&design.netlist, &rules, &fabric, &placement, &full);
+        prop_assert_eq!(fast, reference);
+    }
+
+    /// Incremental rip-up never produces an illegal routing, and on
+    /// single-round convergence (round one is shared with the reference
+    /// by construction) it is bit-identical to the reference engine.
+    #[test]
+    fn incremental_routing_is_sound(
+        app in arb_app(),
+        seed: u64,
+        wt in 2usize..=5,
+        bt in 2usize..=5,
+    ) {
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app]).unwrap();
+        let design = map_application(&app, &pe.datapath, &rules).unwrap();
+        let fabric = Fabric::new(FabricConfig {
+            word_tracks: wt,
+            bit_tracks: bt,
+            ..FabricConfig::default()
+        });
+        let placement = place(
+            &design.netlist,
+            &fabric,
+            &PlaceOptions { moves: 1_000, seed, ..PlaceOptions::default() },
+        )
+        .unwrap();
+        let incremental = route(
+            &design.netlist,
+            &rules,
+            &fabric,
+            &placement,
+            &RouteOptions::default(),
+        );
+        if let Ok(r) = &incremental {
+            verify_routed(&design.netlist, &rules, &fabric, &placement, r).unwrap();
+        }
+        let reference = route_reference(
+            &design.netlist,
+            &rules,
+            &fabric,
+            &placement,
+            &RouteOptions::default(),
+        );
+        if matches!(&reference, Ok(r) if r.iterations == 1) {
+            prop_assert_eq!(incremental, reference);
+        }
+    }
+
+    /// The table-compiled fabric simulator agrees exactly with the
+    /// retained decode-per-access interpreter on randomized bitstream
+    /// simulations — any cycle count, any PE latency.
+    #[test]
+    fn compiled_bitstream_sim_matches_reference(
+        app in arb_app(),
+        seed: u64,
+        n_cycles in 0usize..6,
+        pe_latency in 0u32..3,
+    ) {
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app]).unwrap();
+        let design = map_application(&app, &pe.datapath, &rules).unwrap();
+        let fabric = Fabric::new(FabricConfig::default());
+        let placement = place(
+            &design.netlist,
+            &fabric,
+            &PlaceOptions { moves: 1_000, seed, ..PlaceOptions::default() },
+        )
+        .unwrap();
+        let routing =
+            route(&design.netlist, &rules, &fabric, &placement, &RouteOptions::default()).unwrap();
+        let bitstream = generate_bitstream(
+            &design.netlist,
+            &rules,
+            &pe.datapath,
+            &fabric,
+            &placement,
+            &routing,
+        );
+        let n_in = design
+            .netlist
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, apex_map::NetKind::WordInput))
+            .count();
+        let streams: Vec<Vec<u16>> = (0..n_in)
+            .map(|i| {
+                (0..n_cycles)
+                    .map(|t| (seed as u16)
+                        .wrapping_mul(31)
+                        .wrapping_add(i as u16 * 17 + t as u16 * 7))
+                    .collect()
+            })
+            .collect();
+        let compiled = simulate_from_bitstream(
+            &design.netlist, &rules, &pe.datapath, &placement, &bitstream,
+            &streams, &[], pe_latency,
+        );
+        let reference = simulate_from_bitstream_reference(
+            &design.netlist, &rules, &pe.datapath, &placement, &bitstream,
+            &streams, &[], pe_latency,
+        );
+        prop_assert_eq!(compiled, reference);
     }
 }

@@ -20,7 +20,7 @@ use crate::evaluate::{AppEvaluation, EvalOptions};
 use crate::variant::PeVariant;
 use apex_apps::Application;
 use apex_cgra::{
-    achieved_period, cgra_area, cgra_energy_per_cycle, gather_stats, place, route,
+    achieved_period, cgra_area, cgra_energy_per_cycle, gather_stats, place_cached, route,
     verify_routed, Fabric, OutputTiming,
 };
 use apex_fault::{ApexError, Degradation, DegradationKind, DseOutcome, Stage};
@@ -182,7 +182,7 @@ pub fn dse_evaluate_app(
         popts.seed = popts
             .seed
             .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        match place(&netlist, &fabric, &popts) {
+        match place_cached(&netlist, &fabric, &popts) {
             Ok(p) => {
                 if attempt > 0 {
                     degradations.push(Degradation::new(

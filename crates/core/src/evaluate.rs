@@ -5,7 +5,7 @@
 use crate::variant::PeVariant;
 use apex_apps::Application;
 use apex_cgra::{
-    achieved_period, cgra_area, cgra_energy_per_cycle, gather_stats, place, route,
+    achieved_period, cgra_area, cgra_energy_per_cycle, gather_stats, place_cached, route,
     verify_routed, AreaBreakdown, EnergyBreakdown, Fabric, FabricConfig, OutputTiming,
     PlaceError, PlaceOptions, PnrStats, RouteError, RouteOptions,
 };
@@ -198,7 +198,7 @@ pub fn evaluate_app(
     }
 
     let fabric = Fabric::new(options.fabric.clone());
-    let placement = place(&netlist, &fabric, &options.place).map_err(EvalError::Place)?;
+    let placement = place_cached(&netlist, &fabric, &options.place).map_err(EvalError::Place)?;
     let routing =
         route(&netlist, &variant.rules, &fabric, &placement, &options.route).map_err(EvalError::Route)?;
     verify_routed(&netlist, &variant.rules, &fabric, &placement, &routing)

@@ -14,6 +14,8 @@
 
 mod mapper;
 mod netlist;
+mod sim;
 
 pub use mapper::{map_application, MapError, MapStats, MappedDesign};
-pub use netlist::{NetKind, NetNode, NetRef, Netlist, NetlistError, PeInstance};
+pub use netlist::{NetKind, NetNode, NetRef, Netlist, NetlistError, PeInstance, SimStreams};
+pub use sim::CompiledSim;

@@ -12,6 +12,10 @@ use apex_rewrite::RuleSet;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// Simulation output pair: one word stream per `WordOutput` node and one
+/// bit stream per `BitOutput` node, in netlist node order.
+pub type SimStreams = (Vec<Vec<u16>>, Vec<Vec<bool>>);
+
 /// Reference to an output port of a netlist node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NetRef {
@@ -415,7 +419,7 @@ impl Netlist {
         word_streams: &[Vec<u16>],
         bit_streams: &[Vec<bool>],
         pe_latency: u32,
-    ) -> Result<(Vec<Vec<u16>>, Vec<Vec<bool>>), NetlistError> {
+    ) -> Result<SimStreams, NetlistError> {
         self.simulate_with(dp, rules, word_streams, bit_streams, pe_latency, &std::collections::BTreeMap::new())
     }
 
@@ -423,6 +427,13 @@ impl Netlist {
     /// (netlist node index → configuration). The CGRA backend uses this to
     /// simulate from *decoded bitstream* configurations, proving the
     /// configuration encoding faithful.
+    ///
+    /// Runs on the table-compiled engine ([`crate::sim::CompiledSim`]):
+    /// the netlist and every PE configuration are lowered once to a flat
+    /// instruction table, then cycles execute without per-cycle decode,
+    /// validation, or allocation. Output-stream and error behaviour are
+    /// pinned to [`Netlist::simulate_with_reference`] by the property
+    /// suite.
     ///
     /// # Errors
     /// Fails on invalid netlists or mismatched stream counts.
@@ -434,7 +445,28 @@ impl Netlist {
         bit_streams: &[Vec<bool>],
         pe_latency: u32,
         config_overrides: &std::collections::BTreeMap<u32, apex_merge::DatapathConfig>,
-    ) -> Result<(Vec<Vec<u16>>, Vec<Vec<bool>>), NetlistError> {
+    ) -> Result<SimStreams, NetlistError> {
+        crate::sim::CompiledSim::compile(self, dp, rules, pe_latency, config_overrides)?
+            .run(word_streams, bit_streams)
+    }
+
+    /// The original decode-per-access interpreter, retained verbatim as
+    /// the executable specification for [`Netlist::simulate_with`]: every
+    /// cycle re-resolves each PE's configuration and re-walks the
+    /// datapath. Slow, obviously correct, and replayed against the
+    /// compiled engine by the property suite.
+    ///
+    /// # Errors
+    /// Fails on invalid netlists or mismatched stream counts.
+    pub fn simulate_with_reference(
+        &self,
+        dp: &MergedDatapath,
+        rules: &RuleSet,
+        word_streams: &[Vec<u16>],
+        bit_streams: &[Vec<bool>],
+        pe_latency: u32,
+        config_overrides: &std::collections::BTreeMap<u32, apex_merge::DatapathConfig>,
+    ) -> Result<SimStreams, NetlistError> {
         let order = self.topo_order()?;
         let n_cycles = word_streams
             .first()
@@ -524,7 +556,7 @@ impl Netlist {
                     NetKind::Pe(inst) => {
                         let rule = &rules.rules[inst.rule as usize];
                         let cfg = config_overrides
-                            .get(&(u as u32))
+                            .get(&u)
                             .cloned()
                             .unwrap_or_else(|| rule.instantiate(&inst.payloads));
                         let n_word = rule.config.word_input_map.len();

@@ -1,0 +1,134 @@
+//! The table-compiled netlist simulator ([`Netlist::simulate_with`])
+//! must be bit-identical to the retained decode-per-access interpreter
+//! ([`Netlist::simulate_with_reference`]) — same outputs AND same
+//! errors — on randomized netlists, input streams, and PE latencies.
+//!
+//! Netlists come from mapping randomized applications, then splicing
+//! registers and FIFOs onto random edges so the Delay instruction path
+//! (ring buffers, drain cycles) is exercised alongside the PE path.
+
+use apex_ir::{Graph, Op, ValueType};
+use apex_map::{map_application, NetKind, NetRef};
+use apex_pe::baseline_pe;
+use apex_rewrite::standard_ruleset;
+use proptest::prelude::*;
+
+fn arb_app() -> impl Strategy<Value = Graph> {
+    let spec = prop::collection::vec((0u8..5, any::<u16>(), any::<u16>()), 4..32);
+    spec.prop_map(|ops| {
+        let mut g = Graph::new("sim_prop_app");
+        let mut pool = vec![g.input(), g.input(), g.input()];
+        for (sel, x, y) in ops {
+            let a = pool[(x as usize) % pool.len()];
+            let b = pool[(y as usize) % pool.len()];
+            let n = match sel {
+                0 => g.add(Op::Add, &[a, b]),
+                1 => g.add(Op::Mul, &[a, b]),
+                2 => g.add(Op::Sub, &[a, b]),
+                3 => g.add(Op::Umin, &[a, b]),
+                _ => {
+                    let c = g.constant(x);
+                    g.add(Op::Add, &[a, c])
+                }
+            };
+            pool.push(n);
+        }
+        let last = pool[pool.len() - 1];
+        g.output(last);
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compiled_sim_matches_reference(
+        app in arb_app(),
+        splices in prop::collection::vec((any::<u16>(), any::<u16>(), 0u8..4), 0..8),
+        n_cycles in 0usize..6,
+        pe_latency in 0u32..4,
+        seed: u64,
+    ) {
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app]).unwrap();
+        let design = map_application(&app, &pe.datapath, &rules).unwrap();
+        let mut netlist = design.netlist;
+
+        // splice delay elements onto random edges: word edges get a
+        // Reg or a Fifo (depth 1..=3), bit edges a BitReg
+        for (nx, kx, depth) in splices {
+            let i = (nx as usize) % netlist.nodes.len();
+            if netlist.nodes[i].inputs.is_empty() {
+                continue;
+            }
+            let k = (kx as usize) % netlist.nodes[i].inputs.len();
+            let src = netlist.nodes[i].inputs[k];
+            let ty = netlist.output_types(src.node, &rules)[src.port as usize];
+            let kind = match (ty, depth) {
+                (ValueType::Bit, _) => NetKind::BitReg,
+                (ValueType::Word, 0) => NetKind::Reg,
+                (ValueType::Word, d) => NetKind::Fifo(d),
+            };
+            let new = netlist.push(kind, vec![src]);
+            netlist.nodes[i].inputs[k] = NetRef { node: new, port: 0 };
+        }
+        netlist.validate(&rules).unwrap();
+
+        let n_in = netlist
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NetKind::WordInput))
+            .count();
+        let streams: Vec<Vec<u16>> = (0..n_in)
+            .map(|i| {
+                (0..n_cycles)
+                    .map(|t| (seed as u16)
+                        .wrapping_mul(131)
+                        .wrapping_add(i as u16 * 19 + t as u16 * 11))
+                    .collect()
+            })
+            .collect();
+
+        let overrides = std::collections::BTreeMap::new();
+        let compiled = netlist.simulate_with(
+            &pe.datapath, &rules, &streams, &[], pe_latency, &overrides,
+        );
+        let reference = netlist.simulate_with_reference(
+            &pe.datapath, &rules, &streams, &[], pe_latency, &overrides,
+        );
+        prop_assert_eq!(compiled, reference);
+    }
+
+    /// Error parity: starving the simulator of input streams must
+    /// produce the same `InputShortage` from both engines.
+    #[test]
+    fn compiled_sim_matches_reference_on_short_inputs(
+        app in arb_app(),
+        drop in 1usize..3,
+        pe_latency in 0u32..2,
+    ) {
+        let pe = baseline_pe();
+        let (rules, _) = standard_ruleset(&pe.datapath, &[], &[&app]).unwrap();
+        let design = map_application(&app, &pe.datapath, &rules).unwrap();
+        let n_in = design
+            .netlist
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NetKind::WordInput))
+            .count();
+        if n_in < drop {
+            return Ok(());
+        }
+        let streams: Vec<Vec<u16>> = (0..n_in - drop).map(|i| vec![i as u16; 2]).collect();
+        let overrides = std::collections::BTreeMap::new();
+        let compiled = design.netlist.simulate_with(
+            &pe.datapath, &rules, &streams, &[], pe_latency, &overrides,
+        );
+        let reference = design.netlist.simulate_with_reference(
+            &pe.datapath, &rules, &streams, &[], pe_latency, &overrides,
+        );
+        prop_assert_eq!(&compiled, &reference);
+        prop_assert!(compiled.is_err());
+    }
+}

@@ -11,7 +11,7 @@ use apex_cgra::{
 use apex_map::{NetKind, Netlist};
 use apex_merge::MergedDatapath;
 use apex_rewrite::RuleSet;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::mem::discriminant;
 
 fn tile_str(fabric: &Fabric, t: TileId) -> String {
@@ -147,7 +147,10 @@ pub fn verify_placement(
 /// * `ROUTE-PATH` — adjacent path tiles are not fabric neighbours (the
 ///   route uses tracks that do not exist),
 /// * `ROUTE-CAP` — more distinct signals on one directed link than it
-///   has tracks of that kind.
+///   has tracks of that kind,
+/// * `ROUTE-INC` — a route's path visits the same tile twice (a cycle:
+///   shortest-path trees cannot produce one, so a loop marks a corrupt
+///   or hand-edited artifact — e.g. a botched incremental rip-up).
 pub fn verify_routing(
     netlist: &Netlist,
     rules: &RuleSet,
@@ -245,6 +248,18 @@ pub fn verify_routing(
                     .entry((fabric.link(w[0], w[1]), r.word))
                     .or_default()
                     .insert(r.producer);
+            }
+        }
+        let mut seen: BTreeSet<TileId> = BTreeSet::new();
+        for (h, t) in r.path.iter().enumerate() {
+            if !seen.insert(*t) {
+                out.push(Violation::new(
+                    "ROUTE-INC",
+                    &artifact,
+                    format!("{loc} hop {h}"),
+                    format!("path revisits {} (routes must be simple)", tile_str(fabric, *t)),
+                ));
+                break;
             }
         }
     }
@@ -562,6 +577,35 @@ mod tests {
         r.path.remove(1); // skip a tile: adjacent hops now distance 2
         let vs = verify_routing(&d.netlist, &d.rules, &d.fabric, &d.placement, &d.routing);
         assert!(vs.iter().any(|v| v.rule == "ROUTE-PATH"), "{}", crate::render(&vs));
+    }
+
+    #[test]
+    fn looping_route_is_caught() {
+        let mut d = small_design();
+        let fabric = d.fabric.clone();
+        let r = d
+            .routing
+            .routes
+            .iter_mut()
+            .find(|r| r.path.len() >= 2)
+            .expect("a multi-hop route exists");
+        // splice a detour that immediately returns: a -> n -> a. Every
+        // window stays a fabric-neighbour pair, so only ROUTE-INC fires.
+        let a = r.path[0];
+        let n = fabric
+            .neighbours(a)
+            .into_iter()
+            .find(|n| r.path.get(1) != Some(n))
+            .expect("tile has a spare neighbour");
+        r.path.insert(1, a);
+        r.path.insert(1, n);
+        let vs = verify_routing(&d.netlist, &d.rules, &d.fabric, &d.placement, &d.routing);
+        assert!(vs.iter().any(|v| v.rule == "ROUTE-INC"), "{}", crate::render(&vs));
+        assert!(
+            !vs.iter().any(|v| v.rule == "ROUTE-PATH"),
+            "loop detour must keep hops adjacent: {}",
+            crate::render(&vs)
+        );
     }
 
     #[test]

@@ -315,8 +315,27 @@ impl VariantCache {
         }
         let text = encode_entry(variant);
         let tmp = dir.join(format!(".{key:016x}.{}.tmp", std::process::id()));
-        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &path).is_err() {
-            let _ = std::fs::remove_file(&tmp);
+        // write the tmp file through the I/O fault adapter so injected
+        // ENOSPC / short writes degrade exactly like real ones: the
+        // partial tmp file is removed and the variant is simply not
+        // cached (the caller already holds the computed value)
+        let wrote = std::fs::File::create(&tmp).and_then(|mut f| {
+            apex_fault::iofault::write_all(
+                &mut f,
+                text.as_bytes(),
+                "io::cache_enospc",
+                "io::cache_short_write",
+            )
+        });
+        match wrote {
+            Ok(()) => {
+                if std::fs::rename(&tmp, &path).is_err() {
+                    let _ = std::fs::remove_file(&tmp);
+                }
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&tmp);
+            }
         }
         if let Some(cap) = self.max_bytes {
             self.evict_to_cap(cap);
@@ -356,7 +375,7 @@ impl VariantCache {
                 break;
             }
             #[cfg(feature = "fault-injection")]
-            if apex_fault::failpoints::is_armed("serve::cache_evict_race") {
+            if apex_fault::failpoints::should_fire("serve::cache_evict_race") {
                 // simulate a concurrent evictor winning the race: the file
                 // is gone before our own delete lands
                 let _ = std::fs::remove_file(&path);

@@ -320,7 +320,7 @@ pub fn dse_evaluate_app_supervised(
     ctx: &JobCtx,
 ) -> AppDseOutcome {
     #[cfg(feature = "fault-injection")]
-    if apex_fault::failpoints::is_armed("sweep::job_timeout") {
+    if apex_fault::failpoints::should_fire("sweep::job_timeout") {
         // simulated hung job: an un-budgeted infinite loop that only the
         // watchdog's cancel flag (or a sweep interrupt) can stop — this is
         // the no-hang guarantee's worst case

@@ -27,7 +27,6 @@
 use crate::cache::{fnv1a, workspace_target_subdir};
 use apex_fault::{fail_point, ApexError, Provenance, Stage};
 use std::collections::BTreeMap;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -198,6 +197,11 @@ impl JournalRecord {
 #[derive(Debug)]
 pub struct SweepJournal {
     path: Option<PathBuf>,
+    /// Latched when a failed append could not be rolled back: a partial
+    /// record may sit mid-file, and appending after it would turn a torn
+    /// *tail* (recoverable) into a torn *middle* (silent data loss under
+    /// prefix replay). Poisoned journals refuse further appends.
+    poisoned: AtomicBool,
 }
 
 /// What a journal replay recovered.
@@ -241,6 +245,7 @@ impl SweepJournal {
         };
         SweepJournal {
             path: Some(dir.join(format!("{sweep_key:016x}.jsonl"))),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -248,12 +253,16 @@ impl SweepJournal {
     pub fn at(path: impl Into<PathBuf>) -> Self {
         SweepJournal {
             path: Some(path.into()),
+            poisoned: AtomicBool::new(false),
         }
     }
 
     /// A disabled journal: appends are dropped, replay is empty.
     pub fn disabled() -> Self {
-        SweepJournal { path: None }
+        SweepJournal {
+            path: None,
+            poisoned: AtomicBool::new(false),
+        }
     }
 
     /// Whether records are actually persisted.
@@ -283,6 +292,13 @@ impl SweepJournal {
         let Some(path) = &self.path else {
             return Ok(());
         };
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(ApexError::new(
+                Stage::Sweep,
+                "journal poisoned by an earlier unrecoverable append failure; \
+                 refusing to write after a potentially torn record",
+            ));
+        }
         let io = |e: std::io::Error| ApexError::with_source(Stage::Sweep, e);
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).map_err(io)?;
@@ -292,20 +308,45 @@ impl SweepJournal {
             .append(true)
             .open(path)
             .map_err(io)?;
+        let before = file.metadata().map_err(io)?.len();
         let mut line = record.encode();
         line.push('\n');
-        file.write_all(line.as_bytes()).map_err(io)?;
-        file.sync_data().map_err(io)?;
+        let written = apex_fault::iofault::write_all(
+            &mut file,
+            line.as_bytes(),
+            "io::journal_enospc",
+            "io::journal_short_write",
+        )
+        .and_then(|()| apex_fault::iofault::sync_data(&file, "io::journal_fsync"));
+        if let Err(e) = written {
+            // roll the file back to its pre-append length so the failed
+            // (possibly partial) record never becomes a non-tail torn
+            // line; if even that fails, latch the poison so no later
+            // append can bury the torn record mid-file
+            if file.set_len(before).is_err() {
+                self.poisoned.store(true, Ordering::SeqCst);
+            }
+            return Err(io(e));
+        }
         Ok(())
     }
 
-    /// Replays the journal: valid records in order, with torn-tail and
-    /// corrupt-line counts. Never errors and never panics — an unreadable
+    /// Replays the journal, keeping exactly the longest valid prefix:
+    /// records are accepted in order up to the first undecodable line and
+    /// everything from that line on is dropped (an undecodable *final*
+    /// line without a trailing newline counts as a torn append, anything
+    /// else as corruption). Never errors and never panics — an unreadable
     /// or absent file is simply an empty replay (clean start).
+    ///
+    /// Stopping at the first bad line — instead of skipping it and
+    /// trusting later records — matters because the write-ahead contract
+    /// is prefix-shaped: a record proves its job completed *and* that
+    /// every earlier record was durably appended first. Bytes after a
+    /// corrupt region carry no such guarantee.
     pub fn replay(&self) -> JournalReplay {
         let mut out = JournalReplay::default();
         #[cfg(feature = "fault-injection")]
-        if failpoints::is_armed("sweep::journal_replay") {
+        if failpoints::should_fire("sweep::journal_replay") {
             // injected replay fault: the journal reads as unusable, which
             // must degrade to a clean start, not an abort
             return out;
@@ -325,10 +366,14 @@ impl SweepJournal {
             }
             match JournalRecord::decode(line) {
                 Some(rec) => out.records.push(rec),
-                // a bad final line without a trailing newline is a torn
-                // append (the crash case); bad lines elsewhere are corruption
-                None if i + 1 == lines.len() && !complete_tail => out.dropped_torn += 1,
-                None => out.dropped_corrupt += 1,
+                None if i + 1 == lines.len() && !complete_tail => {
+                    out.dropped_torn += 1;
+                }
+                None => {
+                    out.dropped_corrupt +=
+                        lines[i..].iter().filter(|l| !l.is_empty()).count();
+                    break;
+                }
             }
         }
         out
@@ -529,7 +574,7 @@ pub fn run_checkpointed(
         let simulate = interrupt_after == Some(run.executed);
         #[cfg(feature = "fault-injection")]
         let simulate = interrupt_after == Some(run.executed)
-            || (run.executed == 1 && failpoints::is_armed("sweep::interrupt_midsweep"));
+            || (run.executed == 1 && failpoints::should_fire("sweep::interrupt_midsweep"));
         if simulate {
             simulated = true;
             if let Some(flag) = interrupt {
@@ -590,30 +635,95 @@ mod tests {
     }
 
     #[test]
-    fn torn_tail_is_dropped_and_corrupt_lines_skipped() {
+    fn torn_tail_alone_is_dropped_keeping_all_complete_records() {
         let path = tmp_path("torn");
         let _ = std::fs::remove_file(&path);
         let journal = SweepJournal::at(&path);
         journal.append(&rec(1, "one")).unwrap();
         journal.append(&rec(2, "two")).unwrap();
-        journal.append(&rec(3, "three")).unwrap();
-        // corrupt the middle record in place
-        let text = std::fs::read_to_string(&path).unwrap();
-        let corrupted = text.replacen("two", "twX", 1);
-        std::fs::write(&path, corrupted).unwrap();
-        // then simulate a crash mid-append: a partial record, no newline
-        let mut tail = rec(4, "four").encode();
+        // simulate a crash mid-append: a partial record, no newline
+        let mut tail = rec(3, "three").encode();
         tail.truncate(tail.len() / 2);
         std::fs::write(&path, std::fs::read_to_string(&path).unwrap() + &tail).unwrap();
 
         let replay = journal.replay();
         assert_eq!(replay.dropped_torn, 1, "torn tail must be dropped");
-        assert_eq!(replay.dropped_corrupt, 1, "corrupt middle must be skipped");
+        assert_eq!(replay.dropped_corrupt, 0);
         let completed = replay.completed();
         assert_eq!(completed.len(), 2);
         assert_eq!(completed[&1].payload, "one");
-        assert_eq!(completed[&3].payload, "three");
+        assert_eq!(completed[&2].payload, "two");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_cuts_replay_to_the_longest_valid_prefix() {
+        // a corrupt middle record invalidates everything after it: the
+        // write-ahead guarantee is prefix-shaped, so record 3 (valid in
+        // isolation) must NOT be trusted past the corruption
+        let path = tmp_path("prefix");
+        let _ = std::fs::remove_file(&path);
+        let journal = SweepJournal::at(&path);
+        journal.append(&rec(1, "one")).unwrap();
+        journal.append(&rec(2, "two")).unwrap();
+        journal.append(&rec(3, "three")).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("two", "twX", 1)).unwrap();
+        let mut tail = rec(4, "four").encode();
+        tail.truncate(tail.len() / 2);
+        std::fs::write(&path, std::fs::read_to_string(&path).unwrap() + &tail).unwrap();
+
+        let replay = journal.replay();
+        assert_eq!(replay.dropped_torn, 0, "prefix cut subsumes the tail");
+        assert_eq!(
+            replay.dropped_corrupt, 3,
+            "corrupt line plus everything after it is dropped"
+        );
+        let completed = replay.completed();
+        assert_eq!(completed.len(), 1);
+        assert_eq!(completed[&1].payload, "one");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(250))]
+
+        // flip or truncate bytes at arbitrary offsets — replay must never
+        // panic and must return exactly a prefix of the original record
+        // sequence (never a subsequence that skips damage)
+        #[test]
+        fn replayed_records_are_always_a_prefix_under_arbitrary_damage(
+            offset in 0usize..4096,
+            flip in 1u8..=255,
+            truncate: bool,
+        ) {
+            let path = tmp_path("fuzz");
+            let journal = SweepJournal::at(&path);
+            let originals: Vec<JournalRecord> = (0..6)
+                .map(|i| rec(i, &format!("payload {i}\twith\n\"tricky\" bytes\\")))
+                .collect();
+            let mut pristine = String::new();
+            for r in &originals {
+                pristine.push_str(&r.encode());
+                pristine.push('\n');
+            }
+            let mut bytes = pristine.into_bytes();
+            let off = offset % bytes.len();
+            if truncate {
+                bytes.truncate(off);
+            } else {
+                bytes[off] ^= flip;
+            }
+            std::fs::write(&path, &bytes).unwrap();
+            let replay = journal.replay();
+            let _ = std::fs::remove_file(&path);
+            prop_assert!(replay.records.len() <= originals.len());
+            for (got, want) in replay.records.iter().zip(&originals) {
+                prop_assert_eq!(got, want, "replay must be an exact prefix");
+            }
+        }
     }
 
     #[test]

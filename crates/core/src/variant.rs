@@ -352,7 +352,7 @@ fn build_specialized_variant(
         apex_par::par_map(apex_par::default_jobs(), analysis_apps, |_, app| {
             #[cfg(feature = "fault-injection")]
             {
-                if apex_fault::failpoints::is_armed("core::mine_panic") {
+                if apex_fault::failpoints::should_fire("core::mine_panic") {
                     panic!("injected panic at core::mine_panic");
                 }
             }

@@ -18,6 +18,17 @@
 //! * [`fail_point!`] — a deterministic, feature-gated fault-injection
 //!   macro (no external dependencies) used by the robustness test-suite to
 //!   prove each stage fault degrades instead of panicking.
+//! * [`FAILPOINT_CATALOG`] — the enumerable registry of every fail-point
+//!   site in the workspace, so chaos campaigns can enumerate fault
+//!   schedules instead of hand-picking them.
+//! * [`ResourceBudget`] / [`ResourceMeter`] — approximate byte accounting
+//!   for the memory-hungry search structures (embedding lists, overlap
+//!   graphs, clique matrices), checked alongside [`StageBudget`] so
+//!   exceeding a cap truncates with a [`Degradation`] instead of
+//!   OOM-aborting.
+//! * [`iofault`] — an injected-I/O-fault adapter for journal/cache writes
+//!   (ENOSPC, short write, fsync failure), a plain passthrough without the
+//!   `fault-injection` feature.
 
 use std::error::Error;
 use std::fmt;
@@ -535,26 +546,51 @@ impl<T> DseOutcome<T> {
 /// Deterministic fault-injection registry (compiled only with the
 /// `fault-injection` feature). Tests arm a named site, run the flow, and
 /// the corresponding [`fail_point!`] returns the injected error.
+///
+/// A site can be armed to fire on its *N*-th hit ([`arm_after`]): the
+/// firing check, [`should_fire`], counts hits per site, and a site fires
+/// from the configured hit onward until disarmed. `arm(name)` is
+/// `arm_after(name, 1)` — fire on every hit — which preserves the
+/// historical always-fire semantics for every existing caller.
 #[cfg(feature = "fault-injection")]
 pub mod failpoints {
-    use std::collections::BTreeSet;
+    use std::collections::BTreeMap;
     use std::sync::{Mutex, OnceLock};
 
-    fn registry() -> &'static Mutex<BTreeSet<String>> {
-        static REGISTRY: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
-        REGISTRY.get_or_init(|| Mutex::new(BTreeSet::new()))
+    /// Per-site arming state: fire from the `after`-th hit on.
+    #[derive(Debug, Clone, Copy)]
+    struct ArmState {
+        after: u64,
+        hits: u64,
     }
 
-    fn lock() -> std::sync::MutexGuard<'static, BTreeSet<String>> {
+    fn registry() -> &'static Mutex<BTreeMap<String, ArmState>> {
+        static REGISTRY: OnceLock<Mutex<BTreeMap<String, ArmState>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, BTreeMap<String, ArmState>> {
         // a poisoned registry only happens if a test panicked mid-update;
-        // the set itself is always in a consistent state
+        // the map itself is always in a consistent state
         registry().lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Arms a fail point; the next `fail_point!($name)` hit returns its
+    /// Arms a fail point; every `fail_point!($name)` hit returns its
     /// injected error until [`disarm`] is called.
     pub fn arm(name: &str) {
-        lock().insert(name.to_string());
+        arm_after(name, 1);
+    }
+
+    /// Arms a fail point to fire on its `nth` hit (1-based) and on every
+    /// hit after that. `nth == 0` is treated as 1.
+    pub fn arm_after(name: &str, nth: u64) {
+        lock().insert(
+            name.to_string(),
+            ArmState {
+                after: nth.max(1),
+                hits: 0,
+            },
+        );
     }
 
     /// Disarms one fail point.
@@ -567,34 +603,392 @@ pub mod failpoints {
         lock().clear();
     }
 
-    /// Whether a fail point is currently armed.
+    /// Whether a fail point is currently armed (a non-counting peek; the
+    /// firing decision is [`should_fire`]).
     pub fn is_armed(name: &str) -> bool {
-        lock().contains(name)
+        lock().contains_key(name)
+    }
+
+    /// Counts one hit on `name` and reports whether the site fires now.
+    /// Unarmed sites never fire and are not counted.
+    pub fn should_fire(name: &str) -> bool {
+        let mut reg = lock();
+        match reg.get_mut(name) {
+            Some(state) => {
+                state.hits += 1;
+                state.hits >= state.after
+            }
+            None => false,
+        }
+    }
+
+    /// Hits counted against `name` so far (0 when unarmed).
+    pub fn hits(name: &str) -> u64 {
+        lock().get(name).map_or(0, |s| s.hits)
     }
 
     /// Names of all armed fail points (diagnostics).
     pub fn armed() -> Vec<String> {
-        lock().iter().cloned().collect()
+        lock().keys().cloned().collect()
     }
 }
 
 /// Deterministic fault-injection site.
 ///
 /// `fail_point!("site", expr)` returns `Err(expr)` from the enclosing
-/// function when the site is armed via [`failpoints::arm`]. Without the
-/// `fault-injection` feature the macro expands to nothing, so production
-/// builds carry zero overhead. The consuming crate must forward its own
-/// `fault-injection` feature to `apex-fault/fault-injection`.
+/// function when the site is armed via [`failpoints::arm`] (or when the
+/// hit counter reaches the threshold set by [`failpoints::arm_after`]).
+/// Without the `fault-injection` feature the macro expands to nothing, so
+/// production builds carry zero overhead. The consuming crate must forward
+/// its own `fault-injection` feature to `apex-fault/fault-injection`.
 #[macro_export]
 macro_rules! fail_point {
     ($name:expr, $err:expr) => {
         #[cfg(feature = "fault-injection")]
         {
-            if $crate::failpoints::is_armed($name) {
+            if $crate::failpoints::should_fire($name) {
                 return Err($err);
             }
         }
     };
+}
+
+/// One registered fault-injection site: its name, the pipeline stage it
+/// lives in, and what arming it simulates. See [`FAILPOINT_CATALOG`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailpointInfo {
+    /// The name passed to `fail_point!` / `failpoints::arm`.
+    pub name: &'static str,
+    /// The stage whose code hosts the site.
+    pub stage: Stage,
+    /// What firing the site simulates.
+    pub description: &'static str,
+}
+
+/// The enumerable catalog of every fail-point site in the workspace.
+///
+/// Chaos campaigns enumerate fault schedules from this table instead of
+/// hand-picking sites, so a new `fail_point!` must be registered here (a
+/// test in this crate scans the workspace sources and fails on any
+/// unregistered site). The catalog is compiled unconditionally — only the
+/// arming registry is feature-gated.
+pub const FAILPOINT_CATALOG: &[FailpointInfo] = &[
+    FailpointInfo {
+        name: "pipeline::start",
+        stage: Stage::Pipeline,
+        description: "PE pipelining fails at entry",
+    },
+    FailpointInfo {
+        name: "pipeline::app",
+        stage: Stage::Pipeline,
+        description: "application pipelining fails at entry",
+    },
+    FailpointInfo {
+        name: "mine::start",
+        stage: Stage::Mine,
+        description: "frequent-subgraph mining fails at entry",
+    },
+    FailpointInfo {
+        name: "map::start",
+        stage: Stage::Map,
+        description: "instruction selection fails at entry",
+    },
+    FailpointInfo {
+        name: "place::start",
+        stage: Stage::Place,
+        description: "CGRA placement fails at entry",
+    },
+    FailpointInfo {
+        name: "route::start",
+        stage: Stage::Route,
+        description: "CGRA routing fails at entry",
+    },
+    FailpointInfo {
+        name: "merge::start",
+        stage: Stage::Merge,
+        description: "datapath merging fails at entry",
+    },
+    FailpointInfo {
+        name: "rewrite::start",
+        stage: Stage::Rewrite,
+        description: "rewrite-rule synthesis fails at entry",
+    },
+    FailpointInfo {
+        name: "rewrite::synth_panic",
+        stage: Stage::Rewrite,
+        description: "a rewrite-synthesis worker panics mid-job",
+    },
+    FailpointInfo {
+        name: "core::mine_panic",
+        stage: Stage::Mine,
+        description: "a mining worker panics mid-job",
+    },
+    FailpointInfo {
+        name: "sweep::journal_write",
+        stage: Stage::Sweep,
+        description: "a checkpoint-journal append fails",
+    },
+    FailpointInfo {
+        name: "sweep::journal_replay",
+        stage: Stage::Sweep,
+        description: "journal replay sees an unreadable file",
+    },
+    FailpointInfo {
+        name: "sweep::interrupt_midsweep",
+        stage: Stage::Sweep,
+        description: "Ctrl-C after the first executed job of a sweep",
+    },
+    FailpointInfo {
+        name: "sweep::job_timeout",
+        stage: Stage::Sweep,
+        description: "a sweep job hangs until its watchdog cancels it",
+    },
+    FailpointInfo {
+        name: "serve::slow_client",
+        stage: Stage::Cli,
+        description: "the submit client trickles one byte at a time",
+    },
+    FailpointInfo {
+        name: "serve::accept_error",
+        stage: Stage::Sweep,
+        description: "the daemon's accept loop sees a transient error",
+    },
+    FailpointInfo {
+        name: "serve::mid_job_kill",
+        stage: Stage::Sweep,
+        description: "SIGTERM the moment a daemon job starts",
+    },
+    FailpointInfo {
+        name: "serve::cache_evict_race",
+        stage: Stage::Sweep,
+        description: "a cache entry vanishes between listing and eviction",
+    },
+    FailpointInfo {
+        name: "io::journal_enospc",
+        stage: Stage::Sweep,
+        description: "journal append hits ENOSPC before any byte lands",
+    },
+    FailpointInfo {
+        name: "io::journal_short_write",
+        stage: Stage::Sweep,
+        description: "journal append fails after writing half the record",
+    },
+    FailpointInfo {
+        name: "io::journal_fsync",
+        stage: Stage::Sweep,
+        description: "journal fsync fails after the data was written",
+    },
+    FailpointInfo {
+        name: "io::cache_enospc",
+        stage: Stage::Sweep,
+        description: "variant-cache write hits ENOSPC before any byte lands",
+    },
+    FailpointInfo {
+        name: "io::cache_short_write",
+        stage: Stage::Sweep,
+        description: "variant-cache write fails after half the entry",
+    },
+    FailpointInfo {
+        name: "fault::test",
+        stage: Stage::Mine,
+        description: "apex-fault's own macro self-test site",
+    },
+];
+
+/// Looks up a [`FAILPOINT_CATALOG`] entry by site name.
+pub fn failpoint_info(name: &str) -> Option<&'static FailpointInfo> {
+    FAILPOINT_CATALOG.iter().find(|f| f.name == name)
+}
+
+/// An approximate byte budget for one memory-hungry search structure.
+///
+/// The search stages account the dominant allocations (embedding-list
+/// rows, overlap-graph edges, clique compatibility matrices) against a
+/// [`ResourceMeter`] started from this budget; a failed [`charge`]
+/// truncates the search deterministically with a
+/// [`Provenance::TruncatedByBudget`] record instead of OOM-aborting.
+/// The default budget ([`ResourceBudget::from_env`]) reads
+/// `APEX_MEM_BUDGET` (byte count, `k`/`m`/`g` suffixes); unset means
+/// unlimited.
+///
+/// [`charge`]: ResourceMeter::charge
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceBudget {
+    /// Approximate byte cap; `None` never stops a search.
+    pub max_bytes: Option<u64>,
+}
+
+impl ResourceBudget {
+    /// A budget that never stops a search.
+    pub fn unlimited() -> Self {
+        ResourceBudget::default()
+    }
+
+    /// Caps the accounted bytes.
+    pub fn with_max_bytes(bytes: u64) -> Self {
+        ResourceBudget {
+            max_bytes: Some(bytes),
+        }
+    }
+
+    /// The budget `APEX_MEM_BUDGET` requests (unlimited when unset or
+    /// unparseable — a bad value must not abort production runs).
+    pub fn from_env() -> Self {
+        match std::env::var("APEX_MEM_BUDGET") {
+            Ok(v) => ResourceBudget {
+                max_bytes: parse_mem_budget(&v),
+            },
+            Err(_) => ResourceBudget::unlimited(),
+        }
+    }
+
+    /// Starts accounting against this budget.
+    pub fn start(&self) -> ResourceMeter {
+        ResourceMeter {
+            max_bytes: self.max_bytes,
+            used: 0,
+            exhausted: false,
+        }
+    }
+}
+
+/// Parses a byte count with optional `k`/`m`/`g` suffix (1024-based);
+/// `None` on malformed input.
+fn parse_mem_budget(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let (digits, shift) = match s.as_bytes()[s.len() - 1].to_ascii_lowercase() {
+        b'k' => (&s[..s.len() - 1], 10),
+        b'm' => (&s[..s.len() - 1], 20),
+        b'g' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_shl(shift)
+}
+
+/// Running byte accounting for one stage invocation.
+///
+/// [`charge`] approves or rejects an allocation *before* it happens: on
+/// rejection nothing is accounted and the meter latches `exhausted`, so
+/// the caller truncates its structure at a deterministic point (the same
+/// point on every run with the same inputs and budget).
+///
+/// [`charge`]: ResourceMeter::charge
+#[derive(Debug)]
+pub struct ResourceMeter {
+    max_bytes: Option<u64>,
+    used: u64,
+    exhausted: bool,
+}
+
+impl ResourceMeter {
+    /// A meter that never rejects (for paths without a budget).
+    pub fn unlimited() -> Self {
+        ResourceBudget::unlimited().start()
+    }
+
+    /// Asks to account `bytes` more. Returns `true` (and accounts them)
+    /// while the total stays within the cap; on `false` nothing was
+    /// accounted and [`exhausted`](ResourceMeter::exhausted) latches.
+    pub fn charge(&mut self, bytes: u64) -> bool {
+        match self.max_bytes {
+            Some(max) if self.used.saturating_add(bytes) > max => {
+                self.exhausted = true;
+                false
+            }
+            _ => {
+                self.used = self.used.saturating_add(bytes);
+                true
+            }
+        }
+    }
+
+    /// Returns previously-charged bytes (a freed scratch structure).
+    pub fn release(&mut self, bytes: u64) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Bytes accounted so far.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Whether any charge was ever rejected.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// The outcome this meter implies for the enclosing search.
+    pub fn provenance(&self) -> Provenance {
+        if self.exhausted {
+            Provenance::TruncatedByBudget
+        } else {
+            Provenance::Completed
+        }
+    }
+}
+
+/// Injected-I/O-fault adapter for durability-critical writes.
+///
+/// The journal and the variant cache route their writes through these
+/// helpers so chaos campaigns can simulate ENOSPC (nothing lands), short
+/// writes (a prefix lands, then the error), and fsync failure (data
+/// landed, durability didn't). Without the `fault-injection` feature every
+/// helper is a plain passthrough.
+pub mod iofault {
+    use std::io;
+
+    /// The injected error for a firing site, `None` when the site is
+    /// disarmed (or the feature is off).
+    pub fn injected(site: &str) -> Option<io::Error> {
+        #[cfg(feature = "fault-injection")]
+        {
+            if crate::failpoints::should_fire(site) {
+                return Some(io::Error::new(
+                    io::ErrorKind::Other,
+                    format!("injected I/O fault at {site}"),
+                ));
+            }
+        }
+        let _ = site;
+        None
+    }
+
+    /// Writes `bytes` to `w`, honoring two injection sites: `enospc_site`
+    /// fails before any byte lands; `short_site` writes roughly half the
+    /// bytes and then fails — the torn-write simulation durability code
+    /// must recover from.
+    pub fn write_all(
+        w: &mut impl io::Write,
+        bytes: &[u8],
+        enospc_site: &str,
+        short_site: &str,
+    ) -> io::Result<()> {
+        if let Some(e) = injected(enospc_site) {
+            return Err(e);
+        }
+        match injected(short_site) {
+            Some(e) => {
+                w.write_all(&bytes[..bytes.len() / 2])?;
+                w.flush()?;
+                Err(e)
+            }
+            None => w.write_all(bytes),
+        }
+    }
+
+    /// Syncs `f` to stable storage, failing at `site` *after* the data was
+    /// written (the write succeeded; its durability didn't).
+    pub fn sync_data(f: &std::fs::File, site: &str) -> io::Result<()> {
+        f.sync_data()?;
+        if let Some(e) = injected(site) {
+            return Err(e);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -764,6 +1158,112 @@ mod tests {
         assert_eq!(d.degradation_summary(), "merge:timed-out,place:retried");
     }
 
+    #[test]
+    fn catalog_names_are_unique_and_resolvable() {
+        for (i, info) in FAILPOINT_CATALOG.iter().enumerate() {
+            assert_eq!(failpoint_info(info.name), Some(info), "{}", info.name);
+            assert!(
+                !FAILPOINT_CATALOG[..i].iter().any(|f| f.name == info.name),
+                "duplicate catalog entry: {}",
+                info.name
+            );
+            assert!(!info.description.is_empty(), "{}", info.name);
+        }
+        assert_eq!(failpoint_info("no::such::site"), None);
+    }
+
+    #[test]
+    fn resource_meter_charges_and_latches() {
+        let mut m = ResourceBudget::with_max_bytes(100).start();
+        assert!(m.charge(60));
+        assert!(m.charge(40));
+        assert_eq!(m.used(), 100);
+        assert!(!m.charge(1), "over-cap charge must be rejected");
+        assert!(m.exhausted(), "rejection latches");
+        assert_eq!(m.used(), 100, "a rejected charge accounts nothing");
+        assert_eq!(m.provenance(), Provenance::TruncatedByBudget);
+        m.release(50);
+        assert!(m.charge(30), "released bytes can be re-charged");
+        assert!(m.exhausted(), "the latch survives later successes");
+    }
+
+    #[test]
+    fn unlimited_resource_meter_never_rejects() {
+        let mut m = ResourceMeter::unlimited();
+        assert!(m.charge(u64::MAX));
+        assert!(m.charge(u64::MAX));
+        assert!(!m.exhausted());
+        assert_eq!(m.provenance(), Provenance::Completed);
+    }
+
+    #[test]
+    fn mem_budget_parses_suffixes() {
+        assert_eq!(parse_mem_budget("1024"), Some(1024));
+        assert_eq!(parse_mem_budget("4k"), Some(4 << 10));
+        assert_eq!(parse_mem_budget("16M"), Some(16 << 20));
+        assert_eq!(parse_mem_budget("2g"), Some(2 << 30));
+        assert_eq!(parse_mem_budget(" 8 m "), Some(8 << 20));
+        assert_eq!(parse_mem_budget(""), None);
+        assert_eq!(parse_mem_budget("lots"), None);
+        assert_eq!(parse_mem_budget("-3k"), None);
+    }
+
+    #[test]
+    fn iofault_is_a_passthrough_when_disarmed() {
+        let mut out = Vec::new();
+        iofault::write_all(&mut out, b"hello", "io::journal_enospc", "io::journal_short_write")
+            .expect("disarmed write");
+        assert_eq!(out, b"hello");
+        assert!(iofault::injected("io::journal_fsync").is_none());
+    }
+
+    /// The registry is process-global; tests that arm sites must not
+    /// interleave.
+    #[cfg(feature = "fault-injection")]
+    fn registry_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+        LOCK.get_or_init(|| std::sync::Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn nth_hit_arming_counts_hits() {
+        let _guard = registry_lock();
+        failpoints::disarm_all();
+        failpoints::arm_after("fault::test", 3);
+        assert!(failpoints::is_armed("fault::test"));
+        assert!(!failpoints::should_fire("fault::test"), "hit 1 must not fire");
+        assert!(!failpoints::should_fire("fault::test"), "hit 2 must not fire");
+        assert!(failpoints::should_fire("fault::test"), "hit 3 fires");
+        assert!(failpoints::should_fire("fault::test"), "and stays firing");
+        assert_eq!(failpoints::hits("fault::test"), 4);
+        failpoints::disarm_all();
+        assert!(!failpoints::should_fire("fault::test"));
+        assert_eq!(failpoints::hits("fault::test"), 0);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_short_write_lands_a_prefix() {
+        let _guard = registry_lock();
+        failpoints::disarm_all();
+        failpoints::arm("io::cache_short_write");
+        let mut out = Vec::new();
+        let err = iofault::write_all(&mut out, b"abcdefgh", "io::cache_enospc", "io::cache_short_write")
+            .expect_err("armed short write fails");
+        assert!(err.to_string().contains("io::cache_short_write"));
+        assert_eq!(out, b"abcd", "exactly half the bytes land");
+        failpoints::arm("io::cache_enospc");
+        let mut out2 = Vec::new();
+        let err = iofault::write_all(&mut out2, b"abcdefgh", "io::cache_enospc", "io::cache_short_write")
+            .expect_err("armed enospc fails");
+        assert!(err.to_string().contains("io::cache_enospc"));
+        assert!(out2.is_empty(), "ENOSPC lands nothing");
+        failpoints::disarm_all();
+    }
+
     #[cfg(feature = "fault-injection")]
     #[test]
     fn fail_points_arm_and_disarm() {
@@ -774,6 +1274,7 @@ mod tests {
             );
             Ok(1)
         }
+        let _guard = registry_lock();
         failpoints::disarm_all();
         assert_eq!(guarded().unwrap(), 1);
         failpoints::arm("fault::test");

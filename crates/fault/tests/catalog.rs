@@ -1,0 +1,127 @@
+//! The failpoint catalog must stay in lock-step with the workspace's
+//! actual fail-point sites: chaos campaigns enumerate schedules from
+//! [`apex_fault::FAILPOINT_CATALOG`], so an unregistered site would be a
+//! fault nobody ever injects and a stale entry would be a schedule that
+//! can never fire. This test scans every workspace source file (crates/
+//! and src/, shims excluded) for firing sites — `fail_point!("...")`,
+//! `is_armed("...")` / `should_fire("...")` checks, and `"io::..."`
+//! adapter site literals — and requires an exact match with the catalog.
+
+use apex_fault::FAILPOINT_CATALOG;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Every `.rs` file under crates/ and src/ of the workspace root.
+fn workspace_sources() -> Vec<PathBuf> {
+    // canonicalize so the `..` segments vanish: the io-literal exclusion
+    // below tests path components, and a literal `fault/../..` prefix
+    // would make every file look like part of the fault crate
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .unwrap_or_else(|e| panic!("canonicalize workspace root: {e}"));
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    assert!(
+        files.len() > 20,
+        "workspace scan found only {} files — wrong root?",
+        files.len()
+    );
+    files
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().map(|n| n == "target").unwrap_or(false) {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+}
+
+/// The first string literal after byte offset `from` in `text`, if it
+/// starts within `window` bytes (enough to cross a line break between a
+/// macro name and its first argument).
+fn next_literal(text: &str, from: usize, window: usize) -> Option<&str> {
+    let hay = &text[from..text.len().min(from + window)];
+    let start = hay.find('"')?;
+    let rest = &hay[start + 1..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// All site names this file fires: `fail_point!` sites, armed-check
+/// sites, and `io::` adapter site literals.
+fn sites_in(text: &str, include_io_literals: bool) -> BTreeSet<String> {
+    let mut found = BTreeSet::new();
+    for pattern in ["fail_point!", "is_armed(", "should_fire("] {
+        let mut at = 0;
+        while let Some(pos) = text[at..].find(pattern) {
+            let after = at + pos + pattern.len();
+            // only direct literals count: `should_fire(site)` with a
+            // variable (the chaos runner) is not a new site
+            if let Some(name) = next_literal(text, after, 80) {
+                if name.contains("::") {
+                    found.insert(name.to_string());
+                }
+            }
+            at = after;
+        }
+    }
+    if include_io_literals {
+        let mut at = 0;
+        while let Some(pos) = text[at..].find("\"io::") {
+            let after = at + pos + 1;
+            if let Some(name) = next_literal(text, after.saturating_sub(1), 80) {
+                found.insert(name.to_string());
+            }
+            at = after + 4;
+        }
+    }
+    found
+}
+
+#[test]
+fn every_workspace_failpoint_site_is_registered() {
+    let catalog: BTreeSet<&str> = FAILPOINT_CATALOG.iter().map(|f| f.name).collect();
+    let mut found = BTreeSet::new();
+    for path in workspace_sources() {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        // the adapter/catalog crate itself names every io:: site in its
+        // catalog and self-tests; real adapter call sites live elsewhere
+        let in_fault_crate = path.components().any(|c| c.as_os_str() == "fault");
+        for name in sites_in(&text, !in_fault_crate) {
+            found.insert(name);
+        }
+    }
+    let unregistered: Vec<&String> = found
+        .iter()
+        .filter(|n| !catalog.contains(n.as_str()))
+        .collect();
+    assert!(
+        unregistered.is_empty(),
+        "fail-point sites missing from FAILPOINT_CATALOG (chaos can never \
+         enumerate them): {unregistered:?}"
+    );
+    let stale: Vec<&&str> = catalog
+        .iter()
+        .filter(|n| !found.contains(**n))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "FAILPOINT_CATALOG entries with no firing site in the workspace \
+         (schedules that can never fire): {stale:?}"
+    );
+}

@@ -10,7 +10,7 @@
 //! that are not pairwise (datapath merging must reject candidate sets
 //! whose union would create a combinational cycle).
 
-use apex_fault::{ApexError, BudgetMeter, Provenance, Stage, StageBudget};
+use apex_fault::{ApexError, BudgetMeter, Provenance, ResourceMeter, Stage, StageBudget};
 
 /// A max-weight-clique instance.
 pub struct CliqueProblem<'a> {
@@ -66,8 +66,24 @@ impl CliqueProblem<'_> {
     /// # Errors
     /// Propagates [`CliqueProblem::validate`] failures.
     pub fn try_solve(&self) -> Result<CliqueSolution, ApexError> {
+        let mut unlimited = ResourceMeter::unlimited();
+        self.try_solve_budgeted(&mut unlimited)
+    }
+
+    /// Like [`CliqueProblem::try_solve`], but charges the solver's
+    /// auxiliary allocations against `resource`: when the memory budget is
+    /// exhausted the search degrades to the greedy incumbent (or the empty
+    /// clique when even the ordering arrays do not fit) with
+    /// [`Provenance::TruncatedByBudget`] instead of allocating anyway.
+    ///
+    /// # Errors
+    /// Propagates [`CliqueProblem::validate`] failures.
+    pub fn try_solve_budgeted(
+        &self,
+        resource: &mut ResourceMeter,
+    ) -> Result<CliqueSolution, ApexError> {
         self.validate()?;
-        Ok(self.solve())
+        Ok(self.solve_budgeted(resource))
     }
 
     /// Solves the instance. The greedy seeding pass always runs, so even a
@@ -77,11 +93,30 @@ impl CliqueProblem<'_> {
     /// Assumes finite weights (see [`CliqueProblem::try_solve`]); with a
     /// NaN in the instance the pruning bound is unsound.
     pub fn solve(&self) -> CliqueSolution {
+        let mut unlimited = ResourceMeter::unlimited();
+        self.solve_budgeted(&mut unlimited)
+    }
+
+    /// Memory-budgeted [`CliqueProblem::solve`]; see
+    /// [`CliqueProblem::try_solve_budgeted`] for the degradation ladder.
+    pub fn solve_budgeted(&self, resource: &mut ResourceMeter) -> CliqueSolution {
         let n = self.weights.len();
         if n == 0 {
             return CliqueSolution {
                 members: Vec::new(),
                 provenance: Provenance::Completed,
+                explored: 0,
+            };
+        }
+        // ordering + suffix-sum arrays: without these not even the greedy
+        // incumbent can run, so the search degrades to the empty clique
+        // (a valid merge outcome: nothing merges)
+        let order_bytes =
+            (n * std::mem::size_of::<usize>() + (n + 1) * std::mem::size_of::<f64>()) as u64;
+        if !resource.charge(order_bytes) {
+            return CliqueSolution {
+                members: Vec::new(),
+                provenance: Provenance::TruncatedByBudget,
                 explored: 0,
             };
         }
@@ -93,6 +128,31 @@ impl CliqueProblem<'_> {
         let mut suffix = vec![0.0; n + 1];
         for i in (0..n).rev() {
             suffix[i] = suffix[i + 1] + self.weights[order[i]];
+        }
+
+        // greedy seed: best of n single-start greedy passes (not metered —
+        // this is the incumbent every degraded path relies on)
+        let mut best: Vec<usize> = Vec::new();
+        let mut best_w = f64::NEG_INFINITY;
+        for start in 0..n.min(32) {
+            let g = self.greedy(&order, start);
+            let w = g.iter().map(|&i| self.weights[i]).sum::<f64>();
+            if w > best_w {
+                best_w = w;
+                best = g;
+            }
+        }
+
+        // coloring + bound arrays feed only the branch-and-bound
+        // refinement; when they do not fit, the greedy incumbent stands
+        let color_bytes =
+            (n * std::mem::size_of::<usize>() + 2 * (n + 1) * std::mem::size_of::<f64>()) as u64;
+        if !resource.charge(color_bytes) {
+            return CliqueSolution {
+                members: best,
+                provenance: Provenance::TruncatedByBudget,
+                explored: 0,
+            };
         }
 
         // Greedy coloring along the same weight-descending order: each
@@ -135,19 +195,6 @@ impl CliqueProblem<'_> {
         }
         // the bound used at each depth: both bounds are sound, take the min
         let bound: Vec<f64> = (0..=n).map(|k| suffix[k].min(colored[k])).collect();
-
-        // greedy seed: best of n single-start greedy passes (not metered —
-        // this is the incumbent every degraded path relies on)
-        let mut best: Vec<usize> = Vec::new();
-        let mut best_w = f64::NEG_INFINITY;
-        for start in 0..n.min(32) {
-            let g = self.greedy(&order, start);
-            let w = g.iter().map(|&i| self.weights[i]).sum::<f64>();
-            if w > best_w {
-                best_w = w;
-                best = g;
-            }
-        }
 
         let node_budget = self.budget as u64;
         let meter_budget = StageBudget {
@@ -519,6 +566,49 @@ mod tests {
     #[test]
     fn empty_problem() {
         assert!(max_weight_clique(&[], &[], 100).is_empty());
+    }
+
+    #[test]
+    fn zero_memory_budget_degrades_to_empty_clique() {
+        let compat = full_matrix(3, &[(0, 1), (1, 2), (0, 2)]);
+        let p = CliqueProblem {
+            weights: vec![1.0, 1.0, 1.0],
+            compatible: compat,
+            feasible: None,
+            budget: 1 << 20,
+            stage_budget: StageBudget::unlimited(),
+        };
+        let mut meter = apex_fault::ResourceBudget::with_max_bytes(0).start();
+        let sol = p.solve_budgeted(&mut meter);
+        assert!(sol.members.is_empty());
+        assert_eq!(sol.provenance, Provenance::TruncatedByBudget);
+    }
+
+    #[test]
+    fn tight_memory_budget_returns_greedy_incumbent() {
+        // enough for the ordering arrays (first charge) but not the
+        // coloring/bound arrays (second charge): the greedy incumbent
+        // stands, flagged TruncatedByBudget
+        let n = 5;
+        let compat = full_matrix(n, &[(0, 1), (0, 2), (1, 2)]);
+        let w = vec![1.0, 1.0, 1.0, 0.5, 0.25];
+        let order_bytes =
+            (n * std::mem::size_of::<usize>() + (n + 1) * std::mem::size_of::<f64>()) as u64;
+        let p = CliqueProblem {
+            weights: w.clone(),
+            compatible: compat,
+            feasible: None,
+            budget: 1 << 20,
+            stage_budget: StageBudget::unlimited(),
+        };
+        let mut meter = apex_fault::ResourceBudget::with_max_bytes(order_bytes).start();
+        let a = p.solve_budgeted(&mut meter);
+        assert_eq!(a.provenance, Provenance::TruncatedByBudget);
+        assert!(!a.members.is_empty(), "greedy incumbent survives: {a:?}");
+        // deterministic: same budget, same degradation
+        let mut meter2 = apex_fault::ResourceBudget::with_max_bytes(order_bytes).start();
+        let b = p.solve_budgeted(&mut meter2);
+        assert_eq!(a.members, b.members);
     }
 
     #[test]

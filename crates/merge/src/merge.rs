@@ -15,7 +15,7 @@
 
 use crate::clique::CliqueProblem;
 use crate::datapath::{DatapathConfig, DpNode, DpSource, MergedDatapath, NodeConfig};
-use apex_fault::{fail_point, ApexError, Provenance, Stage, StageBudget};
+use apex_fault::{fail_point, ApexError, Provenance, ResourceBudget, Stage, StageBudget};
 use apex_ir::{Graph, NodeId, Op, ValueType};
 use apex_tech::{fu_class, FuClass, TechModel};
 use std::collections::{BTreeMap, BTreeSet};
@@ -28,6 +28,12 @@ pub struct MergeOptions {
     pub clique_budget: usize,
     /// Deadline / cancellation limits for the clique search.
     pub budget: StageBudget,
+    /// Approximate memory budget for the merge step's dominant
+    /// allocations (the candidate compatibility matrix, the clique
+    /// solver's bound arrays). Exceeding it deterministically shrinks the
+    /// candidate set instead of OOM-aborting, flagged in
+    /// [`MergeReport::provenance`].
+    pub resource: ResourceBudget,
 }
 
 impl Default for MergeOptions {
@@ -35,6 +41,7 @@ impl Default for MergeOptions {
         MergeOptions {
             clique_budget: 500_000,
             budget: StageBudget::unlimited(),
+            resource: ResourceBudget::from_env(),
         }
     }
 }
@@ -253,7 +260,19 @@ pub fn merge_graph(
     }
 
     // ---- 2. compatibility graph ------------------------------------------
-    let n = candidates.len();
+    // the n×n compatibility matrix is this stage's dominant allocation;
+    // under memory pressure keep a deterministic prefix of the candidate
+    // list whose matrix fits (enumeration order is deterministic, so the
+    // same inputs and budget always keep the same prefix)
+    let mut resource = options.resource.start();
+    let mut n = candidates.len();
+    while n > 0 && !resource.charge((n as u64).saturating_mul(n as u64)) {
+        n /= 2;
+    }
+    if n < candidates.len() {
+        candidates.truncate(n);
+        weights.truncate(n);
+    }
     let mut compatible = vec![vec![false; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
@@ -297,7 +316,7 @@ pub fn merge_graph(
         budget: options.clique_budget,
         stage_budget: options.budget.clone(),
     }
-    .try_solve()
+    .try_solve_budgeted(&mut resource)
     .map_err(|e| MergeError::NonFiniteWeight {
         detail: e.message().to_owned(),
     })?;
@@ -477,7 +496,7 @@ pub fn merge_graph(
         candidates: n,
         clique_size: clique.len(),
         saved_area,
-        provenance: solution.provenance,
+        provenance: solution.provenance.worst(resource.provenance()),
     };
     Ok((out, report))
 }

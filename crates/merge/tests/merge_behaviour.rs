@@ -340,6 +340,31 @@ fn tiny_clique_budget_truncates_but_merges_validly() {
 }
 
 #[test]
+fn tiny_memory_budget_truncates_but_merges_validly() {
+    use apex_fault::{Provenance, ResourceBudget};
+    // far below the compatibility matrix's footprint: the candidate list
+    // shrinks deterministically, the merge still produces a valid datapath
+    // implementing both graphs, and the report says TruncatedByBudget
+    let opts = MergeOptions {
+        resource: ResourceBudget::with_max_bytes(16),
+        ..MergeOptions::default()
+    };
+    let (dp, reports) = merge_all(&[mac(), sub_chain()], &tech(), &opts).unwrap();
+    assert!(dp.validate().is_ok(), "degraded merge must stay valid");
+    assert_eq!(dp.configs.len(), 2);
+    assert!(
+        reports.iter().any(|r| r.provenance == Provenance::TruncatedByBudget),
+        "a tiny memory budget must report truncation: {reports:?}"
+    );
+    assert_config_matches(&dp, 0, &mac(), 50);
+    assert_config_matches(&dp, 1, &sub_chain(), 50);
+    // deterministic: a second run degrades identically
+    let (dp2, reports2) = merge_all(&[mac(), sub_chain()], &tech(), &opts).unwrap();
+    assert_eq!(dp.node_count(), dp2.node_count());
+    assert_eq!(reports, reports2);
+}
+
+#[test]
 fn zero_deadline_times_out_but_merges_validly() {
     use apex_fault::{Provenance, StageBudget};
     use std::time::Duration;

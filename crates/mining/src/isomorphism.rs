@@ -20,7 +20,7 @@
 
 use crate::bitset::Bitset;
 use crate::pattern::Pattern;
-use apex_fault::{BudgetMeter, StageBudget};
+use apex_fault::{BudgetMeter, ResourceMeter, StageBudget};
 use apex_ir::{Graph, NodeId, OpKind};
 use std::collections::BTreeMap;
 
@@ -254,6 +254,23 @@ pub fn find_embeddings_metered(
     limit: usize,
     meter: &mut BudgetMeter,
 ) -> EmbeddingSet {
+    let mut resource = ResourceMeter::unlimited();
+    find_embeddings_budgeted(pattern, index, limit, meter, &mut resource)
+}
+
+/// Like [`find_embeddings_metered`], but additionally charges every stored
+/// embedding row against a [`ResourceMeter`] (the miner's memory budget).
+/// A rejected charge truncates the search exactly like hitting `limit`:
+/// the embeddings found so far are returned with `truncated` set, so
+/// memory exhaustion degrades to lower-bound statistics instead of an
+/// OOM abort.
+pub fn find_embeddings_budgeted(
+    pattern: &Pattern,
+    index: &GraphIndex<'_>,
+    limit: usize,
+    meter: &mut BudgetMeter,
+    resource: &mut ResourceMeter,
+) -> EmbeddingSet {
     let n = pattern.len();
     if n == 0 {
         return EmbeddingSet {
@@ -286,6 +303,7 @@ pub fn find_embeddings_metered(
         limit,
         truncated: false,
         meter,
+        resource,
     };
     state.recurse(0);
     EmbeddingSet {
@@ -343,6 +361,9 @@ struct SearchState<'a, 'g> {
     limit: usize,
     truncated: bool,
     meter: &'a mut BudgetMeter,
+    /// Byte accounting for the stored embeddings (the miner's memory
+    /// budget); a rejected charge truncates like a hit `limit`.
+    resource: &'a mut ResourceMeter,
 }
 
 impl SearchState<'_, '_> {
@@ -364,6 +385,11 @@ impl SearchState<'_, '_> {
                 }
             }
             if ports_feasible(self.pattern, self.index.graph(), &self.row) {
+                let bytes = (self.row.len() * std::mem::size_of::<NodeId>()) as u64;
+                if !self.resource.charge(bytes) {
+                    self.truncated = true;
+                    return;
+                }
                 self.out.push(&self.row);
                 if self.out.len() >= self.limit {
                     self.truncated = true;

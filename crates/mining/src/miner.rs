@@ -5,11 +5,11 @@
 //! node-plus-edge or one internal edge, de-duplicate via canonical codes,
 //! and prune with GraMi's anti-monotone MNI support.
 
-use crate::isomorphism::{find_embeddings_metered, EmbeddingSet, GraphIndex};
-use crate::mis::maximal_independent_set;
+use crate::isomorphism::{find_embeddings_budgeted, EmbeddingSet, GraphIndex};
+use crate::mis::{maximal_independent_set, maximal_independent_set_budgeted};
 use crate::pattern::Pattern;
 use crate::MineError;
-use apex_fault::{Provenance, StageBudget};
+use apex_fault::{Provenance, ResourceBudget, StageBudget};
 use apex_ir::{Graph, NodeId, OpKind};
 use std::collections::BTreeSet;
 use std::sync::OnceLock;
@@ -37,6 +37,11 @@ pub struct MinerConfig {
     pub max_patterns: usize,
     /// Wall-clock / step budget for the whole mining run.
     pub budget: StageBudget,
+    /// Approximate memory budget for the run's dominant allocations
+    /// (embedding rows, MIS overlap graph). Exceeding it truncates the
+    /// affected statistics deterministically with a
+    /// [`Provenance::TruncatedByBudget`] record instead of OOM-aborting.
+    pub resource: ResourceBudget,
 }
 
 impl Default for MinerConfig {
@@ -48,6 +53,7 @@ impl Default for MinerConfig {
             max_embeddings: 20_000,
             max_patterns: 400,
             budget: StageBudget::unlimited(),
+            resource: ResourceBudget::from_env(),
         }
     }
 }
@@ -209,6 +215,7 @@ pub struct MineOutcome {
 pub fn mine(graph: &Graph, config: &MinerConfig) -> Result<MineOutcome, MineError> {
     apex_fault::fail_point!("mine::start", MineError::Injected("mine::start"));
     let mut meter = config.budget.start();
+    let mut resource = config.resource.start();
     meter.check_slow();
     let index = GraphIndex::new(graph);
     let mut seen: BTreeSet<String> = BTreeSet::new();
@@ -222,7 +229,13 @@ pub fn mine(graph: &Graph, config: &MinerConfig) -> Result<MineOutcome, MineErro
     for (label, nodes) in index.labels() {
         if nodes.len() >= config.min_support {
             let p = Pattern::single(label);
-            let es = find_embeddings_metered(&p, &index, config.max_embeddings, &mut meter);
+            let es = find_embeddings_budgeted(
+                &p,
+                &index,
+                config.max_embeddings,
+                &mut meter,
+                &mut resource,
+            );
             seen.insert(p.canonical_code());
             frontier.push_back((p, es));
         }
@@ -237,13 +250,21 @@ pub fn mine(graph: &Graph, config: &MinerConfig) -> Result<MineOutcome, MineErro
             // occurrences() collapses automorphic embeddings (identical
             // node sets) before MIS analysis, so symmetric patterns do not
             // inflate their utilization estimate
-            let occurrences = embeddings.occurrences();
-            let mis = maximal_independent_set(&occurrences);
+            let mut occurrences = embeddings.occurrences();
+            // the MIS overlap graph is the run's other big allocation;
+            // under memory pressure analyse a deterministic prefix and
+            // truncate the stored occurrences to match (the verifier
+            // recomputes the MIS over whatever is stored)
+            let (mis, analysed) = maximal_independent_set_budgeted(&occurrences, &mut resource);
+            let occ_truncated = analysed < occurrences.len();
+            if occ_truncated {
+                occurrences.truncate(analysed);
+            }
             results.push(MinedSubgraph {
                 representative: embeddings.list.row(0),
                 mni_support: embeddings.mni_support(pattern.len()),
                 mis_size: mis.len(),
-                truncated: embeddings.truncated,
+                truncated: embeddings.truncated || occ_truncated,
                 occurrences,
                 pattern: pattern.clone(),
                 util: OnceLock::new(),
@@ -277,7 +298,13 @@ pub fn mine(graph: &Graph, config: &MinerConfig) -> Result<MineOutcome, MineErro
             if !seen.insert(code) {
                 continue;
             }
-            let es = find_embeddings_metered(&child, &index, config.max_embeddings, &mut meter);
+            let es = find_embeddings_budgeted(
+                &child,
+                &index,
+                config.max_embeddings,
+                &mut meter,
+                &mut resource,
+            );
             if es.mni_support(child.len()) >= config.min_support {
                 explored += 1;
                 frontier.push_back((child, es));
@@ -288,7 +315,7 @@ pub fn mine(graph: &Graph, config: &MinerConfig) -> Result<MineOutcome, MineErro
     rank(&mut results);
     Ok(MineOutcome {
         subgraphs: results,
-        provenance: meter.provenance(),
+        provenance: meter.provenance().worst(resource.provenance()),
     })
 }
 
@@ -656,6 +683,58 @@ mod tests {
         // the second call must return the cached slice, not a recomputation
         assert!(std::ptr::eq(first, again));
         assert_eq!(m.utilizable_mis(&g), maximal_independent_set(first).len());
+    }
+
+    #[test]
+    fn memory_budget_truncates_mining_deterministically() {
+        let g = conv_graph();
+        let unlimited = mine(
+            &g,
+            &MinerConfig {
+                min_support: 2,
+                ..MinerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(unlimited.provenance, Provenance::Completed);
+        // a budget below the run's natural footprint: results degrade but
+        // the run completes, flagged TruncatedByBudget
+        let tight = MinerConfig {
+            min_support: 2,
+            resource: ResourceBudget::with_max_bytes(256),
+            ..MinerConfig::default()
+        };
+        let a = mine(&g, &tight).unwrap();
+        assert_eq!(a.provenance, Provenance::TruncatedByBudget);
+        assert!(a.subgraphs.iter().any(|m| m.truncated));
+        for m in &a.subgraphs {
+            // truncated statistics stay internally consistent: stored
+            // occurrences are exactly what the MIS analysed
+            assert!(m.mis_size <= m.occurrences.len());
+        }
+        // deterministic: a second identical run truncates identically
+        let b = mine(&g, &tight).unwrap();
+        assert_eq!(a.subgraphs.len(), b.subgraphs.len());
+        for (x, y) in a.subgraphs.iter().zip(&b.subgraphs) {
+            assert_eq!(x.occurrences, y.occurrences);
+            assert_eq!(x.mis_size, y.mis_size);
+            assert_eq!(x.truncated, y.truncated);
+        }
+    }
+
+    #[test]
+    fn zero_memory_budget_still_terminates_without_panic() {
+        let g = conv_graph();
+        let out = mine(
+            &g,
+            &MinerConfig {
+                min_support: 2,
+                resource: ResourceBudget::with_max_bytes(0),
+                ..MinerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.provenance, Provenance::TruncatedByBudget);
     }
 
     #[test]

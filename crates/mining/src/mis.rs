@@ -7,6 +7,7 @@
 //! size of a maximal independent set of that graph estimates how many
 //! fully-utilized PEs implementing the subgraph the application can use.
 
+use apex_fault::ResourceMeter;
 use apex_ir::NodeId;
 
 /// Builds the overlap graph: `adj[i]` lists occurrences sharing at least
@@ -70,6 +71,60 @@ fn sorted_intersects(a: &[NodeId], b: &[NodeId]) -> bool {
     false
 }
 
+/// Like [`overlap_graph`], but charges the inverted index and the
+/// adjacency lists against `resource` as they grow; `None` the moment a
+/// charge is rejected (nothing partial escapes — a missing edge would let
+/// overlapping occurrences masquerade as independent).
+fn overlap_graph_charged(
+    occurrences: &[Vec<NodeId>],
+    resource: &mut ResourceMeter,
+) -> Option<Vec<Vec<usize>>> {
+    let n = occurrences.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    if n == 0 {
+        return Some(adj);
+    }
+    let max_node = occurrences
+        .iter()
+        .flatten()
+        .map(|id| id.index())
+        .max()
+        .unwrap_or(0);
+    let index_bytes = ((max_node + 1) * std::mem::size_of::<Vec<u32>>()) as u64;
+    if !resource.charge(index_bytes) {
+        return None;
+    }
+    let mut owners: Vec<Vec<u32>> = vec![Vec::new(); max_node + 1];
+    for (i, occ) in occurrences.iter().enumerate() {
+        if !resource.charge((occ.len() * std::mem::size_of::<u32>()) as u64) {
+            return None;
+        }
+        for &node in occ {
+            let slot = &mut owners[node.index()];
+            if slot.last() != Some(&(i as u32)) {
+                slot.push(i as u32);
+            }
+        }
+    }
+    let edge_bytes = (2 * std::mem::size_of::<usize>()) as u64;
+    for list in &owners {
+        for (k, &a) in list.iter().enumerate() {
+            for &b in &list[k + 1..] {
+                if !resource.charge(edge_bytes) {
+                    return None;
+                }
+                adj[a as usize].push(b as usize);
+                adj[b as usize].push(a as usize);
+            }
+        }
+    }
+    for l in &mut adj {
+        l.sort_unstable();
+        l.dedup();
+    }
+    Some(adj)
+}
+
 /// Greedy maximal independent set: repeatedly selects the remaining node
 /// with the fewest remaining neighbours and removes its neighbourhood.
 ///
@@ -79,7 +134,44 @@ fn sorted_intersects(a: &[NodeId], b: &[NodeId]) -> bool {
 /// maximum.
 pub fn maximal_independent_set(occurrences: &[Vec<NodeId>]) -> Vec<usize> {
     let adj = overlap_graph(occurrences);
-    let n = occurrences.len();
+    greedy_mis(occurrences.len(), &adj)
+}
+
+/// Budgeted MIS analysis for the miner: accounts the overlap-analysis
+/// scratch (inverted index + adjacency lists) against `resource`. When a
+/// charge is rejected the analysis deterministically retries over the
+/// first half of the occurrence list, repeatedly, until it fits — so
+/// memory exhaustion degrades to a conservative utilization estimate over
+/// an occurrence *prefix* instead of aborting. Returns the selected
+/// indices and the prefix length analysed (`< occurrences.len()` exactly
+/// when the budget truncated the analysis); the caller must shrink its
+/// stored occurrence list to that prefix to stay verifier-consistent.
+/// Scratch charges are released before returning (the structures are
+/// dropped here).
+pub fn maximal_independent_set_budgeted(
+    occurrences: &[Vec<NodeId>],
+    resource: &mut ResourceMeter,
+) -> (Vec<usize>, usize) {
+    let mut n = occurrences.len();
+    loop {
+        let before = resource.used();
+        match overlap_graph_charged(&occurrences[..n], resource) {
+            Some(adj) => {
+                let mis = greedy_mis(n, &adj);
+                resource.release(resource.used() - before);
+                return (mis, n);
+            }
+            None => {
+                resource.release(resource.used() - before);
+                n /= 2;
+            }
+        }
+    }
+}
+
+/// The greedy min-degree selection shared by the plain and budgeted
+/// entry points.
+fn greedy_mis(n: usize, adj: &[Vec<usize>]) -> Vec<usize> {
     let mut alive = vec![true; n];
     let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
     let mut chosen = Vec::new();
@@ -219,6 +311,40 @@ mod tests {
             }
             assert_eq!(got, want);
         }
+    }
+
+    #[test]
+    fn budgeted_mis_with_room_matches_unbudgeted() {
+        let occ = vec![ids(&[0, 1]), ids(&[1, 2]), ids(&[2, 3]), ids(&[3, 4])];
+        let mut meter = apex_fault::ResourceBudget::unlimited().start();
+        let (mis, analysed) = maximal_independent_set_budgeted(&occ, &mut meter);
+        assert_eq!(analysed, occ.len());
+        assert_eq!(mis, maximal_independent_set(&occ));
+        assert!(!meter.exhausted());
+        assert_eq!(meter.used(), 0, "scratch charges are released");
+    }
+
+    #[test]
+    fn budgeted_mis_truncates_to_a_prefix_deterministically() {
+        let occ: Vec<Vec<NodeId>> = (0..64).map(|i| ids(&[i, i + 1])).collect();
+        let mut meter = apex_fault::ResourceBudget::with_max_bytes(600).start();
+        let (mis, analysed) = maximal_independent_set_budgeted(&occ, &mut meter);
+        assert!(meter.exhausted(), "a 600-byte budget cannot fit 64 occurrences");
+        assert!(analysed < occ.len());
+        assert_eq!(mis, maximal_independent_set(&occ[..analysed]));
+        // deterministic: same inputs + budget → same truncation point
+        let mut meter2 = apex_fault::ResourceBudget::with_max_bytes(600).start();
+        let (mis2, analysed2) = maximal_independent_set_budgeted(&occ, &mut meter2);
+        assert_eq!((mis, analysed), (mis2, analysed2));
+    }
+
+    #[test]
+    fn zero_budget_mis_degrades_to_empty_not_panic() {
+        let occ = vec![ids(&[0, 1]), ids(&[1, 2])];
+        let mut meter = apex_fault::ResourceBudget::with_max_bytes(0).start();
+        let (mis, analysed) = maximal_independent_set_budgeted(&occ, &mut meter);
+        assert_eq!(analysed, 0);
+        assert!(mis.is_empty());
     }
 
     #[test]

@@ -447,7 +447,7 @@ pub fn standard_ruleset(
         |_, (op, const_ports)| {
             #[cfg(feature = "fault-injection")]
             {
-                if apex_fault::failpoints::is_armed("rewrite::synth_panic") {
+                if apex_fault::failpoints::should_fire("rewrite::synth_panic") {
                     panic!("injected panic at rewrite::synth_panic");
                 }
             }

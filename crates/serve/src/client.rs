@@ -36,7 +36,7 @@ fn connect(addr: &str, timeout: Duration) -> Result<TcpStream, ApexError> {
 fn send_line(stream: &mut TcpStream, line: &str) -> Result<(), ApexError> {
     let io = |e: std::io::Error| cli_err(format!("send failed: {e}"));
     #[cfg(feature = "fault-injection")]
-    if apex_fault::failpoints::is_armed("serve::slow_client") {
+    if apex_fault::failpoints::should_fire("serve::slow_client") {
         for b in line.as_bytes() {
             stream.write_all(std::slice::from_ref(b)).map_err(io)?;
             stream.flush().map_err(io)?;
@@ -91,13 +91,46 @@ pub fn request(addr: &str, line: &str, timeout: Duration) -> Result<Fields, Apex
     proto::decode(&response).ok_or_else(|| cli_err(format!("undecodable response: {response}")))
 }
 
+/// Admission retries before a shed submission is given up on. Attempt
+/// `k` sleeps the server's `retry_after_ms` hint plus deterministic
+/// seeded jitter, so a fleet of clients rejected together does not
+/// re-stampede the server in lockstep.
+pub const MAX_ADMISSION_ATTEMPTS: u32 = 8;
+
+/// Deterministic backoff for admission attempt `attempt` (0-based):
+/// the server's hint plus up to 50% seeded jitter. SplitMix64 over
+/// (seed, attempt) — the same submission retries on the same schedule
+/// every run, while distinct tenants/graphs spread out.
+pub fn backoff_with_jitter(hint_ms: u64, seed: u64, attempt: u32) -> Duration {
+    let mut z = seed
+        .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let jitter = if hint_ms == 0 { 0 } else { z % (hint_ms / 2 + 1) };
+    Duration::from_millis(hint_ms.saturating_add(jitter))
+}
+
+/// FNV-1a over the submission identity, the jitter seed.
+fn submission_seed(tenant: &str, graph: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in tenant.as_bytes().iter().chain(b"\x00").chain(graph.as_bytes()) {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Submits a graph and polls until it concludes (honoring `overloaded`
-/// backpressure by sleeping the server's `retry_after_ms` hint).
+/// backpressure by sleeping the server's `retry_after_ms` hint plus
+/// deterministic seeded jitter, for at most
+/// [`MAX_ADMISSION_ATTEMPTS`] attempts).
 /// Returns the final `result` (or `job_failed`) response fields.
 ///
 /// # Errors
-/// Transport failures, a shed submission that never clears within
-/// `overall`, or the overall timeout expiring first.
+/// Transport failures, a shed submission still shed after the capped
+/// retries, or the overall timeout expiring first.
 pub fn submit_and_wait(
     addr: &str,
     tenant: &str,
@@ -118,7 +151,10 @@ pub fn submit_and_wait(
     }
     let submit_line = proto::encode(&fields);
 
-    // admission, retrying through backpressure
+    // admission, retrying through backpressure with capped attempts and
+    // deterministic seeded-jitter backoff
+    let seed = submission_seed(tenant, graph);
+    let mut attempt = 0u32;
     let job = loop {
         if started.elapsed() > overall {
             return Err(cli_err("timed out waiting for admission"));
@@ -132,11 +168,18 @@ pub fn submit_and_wait(
         }
         match resp.get("err").map(String::as_str) {
             Some("overloaded") => {
+                attempt += 1;
+                if attempt >= MAX_ADMISSION_ATTEMPTS {
+                    return Err(cli_err(format!(
+                        "admission retries exhausted after {attempt} attempts \
+                         (server still overloaded)"
+                    )));
+                }
                 let hint = resp
                     .get("retry_after_ms")
                     .and_then(|v| v.parse::<u64>().ok())
                     .unwrap_or(500);
-                std::thread::sleep(Duration::from_millis(hint));
+                std::thread::sleep(backoff_with_jitter(hint, seed, attempt - 1));
             }
             _ => {
                 return Err(cli_err(format!(
@@ -169,5 +212,49 @@ pub fn submit_and_wait(
             Some("done") | Some("failed") => return request(addr, &result_line, io_timeout),
             _ => std::thread::sleep(Duration::from_millis(200)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        for attempt in 0..MAX_ADMISSION_ATTEMPTS {
+            for hint in [0u64, 1, 123, 500, 10_000] {
+                let seed = submission_seed("tenant-a", "gaussian");
+                let a = backoff_with_jitter(hint, seed, attempt);
+                let b = backoff_with_jitter(hint, seed, attempt);
+                assert_eq!(a, b, "same inputs must give the same backoff");
+                assert!(a >= Duration::from_millis(hint), "never below the hint");
+                assert!(
+                    a <= Duration::from_millis(hint + hint / 2 + 1),
+                    "jitter capped at ~50% of the hint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_submissions_jitter_apart() {
+        // not a hard guarantee, but the whole point of seeding by identity:
+        // across several attempts, two distinct submissions must not share
+        // the entire backoff schedule
+        let s1 = submission_seed("tenant-a", "gaussian");
+        let s2 = submission_seed("tenant-b", "harris");
+        assert_ne!(s1, s2);
+        let all_equal = (0..6).all(|k| {
+            backoff_with_jitter(500, s1, k) == backoff_with_jitter(500, s2, k)
+        });
+        assert!(!all_equal, "schedules must diverge somewhere");
+    }
+
+    #[test]
+    fn zero_hint_backoff_is_zero() {
+        // a zero hint means "retry immediately"; jitter must not invent a
+        // wait the server never asked for
+        let seed = submission_seed("t", "g");
+        assert_eq!(backoff_with_jitter(0, seed, 0), Duration::ZERO);
     }
 }

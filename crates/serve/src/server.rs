@@ -216,7 +216,7 @@ impl<R: JobRunner> Server<R> {
             match self.listener.accept() {
                 Ok((stream, peer)) => {
                     #[cfg(feature = "fault-injection")]
-                    if apex_fault::failpoints::is_armed("serve::accept_error") {
+                    if apex_fault::failpoints::should_fire("serve::accept_error") {
                         // injected transient accept failure: the daemon
                         // must drop the connection and keep serving
                         log_line("WARN", &format!("accept error (injected), dropped {peer}"));
@@ -337,7 +337,7 @@ fn run_job<R: JobRunner>(shared: &Shared, runner: &R, job: &PendingJob) {
         return;
     }
     #[cfg(feature = "fault-injection")]
-    if apex_fault::failpoints::is_armed("serve::mid_job_kill") {
+    if apex_fault::failpoints::should_fire("serve::mid_job_kill") {
         // injected daemon kill: the first job to start flips the
         // interrupt flag, as if SIGTERM arrived mid-flight (disarmed so
         // the drain itself runs normally)

@@ -17,6 +17,8 @@
 //! apex describe <variant>           PE datasheet (units, configs, costs)
 //! apex serve [--addr A] [--resume]  multi-tenant DSE daemon (newline-JSON/TCP)
 //! apex submit <file> [--addr A]     submit a graph to a daemon and wait
+//! apex chaos [--schedules N] [--seed S]
+//!                                   deterministic fault-injection campaign
 //! ```
 //!
 //! Sweeps (`dse`, `report`) checkpoint every completed job to a
@@ -35,7 +37,7 @@ use std::fmt::Write as _;
 const EXIT_INTERRUPTED: i32 = 3;
 
 fn usage() {
-    eprintln!("usage: apex <list|dot|mine|dse|verilog|array|report|save|dse-file|describe|verify|serve|submit> [...]");
+    eprintln!("usage: apex <list|dot|mine|dse|verilog|array|report|save|dse-file|describe|verify|serve|submit|chaos> [...]");
     eprintln!("  verify <app>   run the cross-stage invariant verifier on one application");
     eprintln!("  verify --suite ... on the full benchmark suite (exit 1 on any violation)");
     eprintln!("  serve          run the DSE daemon (see DESIGN.md §7 for the wire protocol):");
@@ -43,6 +45,11 @@ fn usage() {
     eprintln!("                 --idle-timeout-secs S, --resume (re-run journaled jobs)");
     eprintln!("  submit <file>  submit a text-format graph to a daemon and wait for the result:");
     eprintln!("                 --addr A, --tenant T, --deadline-ms N, --timeout-secs S");
+    eprintln!("  chaos          run a deterministic fault-injection campaign over the");
+    eprintln!("                 failpoint catalog (needs a fault-injection build):");
+    eprintln!("                 --schedules N (default 24), --seed S (default 7),");
+    eprintln!("                 --report FILE (JSONL), --scratch DIR, --list (print the");
+    eprintln!("                 schedule plan without running); exit 1 on any violation");
     eprintln!("flags:");
     eprintln!("  --jobs N    worker threads for pooled stages (1 = serial; output is identical)");
     eprintln!("  --resume    dse/report/serve: replay the sweep journal and run only the remainder");
@@ -124,15 +131,29 @@ fn take_resume_flag(args: &mut Vec<String>) -> bool {
 }
 
 /// Arms fail points named in `APEX_FAILPOINTS` (comma-separated) so CI
-/// can inject faults into a release binary; compiled only with the
+/// can inject faults into a release binary; a `site@N` entry arms the
+/// site on its Nth hit instead of the first. Compiled only with the
 /// `fault-injection` feature.
 fn arm_failpoints_from_env() {
     #[cfg(feature = "fault-injection")]
     if let Ok(sites) = std::env::var("APEX_FAILPOINTS") {
         for site in sites.split(',') {
             let site = site.trim();
-            if !site.is_empty() {
-                apex::fault::failpoints::arm(site);
+            if site.is_empty() {
+                continue;
+            }
+            match site.split_once('@') {
+                Some((name, nth)) => match nth.trim().parse::<u64>() {
+                    Ok(n) if n >= 1 => apex::fault::failpoints::arm_after(name.trim(), n),
+                    _ => {
+                        eprintln!(
+                            "APEX_FAILPOINTS: '{site}' — the part after '@' must be a \
+                             positive hit count"
+                        );
+                        std::process::exit(2);
+                    }
+                },
+                None => apex::fault::failpoints::arm(site),
             }
         }
     }
@@ -169,6 +190,7 @@ fn main() {
         "describe" => describe(&args[1..]).map(|()| Status::Done),
         "serve" => serve(&args[1..], resume),
         "submit" => submit(&args[1..]).map(|()| Status::Done),
+        "chaos" => chaos(&args[1..]).map(|()| Status::Done),
         "help" | "--help" | "-h" => {
             usage();
             Ok(Status::Done)
@@ -790,6 +812,87 @@ fn submit(args: &[String]) -> Result<(), ApexError> {
         if p != apex::fault::Provenance::Completed.marker() {
             eprintln!("note: job concluded early ({p})");
         }
+    }
+    Ok(())
+}
+
+/// `apex chaos`: enumerate deterministic fault schedules from the
+/// failpoint catalog and run the campaign (see `apex::chaos`). Prints a
+/// per-schedule verdict; `--report FILE` additionally writes the full
+/// JSONL report. Exit 1 if any schedule violated an invariant (or the
+/// binary lacks the `fault-injection` feature), 2 on usage errors.
+fn chaos(args: &[String]) -> Result<(), ApexError> {
+    let mut args = args.to_vec();
+    let schedules = take_value_flag(&mut args, "--schedules", |v| {
+        v.parse::<usize>().ok().filter(|n| *n >= 1)
+    })
+    .unwrap_or(24);
+    let seed = take_value_flag(&mut args, "--seed", |v| v.parse::<u64>().ok()).unwrap_or(7);
+    let report = take_value_flag(&mut args, "--report", |v| {
+        Some(std::path::PathBuf::from(v))
+    });
+    let scratch = take_value_flag(&mut args, "--scratch", |v| {
+        Some(std::path::PathBuf::from(v))
+    });
+    let list_only = if let Some(pos) = args.iter().position(|a| a == "--list") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    if let Some(extra) = args.first() {
+        eprintln!("chaos: unexpected argument '{extra}'");
+        std::process::exit(2);
+    }
+    if list_only {
+        for schedule in apex::chaos::enumerate_schedules(schedules, seed) {
+            println!("{}", schedule.to_json());
+        }
+        return Ok(());
+    }
+    let config = apex::chaos::ChaosConfig {
+        schedules,
+        seed,
+        scratch,
+    };
+    let campaign = apex::chaos::run_campaign(&config)?;
+    for run in &campaign.runs {
+        let faults: Vec<String> = run
+            .schedule
+            .faults
+            .iter()
+            .map(|f| format!("{}@{}", f.site, f.nth))
+            .collect();
+        let verdict = if run.violations.is_empty() { "ok" } else { "VIOLATION" };
+        println!(
+            "schedule {:>3} [{}] {:<55} {}",
+            run.schedule.id,
+            run.schedule.mode.name(),
+            faults.join(","),
+            verdict
+        );
+        for v in &run.violations {
+            println!("    - {v}");
+        }
+    }
+    if let Some(path) = report {
+        std::fs::write(&path, campaign.to_jsonl()).map_err(|e| {
+            ApexError::new(
+                apex::fault::Stage::Cli,
+                format!("cannot write report {}: {e}", path.display()),
+            )
+        })?;
+        eprintln!("chaos: JSONL report written to {}", path.display());
+    }
+    println!(
+        "chaos: {} schedule(s), seed {}, {} violation(s) in {} schedule(s)",
+        campaign.runs.len(),
+        campaign.seed,
+        campaign.total_violations(),
+        campaign.violated_schedules()
+    );
+    if campaign.total_violations() > 0 {
+        std::process::exit(1);
     }
     Ok(())
 }

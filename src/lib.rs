@@ -46,6 +46,7 @@
 
 pub use apex_apps as apps;
 pub use apex_cgra as cgra;
+pub use apex_chaos as chaos;
 pub use apex_core as core;
 pub use apex_eval as eval;
 pub use apex_fault as fault;

@@ -330,3 +330,208 @@ fn disarmed_flow_is_clean() {
         assert!(o.result.is_ok());
     }
 }
+
+/// Injected journal I/O faults (`io::journal_enospc`, short write,
+/// fsync failure) must never leave a torn record behind: the failed
+/// append rolls the file back, the error is reported, and once the
+/// fault clears the journal accepts appends again — replay sees only
+/// whole records.
+#[test]
+fn injected_journal_io_faults_roll_back_cleanly() {
+    use apex::core::{JournalRecord, SweepJournal};
+    use apex::fault::Provenance;
+
+    for site in [
+        "io::journal_enospc",
+        "io::journal_short_write",
+        "io::journal_fsync",
+    ] {
+        let path = std::env::temp_dir().join(format!(
+            "apex-iofault-journal-{}-{}.jsonl",
+            site.replace(':', "_"),
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let journal = SweepJournal::at(&path);
+        let rec = |key: u64| JournalRecord {
+            job_key: key,
+            label: format!("job{key}"),
+            provenance: Provenance::Completed,
+            degradations: "-".to_owned(),
+            payload: format!("payload {key}\n"),
+        };
+
+        {
+            let _armed = Armed::new(site);
+            let err = journal.append(&rec(1)).expect_err(site);
+            assert!(
+                format!("{err}").contains("injected"),
+                "{site}: the report must carry the injection provenance, got: {err}"
+            );
+            // the failed append rolled the file back — nothing torn on disk
+            let len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            assert_eq!(len, 0, "{site}: a failed append must leave no bytes behind");
+        }
+
+        // fault cleared: the journal was rolled back, not poisoned
+        journal.append(&rec(2)).expect("append after fault clears");
+        let replay = journal.replay();
+        assert_eq!(replay.records.len(), 1, "{site}");
+        assert_eq!(replay.records[0].job_key, 2, "{site}");
+        assert_eq!(replay.dropped_torn, 0, "{site}");
+        assert_eq!(replay.dropped_corrupt, 0, "{site}");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// A sweep whose journal hits injected ENOSPC on every append still
+/// completes every job — it degrades to non-resumable (with a warning)
+/// instead of failing, and the journal holds no partial records.
+#[test]
+fn journal_enospc_degrades_sweep_to_nonresumable() {
+    use apex::core::{run_checkpointed, JobReport, SweepJob, SweepJobResult, SweepJournal};
+    use apex::fault::Provenance;
+
+    let path = std::env::temp_dir().join(format!(
+        "apex-iofault-sweep-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let journal = SweepJournal::at(&path);
+    let jobs: Vec<SweepJob> = (0..3)
+        .map(|i| SweepJob {
+            key: 0x2000 + i,
+            label: format!("job{i}"),
+        })
+        .collect();
+    let run = {
+        let _armed = Armed::new("io::journal_enospc");
+        run_checkpointed(&journal, &jobs, false, None, |i| {
+            Ok(JobReport {
+                payload: format!("payload {i}\n"),
+                provenance: Provenance::Completed,
+                degradations: "-".to_owned(),
+            })
+        })
+        .expect("the sweep must survive a full journal")
+    };
+    assert_eq!(run.executed, jobs.len(), "every job still ran");
+    assert!(run
+        .results
+        .iter()
+        .all(|r| matches!(r, SweepJobResult::Done { .. })));
+    // nothing checkpointed — and nothing torn — so a replay is empty
+    let replay = journal.replay();
+    assert!(replay.records.is_empty());
+    assert_eq!(replay.dropped_torn + replay.dropped_corrupt, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Injected cache ENOSPC / short writes degrade to "just don't cache":
+/// no stray tmp or partial entry files appear, lookups miss, and once
+/// the fault clears the same key stores and loads normally.
+#[test]
+fn injected_cache_io_faults_skip_caching_without_stray_files() {
+    use apex::core::{encode_variant, VariantCache};
+
+    for site in ["io::cache_enospc", "io::cache_short_write"] {
+        let dir = std::env::temp_dir().join(format!(
+            "apex-iofault-cache-{}-{}",
+            site.replace(':', "_"),
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = VariantCache::at(&dir);
+
+        let _armed = Armed::new(site);
+        let variant = build_variant(&apps()).expect("build is cache-independent");
+        cache.store(0xC0FFEE, &variant);
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .map(|rd| {
+                rd.flatten()
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .collect()
+            })
+            .unwrap_or_default();
+        assert!(
+            leftovers.is_empty(),
+            "{site}: a failed store must leave no entry or tmp files, found {leftovers:?}"
+        );
+        assert!(
+            cache.load(0xC0FFEE).is_none(),
+            "{site}: the failed store must read back as a miss"
+        );
+        drop(_armed);
+
+        // fault cleared: caching resumes for the very same key
+        cache.store(0xC0FFEE, &variant);
+        let loaded = cache.load(0xC0FFEE).expect("store works once the disk recovers");
+        assert_eq!(encode_variant(&loaded), encode_variant(&variant));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// `serve::cache_evict_race` simulates a concurrent evictor deleting the
+/// victim file just before ours lands. Under that race, with lookups
+/// hammering the same store from other threads, a load must only ever
+/// return a fully-valid variant or a miss — never a partial entry — and
+/// the store afterwards holds only whole `.var`/`.corrupt` files.
+#[test]
+fn cache_evict_race_never_serves_partial_or_quarantined_entries() {
+    use apex::core::{encode_variant, VariantCache};
+
+    let dir = std::env::temp_dir().join(format!(
+        "apex-evict-race-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = VariantCache::at(&dir);
+
+    let _armed = Armed::new("serve::cache_evict_race");
+    let variant = build_variant(&apps()).expect("build");
+    let golden = encode_variant(&variant);
+    let keys: Vec<u64> = (1u64..=6).collect();
+    for &k in &keys {
+        cache.store(k, &variant);
+    }
+    let before = cache.total_bytes();
+    assert!(before > 0, "the store must start populated");
+    let cap = before / 3; // force most entries out, under the race
+
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            cache.evict_to_cap(cap);
+        });
+        for _ in 0..3 {
+            s.spawn(|| {
+                for _ in 0..20 {
+                    for &k in &keys {
+                        if let Some(v) = cache.load(k) {
+                            assert_eq!(
+                                encode_variant(&v),
+                                golden,
+                                "a concurrent load must never see a partial entry"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // post-state: only whole entry files (or quarantine evidence), no tmp
+    // residue, and every surviving entry still round-trips
+    for entry in std::fs::read_dir(&dir).expect("cache dir").flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        assert!(
+            name.ends_with(".var") || name.ends_with(".corrupt"),
+            "unexpected residue in the store: {name}"
+        );
+        if let Some(hex) = name.strip_suffix(".var") {
+            let key = u64::from_str_radix(hex, 16).expect("entry key");
+            let v = cache.load(key).expect("surviving entries stay loadable");
+            assert_eq!(encode_variant(&v), golden);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
